@@ -1,0 +1,122 @@
+"""Experiment A-baselines (paper Section 1, related work).
+
+The paper positions GenMapper against two first-generation approaches:
+
+* SRS/DBGET-style systems: per-source indexing with a uniform query
+  interface but *no joins* — multi-source annotation profiles require the
+  client to chase cross-references object by object;
+* web-link navigation: useful interactively, but "does not support
+  automated large-scale analysis".
+
+Shape expectation: for an N-object multi-source annotation task GenMapper
+runs one GenerateView, while the SRS client performs O(N x path) lookups
+and the link-chasing client pays O(N x pages) simulated round trips —
+GenMapper wins by a growing factor in N.
+"""
+
+import pytest
+
+from repro.baselines.srs import SrsSystem
+from repro.baselines.weblink import WebLinkNavigator
+from repro.parsers.go_obo import GoOboParser
+from repro.parsers.locuslink import LocusLinkParser
+from repro.parsers.unigene import UnigeneParser
+
+
+@pytest.fixture(scope="module")
+def parsed_sources(bench_universe):
+    from repro.datagen.emit import emit_go_obo, emit_locuslink, emit_unigene
+
+    return {
+        "LocusLink": LocusLinkParser().parse_text(emit_locuslink(bench_universe)),
+        "Unigene": UnigeneParser().parse_text(emit_unigene(bench_universe)),
+        "GO": GoOboParser().parse_text(emit_go_obo(bench_universe)),
+    }
+
+
+@pytest.fixture(scope="module")
+def srs(parsed_sources):
+    system = SrsSystem()
+    for dataset in parsed_sources.values():
+        system.load(dataset)
+    return system
+
+
+@pytest.fixture(scope="module")
+def weblink(parsed_sources):
+    navigator = WebLinkNavigator(fetch_latency=0.05)
+    for dataset in parsed_sources.values():
+        navigator.load(dataset)
+    return navigator
+
+
+@pytest.fixture(scope="module")
+def task_clusters(bench_universe):
+    """The task: GO annotations for 100 UniGene clusters."""
+    return [g.unigene for g in bench_universe.genes if g.unigene][:100]
+
+
+def genmapper_task(genmapper, clusters):
+    return genmapper.generate_view(
+        "Unigene", ["GO"], source_objects=clusters, combine="AND"
+    )
+
+
+def srs_task(srs, clusters):
+    return srs.navigate(
+        "Unigene", clusters, ["LocusLink", "LocusLink", "GO"]
+    )
+
+
+def test_all_systems_agree_on_annotations(
+    bench_genmapper, srs, task_clusters
+):
+    view = genmapper_task(bench_genmapper, task_clusters)
+    via_srs = srs_task(srs, task_clusters)
+    for cluster in task_clusters:
+        gm_terms = set(view.annotation_profile(cluster)["GO"])
+        assert gm_terms == via_srs[cluster]
+
+
+def test_srs_pays_per_object_lookups(srs, task_clusters):
+    srs.reset_counters()
+    srs_task(srs, task_clusters)
+    # At least one lookup per object per hop; GenMapper runs one view.
+    assert srs.lookups >= 2 * len(task_clusters)
+
+
+def test_weblink_cost_is_prohibitive(weblink, task_clusters):
+    __, cost = weblink.profile_cost(
+        "Unigene", task_clusters[:20], "GO", max_hops=2
+    )
+    # 20 objects already cost hundreds of simulated round trips.
+    assert cost.page_fetches >= 20
+    assert cost.simulated_seconds == pytest.approx(
+        cost.page_fetches * 0.05
+    )
+
+
+def test_bench_genmapper_view(benchmark, bench_genmapper, task_clusters):
+    view = benchmark(genmapper_task, bench_genmapper, task_clusters)
+    assert len(view) > 0
+    benchmark.extra_info["experiment"] = "Baselines: GenMapper GenerateView"
+    benchmark.extra_info["objects"] = len(task_clusters)
+
+
+def test_bench_srs_navigation(benchmark, srs, task_clusters):
+    results = benchmark(srs_task, srs, task_clusters)
+    assert results
+    benchmark.extra_info["experiment"] = "Baselines: SRS per-object navigation"
+    benchmark.extra_info["objects"] = len(task_clusters)
+
+
+def test_bench_weblink_navigation(benchmark, weblink, task_clusters):
+    def task():
+        return weblink.profile_cost(
+            "Unigene", task_clusters[:20], "GO", max_hops=2
+        )
+
+    __, cost = benchmark(task)
+    benchmark.extra_info["experiment"] = "Baselines: web-link chasing (20 objects)"
+    benchmark.extra_info["page_fetches"] = cost.page_fetches
+    benchmark.extra_info["simulated_seconds"] = round(cost.simulated_seconds, 2)

@@ -1,0 +1,68 @@
+"""Experiment A-compose: deriving new mappings by composition.
+
+The paper's key derived-mapping example is Unigene ↔ GO from
+Unigene ↔ LocusLink and LocusLink ↔ GO, with the caveat that "Compose may
+lead to wrong associations when the transitivity assumption does not
+hold".  This bench measures composition cost versus path length and checks
+correctness against the universe's ground truth: over cross-reference
+paths whose transitivity *does* hold, precision stays 1.0 while recall
+decays with every hop (each hop loses the objects whose link is
+unpublished) — quantifying why the paper composes along the shortest
+available path.
+"""
+
+import pytest
+
+PATHS = {
+    2: ["NetAffx", "LocusLink"],
+    3: ["NetAffx", "LocusLink", "GO"],
+    4: ["NetAffx", "Unigene", "LocusLink", "GO"],
+    5: ["NetAffx", "Unigene", "LocusLink", "Ensembl", "Hugo"],
+}
+
+
+def precision_recall(derived, truth):
+    if not derived:
+        return 0.0, 0.0
+    overlap = len(derived & truth)
+    return overlap / len(derived), overlap / len(truth)
+
+
+def test_composition_preserves_precision(bench_genmapper, bench_universe):
+    truth = bench_universe.true_probe_to_go()
+    short = bench_genmapper.compose(PATHS[3]).pair_set()
+    long = bench_genmapper.compose(PATHS[4]).pair_set()
+    precision_short, recall_short = precision_recall(short, truth)
+    precision_long, recall_long = precision_recall(long, truth)
+    assert precision_short == 1.0
+    assert precision_long == 1.0
+    # The longer path composes through one more incomplete mapping and
+    # must not recover *more* than the shorter one.
+    assert recall_long <= recall_short
+    assert recall_short > 0.7
+
+
+def test_derived_unigene_go_matches_paper_example(bench_genmapper):
+    mapping = bench_genmapper.compose(["Unigene", "LocusLink", "GO"])
+    assert mapping.source == "Unigene"
+    assert mapping.target == "GO"
+    assert len(mapping) > 0
+
+
+@pytest.mark.parametrize("length", sorted(PATHS))
+def test_bench_compose_by_path_length(benchmark, bench_genmapper, length):
+    path = PATHS[length]
+    mapping = benchmark(bench_genmapper.compose, path)
+    benchmark.extra_info["experiment"] = f"Compose: path length {length}"
+    benchmark.extra_info["path"] = " -> ".join(path)
+    benchmark.extra_info["associations"] = len(mapping)
+
+
+def test_bench_compose_with_min_combiner(benchmark, bench_genmapper):
+    from repro.operators.compose import min_evidence
+
+    mapping = benchmark(
+        bench_genmapper.compose, PATHS[4], min_evidence
+    )
+    benchmark.extra_info["experiment"] = "Compose: min-evidence combiner"
+    benchmark.extra_info["associations"] = len(mapping)

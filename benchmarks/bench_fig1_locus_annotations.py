@@ -1,0 +1,40 @@
+"""Experiment F1 (paper Figure 1): all annotations of one locus.
+
+Figure 1 shows the LocusLink page for locus 353 with its Hugo, Alias,
+Chr/Location, OMIM, Enzyme and GO annotations.  After integration, the same
+display is the object-information lookup; the bench measures it per object
+and for a batch of loci.
+"""
+
+
+def test_figure1_annotation_kinds_present(bench_genmapper, bench_universe):
+    gene = bench_universe.genes[0]
+    info = bench_genmapper.object_info("LocusLink", gene.locus)
+    partners = {partner for partner, __, __a in info}
+    assert {"Hugo", "GO", "Location", "Chromosome"} <= partners
+    go_terms = {
+        assoc.target_accession
+        for partner, __, assoc in info
+        if partner == "GO"
+    }
+    assert go_terms == set(gene.go_terms)
+
+
+def test_bench_single_object_info(benchmark, bench_genmapper, bench_universe):
+    locus = bench_universe.genes[0].locus
+    info = benchmark(bench_genmapper.object_info, "LocusLink", locus)
+    assert info
+    benchmark.extra_info["experiment"] = "Figure 1: one locus page"
+
+
+def test_bench_batch_object_info(benchmark, bench_genmapper, bench_universe):
+    loci = [gene.locus for gene in bench_universe.genes[:100]]
+
+    def lookup_batch():
+        return [
+            bench_genmapper.object_info("LocusLink", locus) for locus in loci
+        ]
+
+    results = benchmark(lookup_batch)
+    assert all(results)
+    benchmark.extra_info["experiment"] = "Figure 1: 100 locus pages"

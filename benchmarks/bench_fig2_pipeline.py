@@ -1,0 +1,51 @@
+"""Experiment F2 (paper Figure 2): the two-phase architecture.
+
+Measures the full Data Import phase (parse + import of all ten sources)
+and the View Generation phase (Compose + GenerateView) separately, the
+split Figure 2 draws.
+"""
+
+from repro.core.genmapper import GenMapper
+
+
+def test_bench_data_import_phase(benchmark, bench_universe_dir):
+    def import_everything():
+        with GenMapper() as gm:
+            reports = gm.integrate_directory(bench_universe_dir)
+            return gm.stats(), reports
+
+    (stats, reports) = benchmark.pedantic(
+        import_everything, rounds=3, iterations=1
+    )
+    assert stats["sources"] >= 15
+    assert len(reports) == 11
+    benchmark.extra_info["experiment"] = "Figure 2: data import phase"
+    benchmark.extra_info["objects"] = stats["objects"]
+    benchmark.extra_info["associations"] = stats["associations"]
+
+
+def test_bench_view_generation_phase(benchmark, bench_genmapper):
+    def generate():
+        return bench_genmapper.generate_view(
+            "LocusLink", ["Hugo", "GO", "Location", "OMIM"], combine="OR"
+        )
+
+    view = benchmark(generate)
+    assert len(view) > 0
+    benchmark.extra_info["experiment"] = "Figure 2: view generation phase"
+    benchmark.extra_info["rows"] = len(view)
+
+
+def test_bench_end_to_end(benchmark, bench_universe_dir):
+    """The whole Figure 2 flow: import then annotate."""
+
+    def pipeline():
+        with GenMapper() as gm:
+            gm.integrate_directory(bench_universe_dir)
+            return gm.generate_view(
+                "NetAffx", ["Unigene", "GO"], combine="OR"
+            )
+
+    view = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert len(view) > 0
+    benchmark.extra_info["experiment"] = "Figure 2: end to end"

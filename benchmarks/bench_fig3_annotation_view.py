@@ -1,0 +1,41 @@
+"""Experiment F3 (paper Figure 3): the annotation view for LocusLink genes.
+
+Figure 3 shows a tabular view of LocusLink loci with Hugo, GO, Location
+and OMIM attributes.  The shape assertions check the regenerated view has
+exactly that structure and the ground-truth annotations per gene; the
+bench sweeps the number of annotated loci.
+"""
+
+import pytest
+
+
+def figure3_view(genmapper, loci):
+    return genmapper.generate_view(
+        "LocusLink",
+        ["Hugo", "GO", "Location", "OMIM"],
+        source_objects=loci,
+        combine="OR",
+    )
+
+
+def test_figure3_view_shape(bench_genmapper, bench_universe):
+    genes = bench_universe.genes[:10]
+    view = figure3_view(bench_genmapper, [gene.locus for gene in genes])
+    assert view.columns == ("LocusLink", "Hugo", "GO", "Location", "OMIM")
+    for gene in genes:
+        profile = view.annotation_profile(gene.locus)
+        assert profile["Hugo"] == [gene.symbol]
+        assert profile["GO"] == sorted(gene.go_terms)
+        assert profile["Location"] == [gene.location]
+
+    rendered = view.render()
+    assert rendered.splitlines()[0].startswith("LocusLink")
+
+
+@pytest.mark.parametrize("n_loci", [10, 100, 500])
+def test_bench_figure3_view(benchmark, bench_genmapper, bench_universe, n_loci):
+    loci = [gene.locus for gene in bench_universe.genes[:n_loci]]
+    view = benchmark(figure3_view, bench_genmapper, loci)
+    assert set(view.source_objects()) == set(loci)
+    benchmark.extra_info["experiment"] = f"Figure 3: view over {n_loci} loci"
+    benchmark.extra_info["rows"] = len(view)

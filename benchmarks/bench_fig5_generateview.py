@@ -1,0 +1,78 @@
+"""Experiment F5 (paper Figure 5): the GenerateView algorithm.
+
+Sweeps the algorithm's inputs — combine method (AND vs OR), negation, and
+the number of targets m — over the benchmark universe.  Shape expectation:
+cost grows roughly linearly in m (one join per target, as in the
+pseudo-code), and AND views are never larger than OR views for the same
+spec.
+"""
+
+import pytest
+
+from repro.operators.generate_view import TargetSpec
+
+ALL_TARGETS = ["Hugo", "GO", "Location", "OMIM", "Unigene", "Ensembl"]
+
+
+def test_and_view_never_larger_than_or_view(bench_genmapper):
+    for targets in (["Hugo"], ["Hugo", "GO"], ["GO", "OMIM", "Location"]):
+        and_view = bench_genmapper.generate_view(
+            "LocusLink", targets, combine="AND"
+        )
+        or_view = bench_genmapper.generate_view(
+            "LocusLink", targets, combine="OR"
+        )
+        assert set(and_view.rows) <= set(or_view.rows)
+
+
+def test_negation_partitions_the_source(bench_genmapper):
+    positive = bench_genmapper.generate_view(
+        "LocusLink", ["OMIM"], combine="AND"
+    )
+    negative = bench_genmapper.generate_view(
+        "LocusLink", [TargetSpec.of("OMIM", negated=True)], combine="AND"
+    )
+    all_loci = bench_genmapper.accessions("LocusLink")
+    assert set(positive.source_objects()) | set(
+        negative.source_objects()
+    ) == all_loci
+    assert not set(positive.source_objects()) & set(negative.source_objects())
+
+
+@pytest.mark.parametrize("combine", ["AND", "OR"])
+@pytest.mark.parametrize("n_targets", [1, 2, 4, 6])
+def test_bench_scaling_in_targets(
+    benchmark, bench_genmapper, combine, n_targets
+):
+    targets = ALL_TARGETS[:n_targets]
+    view = benchmark(
+        bench_genmapper.generate_view, "LocusLink", targets, combine=combine
+    )
+    assert view.columns == ("LocusLink", *targets)
+    benchmark.extra_info["experiment"] = (
+        f"Figure 5: m={n_targets} targets, {combine}"
+    )
+    benchmark.extra_info["rows"] = len(view)
+
+
+def test_bench_negated_target(benchmark, bench_genmapper):
+    view = benchmark(
+        bench_genmapper.generate_view,
+        "LocusLink",
+        ["GO", TargetSpec.of("OMIM", negated=True)],
+        combine="AND",
+    )
+    benchmark.extra_info["experiment"] = "Figure 5: GO AND NOT OMIM"
+    benchmark.extra_info["rows"] = len(view)
+
+
+def test_bench_restricted_targets(benchmark, bench_genmapper, bench_universe):
+    go_subset = set(bench_universe.go.accessions()[:30])
+    view = benchmark(
+        bench_genmapper.generate_view,
+        "LocusLink",
+        [TargetSpec.of("GO", restrict=go_subset), "Hugo"],
+        combine="AND",
+    )
+    benchmark.extra_info["experiment"] = "Figure 5: restricted GO IN (...)"
+    benchmark.extra_info["rows"] = len(view)

@@ -1,0 +1,71 @@
+"""Experiment F6 (paper Figure 6): the interactive query workflow.
+
+Reenacts the screenshot sequence for UniGene objects: select source,
+upload accessions, pick targets (with an automatically suggested mapping
+path), run the query, inspect object information and export the result —
+then measures the complete round trip.
+"""
+
+from repro.query.session import QuerySession
+
+
+def run_figure6_workflow(genmapper, accessions, export_path):
+    session = QuerySession(genmapper)
+    session.select_source("Unigene")
+    session.upload_accessions(accessions)
+    path = session.suggest_path("GO")
+    assert path[0] == "Unigene" and path[-1] == "GO"
+    session.add_target("GO", via=path[1:-1])
+    session.add_target("Hugo")
+    session.combine_with("OR")
+    view = session.run()
+    info = session.object_info(accessions[0])
+    session.export(export_path)
+    return view, info
+
+
+def test_figure6_workflow_produces_view_and_info(
+    bench_genmapper, bench_universe, tmp_path
+):
+    clusters = [
+        gene.unigene for gene in bench_universe.genes[:20] if gene.unigene
+    ]
+    view, info = run_figure6_workflow(
+        bench_genmapper, clusters, tmp_path / "view.tsv"
+    )
+    assert view.columns == ("Unigene", "GO", "Hugo")
+    assert set(view.source_objects()) == set(clusters)
+    assert info  # Figure 6c: object information is available
+    assert (tmp_path / "view.tsv").exists()
+
+
+def test_bench_interactive_round_trip(
+    benchmark, bench_genmapper, bench_universe, tmp_path
+):
+    clusters = [
+        gene.unigene for gene in bench_universe.genes[:50] if gene.unigene
+    ]
+    view, __ = benchmark(
+        run_figure6_workflow, bench_genmapper, clusters, tmp_path / "v.tsv"
+    )
+    assert len(view) > 0
+    benchmark.extra_info["experiment"] = "Figure 6: interactive round trip"
+    benchmark.extra_info["uploaded_accessions"] = len(clusters)
+
+
+def test_bench_refinement_query(benchmark, bench_genmapper, bench_universe):
+    clusters = [
+        gene.unigene for gene in bench_universe.genes[:50] if gene.unigene
+    ]
+
+    def refine_flow():
+        session = QuerySession(bench_genmapper)
+        session.select_source("Unigene").upload_accessions(clusters)
+        session.add_target("LocusLink").run()
+        chosen = session.last_view().source_objects()[:10]
+        session.refine(chosen).add_target("GO")
+        return session.run()
+
+    view = benchmark(refine_flow)
+    assert len(view.source_objects()) <= 10
+    benchmark.extra_info["experiment"] = "Figure 6: refinement query"

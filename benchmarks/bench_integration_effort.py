@@ -1,0 +1,121 @@
+"""Experiment A-integration: the cost of adding a new source.
+
+The paper's central maintainability claim: with the generic GAM model,
+"the integration of a new source [is] relatively easy, mainly consisting
+of the effort to write a new parser" — no schema change, ever.  Classic
+warehouses with an application-specific global schema need schema
+evolution for every unanticipated source or attribute.
+
+Measured: integrating a brand-new vendor source with unanticipated
+attributes into (a) GenMapper — zero DDL — and (b) the star-schema
+warehouse baseline — one DDL statement per new table.  Plus integration
+cost as more and more sources are added, the paper's scalability-to-many-
+sources argument.
+"""
+
+import pytest
+
+from repro.baselines.warehouse import StarWarehouse
+from repro.core.genmapper import GenMapper
+from repro.eav.model import EavRow
+from repro.eav.store import EavDataset
+from repro.gam.schema import GAM_TABLES
+
+
+def vendor_dataset(n_probes=200):
+    """A new vendor source with two attributes no schema anticipated."""
+    rows = []
+    for i in range(n_probes):
+        probe = f"VX{i}"
+        rows.append(EavRow(probe, "LocusLink", str(100 + i % 50)))
+        rows.append(EavRow(probe, "SpotQuality", f"q{i % 5}"))
+        rows.append(EavRow(probe, "ArrayBatch", f"b{i % 3}"))
+    return EavDataset("VendorX", rows)
+
+
+def count_tables(db):
+    return len(
+        db.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        ).fetchall()
+    )
+
+
+def test_genmapper_needs_zero_schema_changes(bench_universe_dir):
+    with GenMapper() as gm:
+        gm.integrate_directory(bench_universe_dir)
+        tables_before = count_tables(gm.db)
+        gm.integrate_dataset(vendor_dataset())
+        tables_after = count_tables(gm.db)
+        assert tables_before == tables_after == len(GAM_TABLES) + 1  # + meta
+        # The new source and its unanticipated attributes are queryable
+        # immediately, through the same operators.
+        mapping = gm.map("VendorX", "SpotQuality")
+        assert len(mapping) > 0
+
+
+def test_warehouse_needs_schema_evolution():
+    warehouse = StarWarehouse()
+    warehouse.design("LocusLink")
+    warehouse.integrate(
+        EavDataset("LocusLink", [EavRow("100", "GO", "GO:1")])
+    )
+    assert warehouse.schema_changes == 0
+    warehouse.integrate(vendor_dataset(), auto_evolve=True)
+    # One entity table + three unanticipated bridge tables.
+    assert warehouse.schema_changes == 4
+
+
+def test_bench_genmapper_new_source(benchmark, bench_universe_dir):
+    gm = GenMapper()
+    gm.integrate_directory(bench_universe_dir)
+    counter = iter(range(10_000))
+
+    def integrate_vendor():
+        dataset = vendor_dataset()
+        dataset.source_name = f"VendorX{next(counter)}"
+        return gm.integrate_dataset(dataset)
+
+    report = benchmark(integrate_vendor)
+    assert report.new_objects > 0
+    benchmark.extra_info["experiment"] = "Integration effort: GenMapper"
+    benchmark.extra_info["schema_changes"] = 0
+    gm.close()
+
+
+def test_bench_warehouse_new_source(benchmark):
+    counter = iter(range(10_000))
+
+    def integrate_vendor():
+        warehouse = StarWarehouse()
+        warehouse.design("LocusLink")
+        dataset = vendor_dataset()
+        dataset.source_name = f"VendorX{next(counter)}"
+        warehouse.integrate(dataset, auto_evolve=True)
+        return warehouse
+
+    warehouse = benchmark(integrate_vendor)
+    benchmark.extra_info["experiment"] = "Integration effort: warehouse"
+    benchmark.extra_info["schema_changes"] = warehouse.schema_changes
+
+
+@pytest.mark.parametrize("n_sources", [5, 20, 60])
+def test_bench_many_generic_sources(benchmark, n_sources):
+    """Scalability to many sources: GAM table count stays constant."""
+
+    def integrate_many():
+        with GenMapper() as gm:
+            for i in range(n_sources):
+                rows = [
+                    EavRow(f"obj{i}_{j}", "LocusLink", str(100 + j))
+                    for j in range(50)
+                ]
+                gm.integrate_dataset(EavDataset(f"Source{i}", rows))
+            return count_tables(gm.db), gm.stats()
+
+    tables, stats = benchmark.pedantic(integrate_many, rounds=3, iterations=1)
+    assert tables == len(GAM_TABLES) + 1
+    assert stats["sources"] >= n_sources
+    benchmark.extra_info["experiment"] = (
+        f"Integration effort: {n_sources} sources, constant schema"
+    )

@@ -1,0 +1,86 @@
+"""Experiment A-materialize: derived-relationship materialization.
+
+The paper stores results of Compose and Subsumed derivation "to increase
+the annotation knowledge and to support frequent queries".  Measured: the
+latency of obtaining Unigene ↔ GO with and without a materialized Composed
+mapping, and subsumption queries with and without the materialized
+Subsumed relationship.  Shape expectation: materialized retrieval wins,
+and the one-time derivation cost amortizes after a handful of queries.
+"""
+
+import pytest
+
+from repro.core.genmapper import GenMapper
+from repro.derived.subsumed import query_with_subsumption
+from repro.gam.enums import RelType
+from repro.operators.simple import map_
+
+
+@pytest.fixture(scope="module")
+def fresh_genmapper(bench_universe_dir):
+    """A module-private GenMapper (materialization mutates the DB)."""
+    gm = GenMapper()
+    gm.integrate_directory(bench_universe_dir)
+    yield gm
+    gm.close()
+
+
+def test_materialized_equals_derived(fresh_genmapper):
+    derived = fresh_genmapper.compose(
+        ["Unigene", "LocusLink", "GO"], materialize=False
+    )
+    fresh_genmapper.compose(["Unigene", "LocusLink", "GO"], materialize=True)
+    stored = map_(fresh_genmapper.repository, "Unigene", "GO")
+    assert stored.rel_type is RelType.COMPOSED
+    assert stored.pair_set() == derived.pair_set()
+
+
+def test_bench_compose_on_the_fly(benchmark, bench_genmapper):
+    mapping = benchmark(
+        bench_genmapper.compose, ["Unigene", "LocusLink", "GO"]
+    )
+    benchmark.extra_info["experiment"] = "Materialization: compose each time"
+    benchmark.extra_info["associations"] = len(mapping)
+
+
+def test_bench_materialized_retrieval(benchmark, fresh_genmapper):
+    fresh_genmapper.compose(["Unigene", "LocusLink", "GO"], materialize=True)
+    mapping = benchmark(map_, fresh_genmapper.repository, "Unigene", "GO")
+    assert mapping.rel_type is RelType.COMPOSED
+    benchmark.extra_info["experiment"] = "Materialization: stored retrieval"
+    benchmark.extra_info["associations"] = len(mapping)
+
+
+def test_bench_subsumed_derivation_cost(benchmark, bench_universe_dir):
+    """The one-time cost of deriving Subsumed(GO)."""
+    counter = iter(range(10_000))
+
+    def derive():
+        with GenMapper() as gm:
+            gm.integrate_directory(bench_universe_dir)
+            next(counter)
+            return gm.derive_subsumed("GO")
+
+    inserted = benchmark.pedantic(derive, rounds=3, iterations=1)
+    assert inserted > 0
+    benchmark.extra_info["experiment"] = "Materialization: derive Subsumed(GO)"
+    benchmark.extra_info["subsumed_pairs"] = inserted
+
+
+def test_bench_subsumption_query(benchmark, fresh_genmapper, bench_universe):
+    """Genes annotated with a term or anything it subsumes."""
+    root_term = next(
+        term.accession
+        for term in bench_universe.go.terms
+        if not term.parents
+    )
+
+    def query():
+        return query_with_subsumption(
+            fresh_genmapper.repository, "LocusLink", "GO", root_term
+        )
+
+    loci = benchmark(query)
+    assert loci
+    benchmark.extra_info["experiment"] = "Materialization: subsumption query"
+    benchmark.extra_info["matched_loci"] = len(loci)

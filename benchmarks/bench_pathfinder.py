@@ -1,0 +1,80 @@
+"""Experiment A-paths (paper Section 5.1): mapping-path search.
+
+GenMapper keeps a graph of all sources/mappings and finds paths with a
+shortest-path algorithm; users can force intermediates or enumerate
+alternatives.  This bench measures graph construction from the database
+and the three search modes, plus search scaling on synthetic source graphs
+much denser than the benchmark universe.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.pathfinder.graph import build_source_graph
+from repro.pathfinder.search import (
+    k_shortest_paths,
+    shortest_path,
+    shortest_path_via,
+)
+
+
+def random_source_graph(n_sources, mean_degree, seed=7):
+    """A connected random multigraph shaped like a big deployment."""
+    rng = np.random.default_rng(seed)
+    graph = nx.MultiGraph()
+    names = [f"Source{i}" for i in range(n_sources)]
+    graph.add_nodes_from(names)
+    # A spanning chain keeps it connected; extra random edges add density.
+    for i in range(1, n_sources):
+        graph.add_edge(names[i - 1], names[i], weight=1.0)
+    extra_edges = int(n_sources * (mean_degree - 2) / 2)
+    for __ in range(max(extra_edges, 0)):
+        a, b = rng.integers(0, n_sources, size=2)
+        if a != b:
+            graph.add_edge(names[a], names[b], weight=1.0)
+    return graph, names
+
+
+def test_bench_graph_construction(benchmark, bench_genmapper):
+    graph = benchmark(build_source_graph, bench_genmapper.repository)
+    assert graph.number_of_nodes() >= 15
+    benchmark.extra_info["experiment"] = "Section 5.1: build source graph"
+    benchmark.extra_info["mappings"] = graph.number_of_edges()
+
+
+def test_bench_shortest_path_on_universe(benchmark, bench_genmapper):
+    graph = bench_genmapper.source_graph()
+    path = benchmark(shortest_path, graph, "NetAffx", "OMIM")
+    assert path[0] == "NetAffx" and path[-1] == "OMIM"
+    benchmark.extra_info["experiment"] = "Section 5.1: shortest path"
+    benchmark.extra_info["path"] = " -> ".join(path)
+
+
+def test_bench_via_search(benchmark, bench_genmapper):
+    graph = bench_genmapper.source_graph()
+    path = benchmark(
+        shortest_path_via, graph, "NetAffx", "GO", "Unigene"
+    )
+    assert "Unigene" in path
+    benchmark.extra_info["experiment"] = "Section 5.1: via-constrained path"
+
+
+def test_bench_k_alternatives(benchmark, bench_genmapper):
+    graph = bench_genmapper.source_graph()
+    paths = benchmark(k_shortest_paths, graph, "NetAffx", "GO", 5)
+    assert paths
+    benchmark.extra_info["experiment"] = "Section 5.1: k alternative paths"
+    benchmark.extra_info["alternatives"] = len(paths)
+
+
+@pytest.mark.parametrize("n_sources", [60, 250, 1000])
+def test_bench_search_scaling(benchmark, n_sources):
+    """Shortest-path cost as the deployment grows to paper scale (60
+    sources) and beyond."""
+    graph, names = random_source_graph(n_sources, mean_degree=6)
+    result = benchmark(shortest_path, graph, names[0], names[-1])
+    assert result[0] == names[0]
+    benchmark.extra_info["experiment"] = (
+        f"Section 5.1: search over {n_sources} sources"
+    )

@@ -1,0 +1,106 @@
+"""Experiment S52-profiling (paper Section 5.2): large-scale gene
+functional profiling.
+
+The paper: ~40,000 genes measured on Affymetrix arrays, ~20,000 detected
+as expressed, ~2,500 differentially expressed between human and
+chimpanzee; annotations were obtained by mapping Affymetrix probes to
+UniGene, deriving GO annotations through LocusLink, and rolling statistics
+up the GO taxonomy (IS_A/Subsumed).
+
+Shape checks:
+* the headline proportions (~50% expressed, ~12.5% of those differential)
+  hold on the scaled universe,
+* the pipeline recovers the planted differential probes,
+* enrichment with the taxonomy rollup recovers the planted GO signal,
+* the same methodology runs against the Enzyme taxonomy (the paper's
+  "also applicable to other taxonomies" claim).
+"""
+
+import pytest
+
+from repro.analysis.diffexpr import detect_differential, detect_expressed
+from repro.analysis.profiling import FunctionalProfiler
+from repro.taxonomy.dag import Taxonomy
+
+
+@pytest.fixture(scope="module")
+def report(bench_genmapper, bench_study):
+    return FunctionalProfiler(bench_genmapper).run(bench_study)
+
+
+def test_headline_proportions_match_paper_shape(report):
+    expressed_fraction = len(report.expressed_probes) / report.n_probes
+    assert 0.35 <= expressed_fraction <= 0.65  # paper: 20k / 40k
+    differential_fraction = len(report.differential) / len(
+        report.expressed_probes
+    )
+    assert 0.05 <= differential_fraction <= 0.25  # paper: 2.5k / 20k
+
+
+def test_planted_differential_probes_recovered(report, bench_study):
+    found = report.differential_probes
+    truth = bench_study.differential_probes
+    overlap = len(found & truth)
+    assert overlap / max(len(truth), 1) >= 0.7
+    assert overlap / max(len(found), 1) >= 0.7
+
+
+def test_enrichment_recovers_planted_terms(
+    report, bench_study, bench_universe
+):
+    taxonomy = Taxonomy(bench_universe.go.is_a_pairs())
+    planted_and_ancestors = set(bench_study.planted_terms)
+    for term in bench_study.planted_terms:
+        if term in taxonomy:
+            planted_and_ancestors |= taxonomy.ancestors(term)
+    hits = {r.term for r in report.significant_terms(fdr=0.10)}
+    assert hits & planted_and_ancestors
+
+
+def test_bench_full_profiling_pipeline(benchmark, bench_genmapper, bench_study):
+    profiler = FunctionalProfiler(bench_genmapper)
+    result = benchmark(profiler.run, bench_study)
+    assert result.enrichment
+    benchmark.extra_info["experiment"] = "Section 5.2: full pipeline"
+    benchmark.extra_info["probes"] = result.n_probes
+    benchmark.extra_info["expressed"] = len(result.expressed_probes)
+    benchmark.extra_info["differential"] = len(result.differential)
+
+
+def test_bench_expression_statistics_only(benchmark, bench_study):
+    def statistics():
+        expressed = detect_expressed(bench_study)
+        return detect_differential(bench_study, expressed=expressed)
+
+    results = benchmark(statistics)
+    assert results
+    benchmark.extra_info["experiment"] = "Section 5.2: t-tests + FDR"
+
+
+def test_bench_annotation_mapping_only(benchmark, bench_genmapper):
+    profiler = FunctionalProfiler(bench_genmapper)
+
+    def mapping_steps():
+        probe_gene = profiler.probe_to_gene()
+        annotation = profiler.gene_annotation()
+        return probe_gene, annotation
+
+    probe_gene, annotation = benchmark(mapping_steps)
+    assert len(probe_gene) > 0 and len(annotation) > 0
+    benchmark.extra_info["experiment"] = "Section 5.2: mapping steps"
+
+
+def test_enzyme_taxonomy_methodology(bench_genmapper, bench_study):
+    """The paper: "the methodology is also applicable to other
+    taxonomies, e.g. Enzyme"."""
+    profiler = FunctionalProfiler(
+        bench_genmapper,
+        gene_source="Unigene",
+        locus_source="LocusLink",
+        taxonomy_source="Enzyme",
+    )
+    result = profiler.run(bench_study)
+    assert result.taxonomy_source == "Enzyme"
+    # EC classes roll up: tested terms include non-leaf classes.
+    tested = {r.term for r in result.enrichment}
+    assert any(term.count(".") < 3 for term in tested)

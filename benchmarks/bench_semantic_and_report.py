@@ -1,0 +1,99 @@
+"""Extension benches: semantic similarity and the profiling report.
+
+Both build directly on GenMapper-stored knowledge: the semantic index uses
+the GO taxonomy plus the LocusLink ↔ GO mapping; the report assembles the
+full Section 5.2 study artifact.  Shape checks: genes annotated with the
+same GO term are more functionally similar than random pairs, and the
+report renders all four study sections.
+"""
+
+import pytest
+
+from repro.analysis.profiling import FunctionalProfiler
+from repro.analysis.report import render_report
+from repro.taxonomy.semantic import SemanticIndex
+
+
+@pytest.fixture(scope="module")
+def semantic_index(bench_genmapper):
+    taxonomy = bench_genmapper.taxonomy("GO")
+    annotation = bench_genmapper.map("LocusLink", "GO")
+    return SemanticIndex(taxonomy, annotation)
+
+
+def test_shared_term_genes_more_similar_than_random(
+    semantic_index, bench_universe
+):
+    by_term: dict[str, list[str]] = {}
+    for gene in bench_universe.genes:
+        for term in gene.go_terms:
+            by_term.setdefault(term, []).append(gene.locus)
+    shared_pairs = [
+        (genes[0], genes[1])
+        for genes in by_term.values()
+        if len(genes) >= 2
+    ][:30]
+    disjoint_pairs = []
+    genes = bench_universe.genes
+    for i in range(0, len(genes) - 1, 7):
+        a, b = genes[i], genes[i + 1]
+        if not set(a.go_terms) & set(b.go_terms):
+            disjoint_pairs.append((a.locus, b.locus))
+        if len(disjoint_pairs) >= 30:
+            break
+    shared_mean = sum(
+        semantic_index.gene_similarity(a, b) for a, b in shared_pairs
+    ) / len(shared_pairs)
+    disjoint_mean = sum(
+        semantic_index.gene_similarity(a, b) for a, b in disjoint_pairs
+    ) / len(disjoint_pairs)
+    assert shared_mean > disjoint_mean + 0.2
+
+
+def test_bench_semantic_index_build(benchmark, bench_genmapper):
+    taxonomy = bench_genmapper.taxonomy("GO")
+    annotation = bench_genmapper.map("LocusLink", "GO")
+    index = benchmark(SemanticIndex, taxonomy, annotation)
+    assert index.corpus_size > 0
+    benchmark.extra_info["experiment"] = "Semantic: index build"
+    benchmark.extra_info["corpus"] = index.corpus_size
+
+
+def test_bench_gene_similarity_queries(benchmark, semantic_index,
+                                       bench_universe):
+    loci = [gene.locus for gene in bench_universe.genes[:30]]
+
+    def pairwise():
+        return [
+            semantic_index.gene_similarity(a, b)
+            for a in loci[:10]
+            for b in loci[10:20]
+        ]
+
+    scores = benchmark(pairwise)
+    assert len(scores) == 100
+    benchmark.extra_info["experiment"] = "Semantic: 100 gene-pair queries"
+
+
+def test_bench_most_similar_genes(benchmark, semantic_index, bench_universe):
+    locus = bench_universe.genes[0].locus
+    ranking = benchmark(semantic_index.most_similar_genes, locus, None, 5)
+    assert len(ranking) == 5
+    benchmark.extra_info["experiment"] = "Semantic: nearest-gene search"
+
+
+def test_bench_render_full_report(benchmark, bench_genmapper, bench_study,
+                                  bench_universe):
+    profiler = FunctionalProfiler(bench_genmapper)
+    report = profiler.run(bench_study)
+    annotation = profiler.gene_annotation()
+    taxonomy = bench_genmapper.taxonomy("GO")
+    names = {t.accession: t.name for t in bench_universe.go.terms}
+
+    text = benchmark(
+        render_report, report, annotation, taxonomy, names, 0.10
+    )
+    for section in ("Expression summary", "Enriched terms",
+                    "Conserved vs changed"):
+        assert section in text
+    benchmark.extra_info["experiment"] = "Report: full study document"

@@ -1,0 +1,53 @@
+"""Experiment T1 (paper Table 1): the Parse step.
+
+Regenerates Table 1 — the EAV rows parsed from LocusLink's locus 353 page —
+and measures parser throughput on the benchmark universe's full LocusLink
+dump.  The paper's claim behind this table is qualitative: Parse is "a
+small portion of source-specific code" whose output is a uniform EAV
+format; the assertions pin the exact Table 1 rows.
+"""
+
+import pytest
+
+from repro.datagen.emit import emit_locuslink
+from repro.eav.model import EavRow
+from repro.parsers.locuslink import LocusLinkParser
+
+#: The paper's Table 1, verbatim (minus the trailing "..." row).
+TABLE_1_ROWS = [
+    EavRow("353", "Hugo", "APRT", "adenine phosphoribosyltransferase"),
+    EavRow("353", "Location", "16q24"),
+    EavRow("353", "Enzyme", "2.4.2.7"),
+    EavRow("353", "GO", "GO:0009116", "nucleoside metabolism"),
+]
+
+LOCUS_353 = """\
+>>353
+OFFICIAL_SYMBOL: APRT|adenine phosphoribosyltransferase
+MAP: 16q24
+ECNUM: 2.4.2.7
+GO: GO:0009116|nucleoside metabolism
+"""
+
+
+def test_table1_rows_regenerated():
+    """The parsed record reproduces Table 1 row for row."""
+    rows = LocusLinkParser().parse_text(LOCUS_353).rows
+    assert rows == TABLE_1_ROWS
+
+
+def test_bench_parse_locus_353(benchmark):
+    parser = LocusLinkParser()
+    result = benchmark(parser.parse_text, LOCUS_353)
+    assert result.rows == TABLE_1_ROWS
+    benchmark.extra_info["experiment"] = "Table 1"
+
+
+def test_bench_parse_full_locuslink_dump(benchmark, bench_universe):
+    text = emit_locuslink(bench_universe)
+    parser = LocusLinkParser()
+    dataset = benchmark(parser.parse_text, text)
+    assert len(dataset.entities()) == len(bench_universe.genes)
+    benchmark.extra_info["experiment"] = "Table 1 (full dump)"
+    benchmark.extra_info["records"] = len(bench_universe.genes)
+    benchmark.extra_info["eav_rows"] = len(dataset)

@@ -1,0 +1,56 @@
+"""Experiment T2 (paper Table 2): the simple GAM operations.
+
+Verifies the Table 2 examples verbatim, then measures each operation at
+the benchmark-universe scale (Map hits the database; the others operate on
+the loaded mapping, matching their ``SELECT ... FROM map`` definitions).
+"""
+
+from repro.operators.mapping import Mapping
+from repro.operators.simple import domain, map_, range_, restrict_domain, restrict_range
+
+
+def test_table2_examples_verbatim():
+    """map = Map(S, T) = {s1<->t1, s2<->t2}; Domain/Range/Restrict as shown."""
+    mapping = Mapping.build("S", "T", [("s1", "t1"), ("s2", "t2")])
+    assert domain(mapping) == {"s1", "s2"}
+    assert range_(mapping) == {"t1", "t2"}
+    assert restrict_domain(mapping, {"s1"}).pair_set() == {("s1", "t1")}
+    assert restrict_range(mapping, {"t2"}).pair_set() == {("s2", "t2")}
+
+
+def test_bench_map(benchmark, bench_genmapper):
+    repo = bench_genmapper.repository
+    mapping = benchmark(map_, repo, "LocusLink", "GO")
+    assert len(mapping) > 0
+    benchmark.extra_info["experiment"] = "Table 2: Map(LocusLink, GO)"
+    benchmark.extra_info["associations"] = len(mapping)
+
+
+def test_bench_domain(benchmark, bench_genmapper):
+    mapping = map_(bench_genmapper.repository, "LocusLink", "GO")
+    result = benchmark(domain, mapping)
+    assert result
+    benchmark.extra_info["experiment"] = "Table 2: Domain"
+
+
+def test_bench_range(benchmark, bench_genmapper):
+    mapping = map_(bench_genmapper.repository, "LocusLink", "GO")
+    result = benchmark(range_, mapping)
+    assert result
+    benchmark.extra_info["experiment"] = "Table 2: Range"
+
+
+def test_bench_restrict_domain(benchmark, bench_genmapper, bench_universe):
+    mapping = map_(bench_genmapper.repository, "LocusLink", "GO")
+    subset = {gene.locus for gene in bench_universe.genes[:50]}
+    restricted = benchmark(restrict_domain, mapping, subset)
+    assert restricted.domain() <= subset
+    benchmark.extra_info["experiment"] = "Table 2: RestrictDomain"
+
+
+def test_bench_restrict_range(benchmark, bench_genmapper, bench_universe):
+    mapping = map_(bench_genmapper.repository, "LocusLink", "GO")
+    subset = set(bench_universe.go.accessions()[:40])
+    restricted = benchmark(restrict_range, mapping, subset)
+    assert restricted.range() <= subset
+    benchmark.extra_info["experiment"] = "Table 2: RestrictRange"

@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures: scaled synthetic universes and loaded
+GenMapper instances.
+
+Scale notes (see EXPERIMENTS.md): the paper's deployment holds ~2M objects
+from 60+ sources.  The benchmark universe is scaled down (the scale factor
+is recorded in each bench's ``extra_info``) so the full suite runs in
+minutes; `BENCH_GENES` can be raised to approach the paper's shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.genmapper import GenMapper
+from repro.datagen.emit import write_universe
+from repro.datagen.expression import generate_expression
+from repro.datagen.universe import UniverseConfig, generate_universe
+
+#: Genes in the standard benchmark universe.
+BENCH_GENES = 600
+#: GO terms in the standard benchmark universe.
+BENCH_GO_TERMS = 250
+
+
+@pytest.fixture(scope="session")
+def bench_universe():
+    """The standard benchmark universe (deterministic)."""
+    return generate_universe(
+        UniverseConfig(seed=42, n_genes=BENCH_GENES, n_go_terms=BENCH_GO_TERMS)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_universe_dir(bench_universe, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench_universe")
+    write_universe(bench_universe, directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def bench_genmapper(bench_universe_dir):
+    """A GenMapper loaded with the standard benchmark universe."""
+    gm = GenMapper()
+    gm.integrate_directory(bench_universe_dir)
+    yield gm
+    gm.close()
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_universe):
+    """An expression study over the benchmark universe (Section 5.2)."""
+    return generate_expression(bench_universe)

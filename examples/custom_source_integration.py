@@ -1,0 +1,117 @@
+"""Integrating a brand-new source (the paper's maintainability claim).
+
+"The functional split between the Parse and Import steps helps us to keep
+the integration effort low ... the integration of a new source [is]
+relatively easy, mainly consisting of the effort to write a new parser."
+
+This example adds a fictional vendor source two ways:
+
+1. with the zero-code :class:`GenericTsvParser` for tabular exports, and
+2. with a ~20-line custom parser for a proprietary record format,
+
+then shows the new annotations immediately participating in views,
+composition and path finding — no schema work anywhere.
+
+Run:  python examples/custom_source_integration.py
+"""
+
+from collections.abc import Iterable, Iterator
+
+from repro import GenMapper
+from repro.eav import EavRow
+from repro.gam import SourceContent
+from repro.parsers import GenericTsvParser, SourceParser
+
+# An already-integrated public source the vendor cross-references.
+LOCUSLINK = """\
+>>100
+OFFICIAL_SYMBOL: AAA1
+GO: GO:0000001|widget assembly
+>>101
+OFFICIAL_SYMBOL: BBB2
+GO: GO:0000002|widget disassembly
+"""
+
+# Case 1: the vendor ships a plain TSV -> no parser code at all.
+VENDOR_TSV = """\
+#source: ChipCo
+#content: Gene
+id\tName\tLocusLink\tSpotQuality
+CC-001\tchip probe 1\t100\thigh
+CC-002\tchip probe 2\t101\tlow
+CC-003\tchip probe 3\t100|101\thigh
+"""
+
+# Case 2: the vendor ships a proprietary record format -> small parser.
+VENDOR_RECORDS = """\
+@probe NX-1
+  locus = 100
+  quality = 0.93
+@probe NX-2
+  locus = 101
+  quality = 0.41
+"""
+
+
+class NanoChipParser(SourceParser):
+    """The entire source-specific effort for the record format."""
+
+    source_name = "NanoChip"
+    content = SourceContent.GENE
+    format_description = "@probe blocks with key = value lines"
+
+    def parse_lines(self, lines: Iterable[str]) -> Iterator[EavRow]:
+        probe = None
+        for line in lines:
+            line = line.strip()
+            if line.startswith("@probe"):
+                probe = line.split(None, 1)[1]
+            elif "=" in line and probe is not None:
+                key, __, value = line.partition("=")
+                key, value = key.strip(), value.strip()
+                if key == "locus":
+                    yield EavRow(probe, "LocusLink", value)
+                elif key == "quality":
+                    # A computed annotation with reduced evidence.
+                    yield EavRow(probe, "Homology", probe, evidence=float(value))
+
+
+def main() -> None:
+    gm = GenMapper()
+    gm.integrate_text(LOCUSLINK, "LocusLink")
+
+    # 1. Tabular vendor data through the generic parser.
+    tsv_parser = GenericTsvParser()
+    report = gm.integrate_text(VENDOR_TSV, "ChipCo", parser=tsv_parser)
+    print(report.summary())
+
+    # 2. Proprietary format through the 20-line custom parser.
+    report = gm.integrate_text(VENDOR_RECORDS, "NanoChip",
+                               parser=NanoChipParser())
+    print(report.summary())
+
+    # The new sources are full citizens immediately:
+    print("\nChipCo probes annotated with GO (composed through LocusLink):")
+    view = gm.generate_view("ChipCo", ["LocusLink", "GO"], combine="AND")
+    print(view.render())
+
+    print("\nMapping path found automatically:")
+    print("  " + " -> ".join(gm.find_path("ChipCo", "GO")))
+
+    print("\nNanoChip -> GO via composition:")
+    mapping = gm.map("NanoChip", "GO")
+    for assoc in mapping:
+        print(f"  {assoc.source_accession} <-> {assoc.target_accession}")
+
+    print("\nSchema after integrating two unanticipated sources:")
+    tables = [
+        row[0]
+        for row in gm.db.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' ORDER BY name"
+        )
+    ]
+    print(f"  tables: {tables}  (unchanged: the four GAM tables + meta)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Large-scale gene functional profiling (paper Section 5.2).
+
+Reproduces the human/chimpanzee study pipeline on a synthetic universe:
+
+1. generate a source universe and a two-species expression study with a
+   planted differential signal around a few GO terms,
+2. integrate the ten sources into GenMapper,
+3. detect expressed and differentially expressed probes,
+4. map Affymetrix probes to UniGene, derive GO annotations through
+   LocusLink (Compose), and run the hypergeometric enrichment with the
+   taxonomy rollup,
+5. report the enriched functions and compare against the planted truth.
+
+Run:  python examples/functional_profiling.py
+"""
+
+import tempfile
+
+from repro import GenMapper
+from repro.analysis import FunctionalProfiler
+from repro.datagen import (
+    UniverseConfig,
+    generate_expression,
+    generate_universe,
+    write_universe,
+)
+from repro.taxonomy import Taxonomy
+
+
+def main() -> None:
+    # 1. The synthetic world and the expression study.
+    universe = generate_universe(
+        UniverseConfig(seed=2004, n_genes=500, n_go_terms=120)
+    )
+    # A strongly planted signal so the demo's enrichment step has a clear
+    # answer; the benchmark uses the paper-shaped defaults instead.
+    study = generate_expression(universe, planted_odds=25.0, n_planted_terms=2)
+    print(
+        f"universe: {len(universe.genes)} genes,"
+        f" {len(universe.probes)} probes, {len(universe.go)} GO terms"
+    )
+
+    # 2. Integrate every source (the paper's data import phase).
+    gm = GenMapper()
+    with tempfile.TemporaryDirectory() as directory:
+        write_universe(universe, directory)
+        gm.integrate_directory(directory)
+    print(f"integrated: {gm.stats()['objects']} objects,"
+          f" {gm.stats()['associations']} associations")
+
+    # 3-4. The full profiling pipeline.
+    profiler = FunctionalProfiler(
+        gm,
+        probe_source="NetAffx",
+        gene_source="Unigene",
+        locus_source="LocusLink",
+        taxonomy_source="GO",
+    )
+    report = profiler.run(study)
+    print("\n" + report.summary())
+
+    # 5. Enriched GO functions vs the planted signal.
+    names = {term.accession: term.name for term in universe.go.terms}
+    print("\nTop enriched GO terms (hypergeometric, BH-corrected):")
+    print(f"{'term':<12} {'k/n':>7} {'K/N':>9} {'p':>10} {'q':>10}  name")
+    for result in report.enrichment[:10]:
+        print(
+            f"{result.term:<12}"
+            f" {result.study_count:>3}/{result.study_size:<3}"
+            f" {result.population_count:>4}/{result.population_size:<4}"
+            f" {result.p_value:>10.2e} {result.q_value:>10.2e}"
+            f"  {names.get(result.term, '?')}"
+        )
+
+    taxonomy = Taxonomy(universe.go.is_a_pairs())
+    planted = set(study.planted_terms)
+    planted_closure = set(planted)
+    for term in planted:
+        if term in taxonomy:
+            planted_closure |= taxonomy.ancestors(term)
+    hits = {r.term for r in report.significant_terms(fdr=0.10)}
+    recovered = hits & planted_closure
+    print(f"\nplanted terms: {sorted(planted)}")
+    print(f"significant terms (FDR 10%): {sorted(hits)}")
+    print(f"recovered planted signal (incl. ancestors): {sorted(recovered)}")
+
+    # The methodology transfers to other taxonomies (paper: "e.g. Enzyme").
+    enzyme_report = FunctionalProfiler(gm, taxonomy_source="Enzyme").run(study)
+    print(
+        f"\nEnzyme-taxonomy rollup: {len(enzyme_report.enrichment)}"
+        " EC classes tested"
+    )
+
+    # The full study document the biologists receive.
+    from repro.analysis import render_report
+
+    print("\n" + "=" * 70)
+    print(
+        render_report(
+            report,
+            profiler.gene_annotation(),
+            taxonomy,
+            term_names=names,
+            fdr=0.10,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

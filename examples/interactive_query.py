@@ -1,0 +1,82 @@
+"""The interactive query workflow (paper Section 5.1, Figure 6) and the
+ANNOTATE query language.
+
+Builds a synthetic universe, then walks the exact screenshot sequence:
+select a source, upload accessions, inspect suggested mapping paths, save
+a custom path, combine targets with AND/OR/NOT, run the query, retrieve
+object information, refine, and export.
+
+Run:  python examples/interactive_query.py
+"""
+
+import tempfile
+
+from repro import GenMapper
+from repro.datagen import UniverseConfig, generate_universe, write_universe
+from repro.query import QuerySession, parse_query, run_query
+
+
+def main() -> None:
+    universe = generate_universe(
+        UniverseConfig(seed=6, n_genes=120, n_go_terms=60)
+    )
+    gm = GenMapper()
+    with tempfile.TemporaryDirectory() as directory:
+        write_universe(universe, directory)
+        gm.integrate_directory(directory)
+
+    session = QuerySession(gm)
+
+    # Step 1: select the relevant source from the imported sources.
+    print("available sources:", ", ".join(session.available_sources()))
+    session.select_source("Unigene")
+
+    # Step 2: upload the accessions of interest.
+    clusters = [g.unigene for g in universe.genes[:8] if g.unigene]
+    session.upload_accessions(clusters)
+    print(f"\nuploaded {len(clusters)} UniGene accessions")
+
+    # Step 3: targets and mapping paths.  GenMapper suggests the shortest
+    # path automatically; alternatives can be inspected and saved.
+    print("\nsuggested path to GO:   ", " -> ".join(session.suggest_path("GO")))
+    print("alternative paths:")
+    for path in session.suggest_paths("GO", k=3):
+        print("   ", " -> ".join(path))
+    gm.save_path("go-via-locuslink", ["Unigene", "LocusLink", "GO"])
+    session.add_target("GO", saved_path="go-via-locuslink")
+    session.add_target("Hugo")
+    session.add_target("OMIM", negated=True)
+
+    # Step 4: combine method; Step 5: run GenerateView (Figure 6b).
+    session.combine_with("OR")
+    print("\nquery:", session.spec().describe())
+    view = session.run()
+    print(view.render(max_rows=12))
+
+    # Figure 6c: object information for one of the results.
+    first = view.source_objects()[0]
+    print(f"\nobject information for {first}:")
+    for partner, rel_type, assoc in session.object_info(first)[:6]:
+        print(f"  {partner:<12} [{rel_type.value}] {assoc.target_accession}")
+
+    # Select interesting accessions and start a refinement query.
+    chosen = view.source_objects()[:3]
+    refined = session.refine(chosen).add_target("LocusLink").run()
+    print(f"\nrefined query over {chosen}:")
+    print(refined.render())
+
+    # Export for external tools.
+    out = session.export("/tmp/genmapper_view.tsv")
+    print(f"\nexported the view to {out}")
+
+    # The same query, written in the ANNOTATE language.
+    spec = parse_query(
+        f"ANNOTATE Unigene OBJECTS {', '.join(clusters[:3])} "
+        "WITH GO VIA LocusLink AND Hugo"
+    )
+    print("\nANNOTATE-language query:", spec.describe())
+    print(run_query(gm, spec).render(max_rows=8))
+
+
+if __name__ == "__main__":
+    main()

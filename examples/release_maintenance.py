@@ -1,0 +1,126 @@
+"""Source lifecycle maintenance: releases, diffs, coverage, retirement.
+
+The paper's deployment is long-lived — sources publish new releases,
+mappings are re-derived, obsolete sources retire.  This example walks that
+lifecycle:
+
+1. import release 2003-01 of a LocusLink-style source,
+2. diff the incoming 2003-10 release against the store (what a curator
+   reviews), then import it — duplicate elimination applies only the
+   delta,
+3. compute a Similarity mapping by attribute matching and materialize it,
+4. inspect annotation coverage and the detailed deployment statistics,
+5. run a batch of queries unattended (pipeline integration),
+6. retire a source (cascade delete + orphan pruning) and verify integrity.
+
+Run:  python examples/release_maintenance.py
+"""
+
+from repro import GenMapper
+from repro.analysis.coverage import render_coverage, source_coverage
+from repro.gam.maintenance import delete_source, prune_orphan_objects
+from repro.gam.statistics import collect_statistics
+from repro.importer.diff import diff_against_store
+from repro.operators.matching import MatchConfig, match_attributes, normalized_matcher
+from repro.parsers.base import get_parser
+from repro.query.batch import parse_batch, render_results, run_batch
+
+RELEASE_2003_01 = """\
+>>353
+OFFICIAL_SYMBOL: APRT
+NAME: adenine phosphoribosyltransferase
+MAP: 16q24
+GO: GO:0009116|nucleoside metabolism
+OMIM: 102600
+>>354
+OFFICIAL_SYMBOL: GP1BB
+NAME: glycoprotein Ib beta
+MAP: 22q11
+GO: GO:0007155|cell adhesion
+"""
+
+RELEASE_2003_10 = """\
+>>353
+OFFICIAL_SYMBOL: APRT
+NAME: adenine phosphoribosyltransferase
+MAP: 16q24
+GO: GO:0009116|nucleoside metabolism
+GO: GO:0006139|nucleobase metabolism
+OMIM: 102600
+>>354
+OFFICIAL_SYMBOL: GP1BB
+NAME: glycoprotein Ib beta polypeptide
+MAP: 22q11
+GO: GO:0007155|cell adhesion
+>>355
+OFFICIAL_SYMBOL: NEW1
+NAME: newly curated kinase
+MAP: 1p36
+GO: GO:0007155|cell adhesion
+"""
+
+UNIGENE = """\
+ID          Hs.28914
+TITLE       adenine phosphoribosyltransferase
+GENE        APRT
+LOCUSLINK   353
+//
+ID          Hs.500
+TITLE       newly curated kinase
+GENE        NEW1
+//
+"""
+
+
+def main() -> None:
+    gm = GenMapper()
+
+    # 1. First release.
+    report = gm.integrate_text(RELEASE_2003_01, "LocusLink",
+                               release="2003-01")
+    print(report.summary())
+    gm.integrate_text(UNIGENE, "Unigene", release="2003-01")
+
+    # 2. Diff the new release before applying it.
+    parser = get_parser("LocusLink")
+    incoming = parser.parse_text(RELEASE_2003_10, release="2003-10")
+    diff = diff_against_store(gm.repository, incoming)
+    print("\nrelease diff (curator review):")
+    print(diff.render())
+    report = gm.integrate_dataset(incoming)
+    print(f"\napplied delta: +{report.new_objects} objects,"
+          f" +{report.total_associations} associations")
+
+    # 3. Attribute matching: link the new locus to its UniGene cluster by
+    #    name, since the cluster predates the locus's cross-reference.
+    matched = match_attributes(
+        gm.repository, "LocusLink", "Unigene",
+        MatchConfig(matcher=normalized_matcher, threshold=1.0),
+    )
+    print(f"\nattribute matching found: {sorted(matched.pair_set())}")
+    gm.materialize(matched)
+
+    # 4. Coverage and deployment statistics.
+    print("\nannotation coverage of LocusLink:")
+    print(render_coverage(source_coverage(gm.repository, "LocusLink")))
+    print("\ndeployment statistics:")
+    print(collect_statistics(gm.repository).render())
+
+    # 5. Unattended batch queries (pipeline integration).
+    batch = parse_batch(
+        "# name: profiles\nANNOTATE LocusLink WITH Hugo AND GO\n"
+        "# name: undiagnosed\nANNOTATE LocusLink WITH GO AND NOT OMIM\n"
+    )
+    results = run_batch(gm, batch)
+    print("\nbatch run:")
+    print(render_results(results))
+
+    # 6. Retire OMIM; prune anything stranded; verify integrity.
+    deletion = delete_source(gm.repository, "OMIM")
+    pruned = prune_orphan_objects(gm.repository)
+    print(f"\n{deletion.summary()}; pruned {pruned} orphans")
+    print(gm.check_integrity())
+
+
+if __name__ == "__main__":
+    main()

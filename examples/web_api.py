@@ -1,0 +1,99 @@
+"""The JSON HTTP API (the paper's "interactive access ... under izbi.de").
+
+Starts the WSGI app on a local port in a background thread, populates it
+with a synthetic universe, and drives it with urllib the way an external
+tool would: list sources, inspect an object, fetch a mapping, explain and
+run a query.
+
+Run:  python examples/web_api.py
+"""
+
+import json
+import tempfile
+import threading
+import urllib.request
+from wsgiref.simple_server import WSGIRequestHandler, make_server
+
+from repro import GenMapper
+from repro.datagen import UniverseConfig, generate_universe, write_universe
+from repro.web.app import create_app
+
+
+class _QuietHandler(WSGIRequestHandler):
+    def log_message(self, *args) -> None:  # keep the demo output clean
+        pass
+
+
+def get(base, path):
+    with urllib.request.urlopen(base + path) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def post(base, path, body):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main() -> None:
+    gm = GenMapper()
+    universe = generate_universe(UniverseConfig(seed=8, n_genes=80,
+                                                n_go_terms=50))
+    with tempfile.TemporaryDirectory() as directory:
+        write_universe(universe, directory)
+        gm.integrate_directory(directory)
+
+    server = make_server("127.0.0.1", 0, create_app(gm),
+                         handler_class=_QuietHandler)
+    port = server.server_address[1]
+    base = f"http://127.0.0.1:{port}"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"serving GenMapper API on {base}\n")
+
+    sources = get(base, "/sources")["sources"]
+    print("sources:", ", ".join(s["name"] for s in sources[:8]), "...")
+
+    stats = get(base, "/stats")
+    print(f"stats: {stats['objects']} objects,"
+          f" {stats['associations']} associations")
+
+    locus = universe.genes[0].locus
+    info = get(base, f"/objects/LocusLink/{locus}")
+    print(f"\nobject {locus} has {len(info['annotations'])} annotations, e.g.:")
+    for annotation in info["annotations"][:4]:
+        print(f"  {annotation['partner']:<12} {annotation['accession']}")
+
+    mapping = get(base, "/map?source=NetAffx&target=GO")
+    print(f"\nNetAffx -> GO [{mapping['rel_type']}]:"
+          f" {len(mapping['associations'])} associations")
+
+    plan = post(base, "/query/explain",
+                {"query": "ANNOTATE Unigene WITH GO AND Hugo"})
+    print("\nquery plan:")
+    for target in plan["targets"]:
+        print(f"  {target['target']}: {target['kind']}"
+              f" via {' -> '.join(target['path'])}")
+
+    result = post(base, "/query", {
+        "source": "LocusLink",
+        "accessions": [locus],
+        "targets": [{"name": "Hugo"}, {"name": "GO"}],
+        "combine": "OR",
+    })
+    print(f"\nquery result ({result['row_count']} rows):")
+    print("  " + "\t".join(result["columns"]))
+    for row in result["rows"][:5]:
+        print("  " + "\t".join(str(cell) for cell in row))
+
+    server.shutdown()
+    print("\nserver stopped")
+
+
+if __name__ == "__main__":
+    main()

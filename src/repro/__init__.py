@@ -1,0 +1,44 @@
+"""repro — a reproduction of GenMapper (Do & Rahm, EDBT 2004).
+
+Flexible integration of molecular-biological annotation data: a generic
+annotation model (GAM), a Parse/Import pipeline for heterogeneous sources,
+high-level operators (Map, Compose, GenerateView), derived relationships
+(Composed, Subsumed), a source-graph path finder and a functional-profiling
+analysis layer.
+
+The main entry point is :class:`repro.GenMapper`; see README.md for a
+quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core.genmapper import GenMapper
+from repro.gam import (
+    Association,
+    CombineMethod,
+    GamDatabase,
+    GamRepository,
+    GenMapperError,
+    RelType,
+    Source,
+    SourceContent,
+    SourceStructure,
+)
+from repro.operators import AnnotationView, Mapping, TargetSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotationView",
+    "Association",
+    "CombineMethod",
+    "GamDatabase",
+    "GamRepository",
+    "GenMapper",
+    "GenMapperError",
+    "Mapping",
+    "RelType",
+    "Source",
+    "SourceContent",
+    "SourceStructure",
+    "TargetSpec",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Functional profiling analysis (paper Section 5.2)."""
+
+from repro.analysis.classification import (
+    TermClassification,
+    TermComparison,
+    classify,
+    conserved_and_changed,
+    level_profile,
+)
+from repro.analysis.coverage import (
+    CoverageEntry,
+    coverage_matrix,
+    render_coverage,
+    source_coverage,
+)
+from repro.analysis.diffexpr import (
+    DifferentialResult,
+    benjamini_hochberg,
+    detect_differential,
+    detect_expressed,
+)
+from repro.analysis.enrichment import EnrichmentResult, enrich, significant
+from repro.analysis.profiling import FunctionalProfiler, ProfilingReport
+from repro.analysis.report import render_report
+
+__all__ = [
+    "CoverageEntry",
+    "DifferentialResult",
+    "TermClassification",
+    "TermComparison",
+    "classify",
+    "conserved_and_changed",
+    "coverage_matrix",
+    "level_profile",
+    "render_coverage",
+    "render_report",
+    "source_coverage",
+    "EnrichmentResult",
+    "FunctionalProfiler",
+    "ProfilingReport",
+    "benjamini_hochberg",
+    "detect_differential",
+    "detect_expressed",
+    "enrich",
+    "significant",
+]

@@ -1,0 +1,142 @@
+"""Taxonomy classification: distributing genes over a term hierarchy.
+
+Paper Section 5.2: "the genes are classified according to the GO function
+taxonomy in order to identify the functions, which are conserved or have
+changed between humans and chimpanzees".  Beyond the hypergeometric test
+(:mod:`repro.analysis.enrichment`), the study needs the *classification*
+itself:
+
+* :func:`classify` — per-term gene sets with subsumption rollup, at every
+  taxonomy level, i.e. the profile table biologists read;
+* :func:`level_profile` — gene counts per term restricted to one taxonomy
+  depth (the "GO slim"-style summary);
+* :func:`conserved_and_changed` — per-term comparison of two gene sets
+  (e.g. conserved vs differentially expressed genes, or up- vs
+  down-regulated), the direct "conserved or changed functions" output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from repro.derived.subsumed import rollup_mapping
+from repro.operators.mapping import Mapping
+from repro.taxonomy.dag import Taxonomy
+
+
+@dataclasses.dataclass(frozen=True)
+class TermClassification:
+    """One term's classified gene sets."""
+
+    term: str
+    depth: int
+    genes: frozenset[str]
+
+    @property
+    def size(self) -> int:
+        return len(self.genes)
+
+
+def classify(
+    annotation: Mapping,
+    taxonomy: Taxonomy,
+    genes: Iterable[str] | None = None,
+) -> dict[str, TermClassification]:
+    """Classify genes into every taxonomy term, rolled up the hierarchy.
+
+    A gene annotated with a term counts for that term and all its
+    ancestors, so inner terms aggregate their whole subsumed subtree.
+    Returns term -> classification for terms with at least one gene.
+    """
+    rolled = rollup_mapping(annotation, taxonomy)
+    if genes is not None:
+        rolled = rolled.restrict_domain(genes)
+    per_term: dict[str, set[str]] = {}
+    for assoc in rolled:
+        per_term.setdefault(assoc.target_accession, set()).add(
+            assoc.source_accession
+        )
+    result = {}
+    for term, members in per_term.items():
+        depth = taxonomy.depth(term) if term in taxonomy else 0
+        result[term] = TermClassification(
+            term=term, depth=depth, genes=frozenset(members)
+        )
+    return result
+
+
+def level_profile(
+    annotation: Mapping,
+    taxonomy: Taxonomy,
+    depth: int,
+    genes: Iterable[str] | None = None,
+) -> dict[str, int]:
+    """Gene counts per term at exactly one taxonomy depth.
+
+    The "GO slim" view: how do my genes distribute over the (say) level-2
+    functional categories?  Terms outside the taxonomy are skipped.
+    """
+    classified = classify(annotation, taxonomy, genes)
+    return {
+        term: item.size
+        for term, item in sorted(classified.items())
+        if term in taxonomy and item.depth == depth
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class TermComparison:
+    """One term's membership in two gene sets."""
+
+    term: str
+    depth: int
+    first_count: int
+    second_count: int
+
+    @property
+    def total(self) -> int:
+        return self.first_count + self.second_count
+
+    @property
+    def second_fraction(self) -> float:
+        """Share of the second set among the term's classified genes."""
+        if not self.total:
+            return 0.0
+        return self.second_count / self.total
+
+
+def conserved_and_changed(
+    annotation: Mapping,
+    taxonomy: Taxonomy,
+    first_genes: Iterable[str],
+    second_genes: Iterable[str],
+    min_size: int = 1,
+) -> list[TermComparison]:
+    """Compare two gene sets term by term.
+
+    The Section 5.2 reading: ``first_genes`` = genes with conserved
+    expression, ``second_genes`` = differentially expressed genes; a term
+    whose ``second_fraction`` is high marks a *changed* function, a term
+    where it is near zero a *conserved* one.  Sorted by descending
+    ``second_fraction`` then term.
+    """
+    first = classify(annotation, taxonomy, first_genes)
+    second = classify(annotation, taxonomy, second_genes)
+    comparisons = []
+    for term in sorted(set(first) | set(second)):
+        first_count = first[term].size if term in first else 0
+        second_count = second[term].size if term in second else 0
+        if first_count + second_count < min_size:
+            continue
+        depth = taxonomy.depth(term) if term in taxonomy else 0
+        comparisons.append(
+            TermComparison(
+                term=term,
+                depth=depth,
+                first_count=first_count,
+                second_count=second_count,
+            )
+        )
+    comparisons.sort(key=lambda item: (-item.second_fraction, item.term))
+    return comparisons

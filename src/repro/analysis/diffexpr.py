@@ -1,0 +1,115 @@
+"""Expression-detection and differential-expression statistics.
+
+Reproduces the upstream statistics of the paper's Section 5.2 application:
+from ~40k measured genes, ~20k were detected as expressed, of which ~2.5k
+showed significantly different expression between humans and chimpanzees.
+
+* :func:`detect_expressed` — a probe is expressed when its mean log2
+  signal across all arrays exceeds a threshold (a simplified MAS
+  present/absent call).
+* :func:`detect_differential` — Welch's t-test per probe between the two
+  species, with Benjamini-Hochberg FDR control across probes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy import stats
+
+from repro.datagen.expression import ExpressionStudy
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DifferentialResult:
+    """Per-probe test result."""
+
+    probe_id: str
+    t_statistic: float
+    p_value: float
+    q_value: float
+    log_fold_change: float
+
+    @property
+    def direction(self) -> str:
+        """"up" when expression is higher in the second species."""
+        return "up" if self.log_fold_change > 0 else "down"
+
+
+def detect_expressed(study: ExpressionStudy, threshold: float = 6.0) -> set[str]:
+    """Probes whose mean signal across all samples exceeds ``threshold``."""
+    means = study.values.mean(axis=1)
+    return {
+        probe
+        for probe, mean in zip(study.probe_ids, means)
+        if mean > threshold
+    }
+
+
+def benjamini_hochberg(p_values: np.ndarray) -> np.ndarray:
+    """Benjamini-Hochberg adjusted p-values (q-values).
+
+    Standard step-up procedure: q_(i) = min over j >= i of
+    ``p_(j) * m / j`` for the sorted p-values, mapped back to input order.
+    """
+    p_values = np.asarray(p_values, dtype=float)
+    m = len(p_values)
+    if m == 0:
+        return p_values.copy()
+    order = np.argsort(p_values)
+    ranked = p_values[order] * m / np.arange(1, m + 1)
+    # Enforce monotonicity from the largest rank downward.
+    ranked = np.minimum.accumulate(ranked[::-1])[::-1]
+    q_values = np.empty(m)
+    q_values[order] = np.clip(ranked, 0.0, 1.0)
+    return q_values
+
+
+def detect_differential(
+    study: ExpressionStudy,
+    expressed: set[str] | None = None,
+    fdr: float = 0.05,
+    species_pair: tuple[str, str] = ("human", "chimp"),
+) -> list[DifferentialResult]:
+    """Probes significantly different between the species at the given FDR.
+
+    Only expressed probes are tested (pass ``expressed=None`` to call
+    :func:`detect_expressed` with its default threshold first).  Returns
+    the significant probes sorted by q-value.
+    """
+    if expressed is None:
+        expressed = detect_expressed(study)
+    first_columns = study.sample_indices(species_pair[0])
+    second_columns = study.sample_indices(species_pair[1])
+    if len(first_columns) < 2 or len(second_columns) < 2:
+        raise ValueError("need at least two samples per species for a t-test")
+    index = study.probe_index()
+    tested = sorted(probe for probe in expressed if probe in index)
+    if not tested:
+        return []
+    rows = np.array([index[probe] for probe in tested])
+    first = study.values[np.ix_(rows, first_columns)]
+    second = study.values[np.ix_(rows, second_columns)]
+    t_statistics, p_values = stats.ttest_ind(first, second, axis=1, equal_var=False)
+    # Zero-variance probes yield NaN statistics; treat them as clearly
+    # non-significant rather than letting NaN poison the FDR correction.
+    t_statistics = np.nan_to_num(t_statistics, nan=0.0)
+    p_values = np.nan_to_num(p_values, nan=1.0)
+    q_values = benjamini_hochberg(p_values)
+    fold_changes = second.mean(axis=1) - first.mean(axis=1)
+    results = [
+        DifferentialResult(
+            probe_id=probe,
+            t_statistic=float(t),
+            p_value=float(p),
+            q_value=float(q),
+            log_fold_change=float(lfc),
+        )
+        for probe, t, p, q, lfc in zip(
+            tested, t_statistics, p_values, q_values, fold_changes
+        )
+        if q <= fdr
+    ]
+    results.sort(key=lambda result: result.q_value)
+    return results

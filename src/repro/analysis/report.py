@@ -1,0 +1,135 @@
+"""The profiling report document — the study's human-readable artifact.
+
+The Section 5.2 collaboration produced, for the biologists, a document
+answering: how many genes were measured/expressed/changed, which GO
+functions are enriched among the changed genes, how do changed genes
+distribute over the taxonomy's top categories, and which functions look
+conserved vs changed.  :func:`render_report` assembles exactly that from a
+:class:`~repro.analysis.profiling.ProfilingReport` plus the annotation
+mapping and taxonomy, as plain text or Markdown.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.classification import conserved_and_changed, level_profile
+from repro.analysis.profiling import ProfilingReport
+from repro.operators.mapping import Mapping
+from repro.taxonomy.dag import Taxonomy
+
+
+def render_report(
+    report: ProfilingReport,
+    annotation: Mapping,
+    taxonomy: Taxonomy,
+    term_names: dict[str, str] | None = None,
+    fdr: float = 0.05,
+    level: int = 1,
+    markdown: bool = False,
+) -> str:
+    """Assemble the full study report.
+
+    Parameters
+    ----------
+    report:
+        Output of :meth:`FunctionalProfiler.run`.
+    annotation:
+        The gene → taxonomy mapping the profiling used.
+    taxonomy:
+        The taxonomy for rollups.
+    term_names:
+        Optional accession → display-name lookup.
+    fdr:
+        Threshold for the enriched-terms section.
+    level:
+        Taxonomy depth for the category-profile section.
+    markdown:
+        Use Markdown headings/tables instead of plain text.
+    """
+    names = term_names or {}
+
+    def display(term: str) -> str:
+        name = names.get(term)
+        return f"{term} ({name})" if name else term
+
+    def heading(text: str) -> str:
+        return f"## {text}" if markdown else f"== {text} =="
+
+    lines = []
+    title = f"Functional profiling report ({report.taxonomy_source})"
+    lines.append(f"# {title}" if markdown else title)
+    lines.append("")
+
+    # 1. Headline numbers (the paper's 40k -> 20k -> 2.5k shape).
+    lines.append(heading("Expression summary"))
+    lines.append(f"probes measured:            {report.n_probes}")
+    lines.append(f"expressed:                  {len(report.expressed_probes)}")
+    lines.append(f"differentially expressed:   {len(report.differential)}")
+    lines.append(f"background genes:           {len(report.population_genes)}")
+    lines.append(f"study (changed) genes:      {len(report.study_genes)}")
+    lines.append("")
+
+    # 2. Enriched terms.
+    significant = report.significant_terms(fdr)
+    lines.append(heading(f"Enriched terms (FDR {fdr:.0%})"))
+    if not significant:
+        lines.append("(none reached significance)")
+    else:
+        header = f"{'term':<40} {'k/n':>9} {'K/N':>11} {'q':>10}"
+        if markdown:
+            lines.append("| term | k/n | K/N | q |")
+            lines.append("|---|---|---|---|")
+        else:
+            lines.append(header)
+        for result in significant:
+            if markdown:
+                lines.append(
+                    f"| {display(result.term)}"
+                    f" | {result.study_count}/{result.study_size}"
+                    f" | {result.population_count}/{result.population_size}"
+                    f" | {result.q_value:.2e} |"
+                )
+            else:
+                lines.append(
+                    f"{display(result.term):<40}"
+                    f" {result.study_count:>4}/{result.study_size:<4}"
+                    f" {result.population_count:>5}/{result.population_size:<5}"
+                    f" {result.q_value:>10.2e}"
+                )
+    lines.append("")
+
+    # 3. Category profile at the chosen taxonomy level.
+    lines.append(heading(f"Study genes per level-{level} category"))
+    profile = level_profile(
+        annotation, taxonomy, depth=level, genes=report.study_genes
+    )
+    if not profile:
+        lines.append("(no study gene maps to this level)")
+    for term, count in sorted(profile.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{display(term):<44} {count:>4} genes")
+    lines.append("")
+
+    # 4. Conserved vs changed functions.
+    lines.append(heading("Conserved vs changed functions"))
+    conserved_genes = report.population_genes - report.study_genes
+    comparisons = conserved_and_changed(
+        annotation,
+        taxonomy,
+        first_genes=conserved_genes,
+        second_genes=report.study_genes,
+        min_size=3,
+    )
+    if not comparisons:
+        lines.append("(no term met the minimum size)")
+    else:
+        for comparison in comparisons[:10]:
+            marker = (
+                "CHANGED  " if comparison.second_fraction >= 0.5
+                else "conserved"
+            )
+            lines.append(
+                f"{marker}  {display(comparison.term):<40}"
+                f" changed {comparison.second_count:>3}"
+                f" / conserved {comparison.first_count:>3}"
+                f"  ({comparison.second_fraction:.0%} changed)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Baseline systems the paper positions GenMapper against (Section 1)."""
+
+from repro.baselines.srs import SrsEntry, SrsSystem
+from repro.baselines.warehouse import (
+    EvolutionEvent,
+    SchemaEvolutionRequired,
+    StarWarehouse,
+)
+from repro.baselines.weblink import NavigationCost, WebLinkNavigator
+
+__all__ = [
+    "EvolutionEvent",
+    "NavigationCost",
+    "SchemaEvolutionRequired",
+    "SrsEntry",
+    "SrsSystem",
+    "StarWarehouse",
+    "WebLinkNavigator",
+]

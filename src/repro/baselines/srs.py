@@ -1,0 +1,138 @@
+"""SRS-style baseline: per-source replication, parsing and indexing.
+
+The paper's related work (Section 1): "SRS and DBGET/LinkDB do not follow a
+global schema approach.  Each source is replicated locally as is, parsed
+and indexed, resulting in a set of queryable attributes for the
+corresponding source.  While a uniform query interface is provided ...
+join queries over multiple sources are not possible.  Cross-references can
+be utilized for interactive navigation, but not for the generation and
+analysis of annotation profiles."
+
+This baseline reproduces exactly those capabilities and limits:
+
+* every source is loaded from the same parsed EAV data GenMapper uses,
+* each source gets an inverted index per attribute (queryable attributes),
+* :meth:`SrsSystem.query` answers single-source attribute queries,
+* there is deliberately **no** join operation — building a multi-source
+  annotation profile requires the client to chase cross-references one
+  object at a time, which :meth:`SrsSystem.navigate` exposes (and counts)
+  so benchmarks can compare the client-side cost against ``GenerateView``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from repro.eav.store import EavDataset
+from repro.gam.errors import UnknownSourceError
+
+
+@dataclasses.dataclass
+class SrsEntry:
+    """One indexed entry of one source."""
+
+    accession: str
+    #: attribute -> values (cross-reference accessions or literals).
+    attributes: dict[str, list[str]]
+
+
+class SrsSystem:
+    """A set of independently indexed sources with a uniform interface."""
+
+    def __init__(self) -> None:
+        #: source -> accession -> entry.
+        self._entries: dict[str, dict[str, SrsEntry]] = {}
+        #: source -> attribute -> value -> accessions (inverted index).
+        self._indexes: dict[str, dict[str, dict[str, set[str]]]] = {}
+        #: Operation counters for benchmarking client-side costs.
+        self.lookups = 0
+        self.queries = 0
+
+    # -- loading -----------------------------------------------------------
+
+    def load(self, dataset: EavDataset) -> int:
+        """Replicate one source locally: parse and index its attributes."""
+        entries = self._entries.setdefault(dataset.source_name, {})
+        index = self._indexes.setdefault(dataset.source_name, defaultdict(dict))
+        for row in dataset:
+            entry = entries.get(row.entity)
+            if entry is None:
+                entry = SrsEntry(accession=row.entity, attributes={})
+                entries[row.entity] = entry
+            entry.attributes.setdefault(row.target, []).append(row.accession)
+            index[row.target].setdefault(row.accession, set()).add(row.entity)
+        return len(entries)
+
+    def sources(self) -> list[str]:
+        """Loaded source names."""
+        return sorted(self._entries)
+
+    def attributes(self, source: str) -> list[str]:
+        """The queryable attributes of one source."""
+        self._require(source)
+        return sorted(self._indexes[source])
+
+    def _require(self, source: str) -> None:
+        if source not in self._entries:
+            raise UnknownSourceError(source)
+
+    # -- the uniform query interface -------------------------------------------
+
+    def lookup(self, source: str, accession: str) -> SrsEntry | None:
+        """Fetch one entry of one source (one 'page view')."""
+        self._require(source)
+        self.lookups += 1
+        return self._entries[source].get(accession)
+
+    def query(self, source: str, attribute: str, value: str) -> set[str]:
+        """Accessions of one source whose attribute carries the value."""
+        self._require(source)
+        self.queries += 1
+        return set(self._indexes[source].get(attribute, {}).get(value, set()))
+
+    def reset_counters(self) -> None:
+        """Zero the benchmarking counters."""
+        self.lookups = 0
+        self.queries = 0
+
+    # -- what SRS users must do by hand -------------------------------------------
+
+    def navigate(
+        self, source: str, accessions: list[str], attribute_path: list[str]
+    ) -> dict[str, set[str]]:
+        """Chase cross-references object by object along an attribute path.
+
+        Emulates the only way to obtain multi-source annotations in an
+        SRS-style system: look up every object, read its cross-reference
+        attribute, then look up every referenced object in the next source,
+        and so on.  ``attribute_path`` alternates attribute names with the
+        source each reference points into, flattened as
+        ``[attr1, source2, attr2, source3, ...]``.
+
+        Returns start accession -> final annotation accessions.  Every
+        intermediate fetch increments :attr:`lookups`, making the O(objects
+        x path length) client cost measurable.
+        """
+        if len(attribute_path) % 2 != 1:
+            raise ValueError(
+                "attribute_path must be [attr, source, attr, ..., attr]"
+            )
+        results: dict[str, set[str]] = {}
+        for start in accessions:
+            frontier = {start}
+            current_source = source
+            remaining = list(attribute_path)
+            while remaining and frontier:
+                attribute = remaining.pop(0)
+                next_frontier: set[str] = set()
+                for accession in frontier:
+                    entry = self.lookup(current_source, accession)
+                    if entry is None:
+                        continue
+                    next_frontier.update(entry.attributes.get(attribute, ()))
+                frontier = next_frontier
+                if remaining:
+                    current_source = remaining.pop(0)
+            results[start] = frontier
+        return results

@@ -1,0 +1,168 @@
+"""Application-specific warehouse baseline (global-schema approach).
+
+The paper's criticism of classic warehouse integration (IGD, GIMS,
+DataFoundry): "these systems are typically built on the notion of an
+application-specific global schema ... construction and maintenance of the
+global schema (schema integration, schema evolution) are highly difficult
+and do not scale well to many sources."
+
+This baseline is such a warehouse: a *fixed* relational schema designed
+around an anticipated set of annotation attributes.  Integrating a source
+whose attributes fit the schema works; any new attribute requires explicit
+schema evolution (an ``ALTER TABLE``-equivalent), which the class counts.
+The integration-effort benchmark compares these counts against GenMapper's
+GAM, where new sources and attributes never change the schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sqlite3
+
+from repro.eav.model import RESERVED_TARGETS
+from repro.eav.store import EavDataset
+
+
+class SchemaEvolutionRequired(Exception):
+    """The fixed schema cannot hold an attribute without being altered."""
+
+    def __init__(self, source: str, attribute: str) -> None:
+        super().__init__(
+            f"warehouse schema has no column for {source!r}.{attribute!r};"
+            " run evolve_schema() first"
+        )
+        self.source = source
+        self.attribute = attribute
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class EvolutionEvent:
+    """One schema change the warehouse needed."""
+
+    source: str
+    attribute: str
+    ddl: str
+
+
+def _identifier(name: str) -> str:
+    """A safe SQL identifier from a source/attribute name."""
+    cleaned = "".join(ch if ch.isalnum() else "_" for ch in name.lower())
+    return cleaned.strip("_") or "x"
+
+
+class StarWarehouse:
+    """A gene-centric star schema with per-attribute dimension tables."""
+
+    #: The attributes the schema was designed for, per entity table.
+    DESIGNED_ATTRIBUTES = ("Hugo", "GO", "Location", "OMIM")
+
+    def __init__(self) -> None:
+        self._connection = sqlite3.connect(":memory:")
+        self._connection.row_factory = sqlite3.Row
+        #: (entity_table, attribute) pairs with an existing bridge table.
+        self._columns: set[tuple[str, str]] = set()
+        self.evolution_log: list[EvolutionEvent] = []
+        self._ddl_statements = 0
+
+    @property
+    def schema_changes(self) -> int:
+        """Number of DDL statements run after initial design."""
+        return len(self.evolution_log)
+
+    def design(self, source: str) -> None:
+        """Create the entity and bridge tables the designers anticipated."""
+        entity = _identifier(source)
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {entity}"
+            " (accession TEXT PRIMARY KEY, name TEXT)"
+        )
+        for attribute in self.DESIGNED_ATTRIBUTES:
+            self._create_bridge(entity, attribute)
+
+    def _create_bridge(self, entity: str, attribute: str) -> str:
+        bridge = f"{entity}_{_identifier(attribute)}"
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {bridge}"
+            " (accession TEXT NOT NULL, value TEXT NOT NULL,"
+            "  UNIQUE (accession, value))"
+        )
+        self._columns.add((entity, attribute))
+        return bridge
+
+    def evolve_schema(self, source: str, attribute: str) -> EvolutionEvent:
+        """Extend the schema for an unanticipated attribute (logged)."""
+        entity = _identifier(source)
+        bridge = self._create_bridge(entity, attribute)
+        event = EvolutionEvent(
+            source=source,
+            attribute=attribute,
+            ddl=f"CREATE TABLE {bridge} (accession, value)",
+        )
+        self.evolution_log.append(event)
+        return event
+
+    def integrate(self, dataset: EavDataset, auto_evolve: bool = False) -> int:
+        """Load one source; fails on unanticipated attributes.
+
+        With ``auto_evolve=True`` the needed schema changes are applied
+        (and counted) instead of raising — this is how the integration-
+        effort benchmark quantifies the maintenance burden.
+        """
+        entity = _identifier(dataset.source_name)
+        tables = {
+            row[0]
+            for row in self._connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        if entity not in tables:
+            if not auto_evolve:
+                raise SchemaEvolutionRequired(dataset.source_name, "<entity table>")
+            self._connection.execute(
+                f"CREATE TABLE {entity} (accession TEXT PRIMARY KEY, name TEXT)"
+            )
+            self.evolution_log.append(
+                EvolutionEvent(
+                    dataset.source_name,
+                    "<entity table>",
+                    f"CREATE TABLE {entity} (accession, name)",
+                )
+            )
+        loaded = 0
+        for row in dataset:
+            if row.target == "Name":
+                self._connection.execute(
+                    f"INSERT INTO {entity} (accession, name) VALUES (?, ?)"
+                    " ON CONFLICT (accession) DO UPDATE SET name = excluded.name",
+                    (row.entity, row.text or row.accession),
+                )
+                continue
+            if row.target in RESERVED_TARGETS:
+                continue
+            if (entity, row.target) not in self._columns:
+                if not auto_evolve:
+                    raise SchemaEvolutionRequired(dataset.source_name, row.target)
+                self.evolve_schema(dataset.source_name, row.target)
+            bridge = f"{entity}_{_identifier(row.target)}"
+            self._connection.execute(
+                f"INSERT OR IGNORE INTO {bridge} (accession, value) VALUES (?, ?)",
+                (row.entity, row.accession),
+            )
+            self._connection.execute(
+                f"INSERT OR IGNORE INTO {entity} (accession, name) VALUES (?, NULL)",
+                (row.entity,),
+            )
+            loaded += 1
+        self._connection.commit()
+        return loaded
+
+    def annotations(self, source: str, attribute: str) -> set[tuple[str, str]]:
+        """All (accession, value) pairs of one bridge table."""
+        entity = _identifier(source)
+        if (entity, attribute) not in self._columns:
+            raise SchemaEvolutionRequired(source, attribute)
+        bridge = f"{entity}_{_identifier(attribute)}"
+        rows = self._connection.execute(
+            f"SELECT accession, value FROM {bridge}"
+        ).fetchall()
+        return {(row["accession"], row["value"]) for row in rows}

@@ -1,0 +1,116 @@
+"""Web-link navigation baseline (paper Section 1).
+
+"The use of web-links ... represents a first integration approach, which
+is very useful for interactive navigation.  However, they do not support
+automated large-scale analysis tasks."
+
+This baseline models that world: every object is a web page; its
+cross-references are links; obtaining an annotation profile means fetching
+pages one at a time.  A per-fetch latency (default 50 ms, an optimistic
+round trip to an early-2000s public database) is *accounted* rather than
+slept, so benchmarks can report the wall-clock a real link-chasing client
+would pay without actually waiting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict, deque
+
+from repro.eav.model import RESERVED_TARGETS
+from repro.eav.store import EavDataset
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NavigationCost:
+    """The accounted cost of a navigation task."""
+
+    page_fetches: int
+    simulated_seconds: float
+
+
+class WebLinkNavigator:
+    """Object-at-a-time navigation over cross-reference links."""
+
+    def __init__(self, fetch_latency: float = 0.05) -> None:
+        self.fetch_latency = fetch_latency
+        #: (source, accession) -> list of (target source, accession).
+        self._links: dict[tuple[str, str], list[tuple[str, str]]] = defaultdict(list)
+        self.page_fetches = 0
+
+    def load(self, dataset: EavDataset) -> None:
+        """Register the links found on one source's pages."""
+        for row in dataset:
+            if row.target in RESERVED_TARGETS:
+                continue
+            key = (dataset.source_name, row.entity)
+            self._links[key].append((row.target, row.accession))
+            # Links are bidirectional on the web of annotation pages: the
+            # target page lists the referencing object too.
+            self._links[(row.target, row.accession)].append(
+                (dataset.source_name, row.entity)
+            )
+
+    def fetch(self, source: str, accession: str) -> list[tuple[str, str]]:
+        """Fetch one page: returns its outgoing links, accounts latency."""
+        self.page_fetches += 1
+        return list(self._links.get((source, accession), ()))
+
+    def reset_counters(self) -> None:
+        """Zero the fetch counter."""
+        self.page_fetches = 0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Accounted wall-clock of all fetches so far."""
+        return self.page_fetches * self.fetch_latency
+
+    def annotation_profile(
+        self,
+        source: str,
+        accession: str,
+        target: str,
+        max_hops: int = 3,
+    ) -> set[str]:
+        """Find a target-source annotation by breadth-first link chasing.
+
+        This is what an interactive user does: start at the object's page,
+        click through cross-references until pages of the target source
+        are reached.  Each visited page is one fetch.
+        """
+        start = (source, accession)
+        visited = {start}
+        queue = deque([(start, 0)])
+        found: set[str] = set()
+        while queue:
+            (page_source, page_accession), hops = queue.popleft()
+            if hops >= max_hops:
+                continue
+            for link_source, link_accession in self.fetch(
+                page_source, page_accession
+            ):
+                page = (link_source, link_accession)
+                if page in visited:
+                    continue
+                visited.add(page)
+                if link_source == target:
+                    found.add(link_accession)
+                    continue  # target pages need no further expansion
+                queue.append((page, hops + 1))
+        return found
+
+    def profile_cost(
+        self,
+        source: str,
+        accessions: list[str],
+        target: str,
+        max_hops: int = 3,
+    ) -> tuple[dict[str, set[str]], NavigationCost]:
+        """Annotation profiles for many objects, with the accounted cost."""
+        before = self.page_fetches
+        profiles = {
+            accession: self.annotation_profile(source, accession, target, max_hops)
+            for accession in accessions
+        }
+        fetches = self.page_fetches - before
+        return profiles, NavigationCost(fetches, fetches * self.fetch_latency)

@@ -1,0 +1,494 @@
+"""Command-line interface to the GenMapper reproduction.
+
+Mirrors the interactive workflow of paper Section 5.1 for the terminal::
+
+    python -m repro.cli demo --db /tmp/gam.db           # synthetic universe
+    python -m repro.cli import /data/sources --db /tmp/gam.db
+    python -m repro.cli sources --db /tmp/gam.db
+    python -m repro.cli query "ANNOTATE LocusLink WITH Hugo AND GO" \
+        --db /tmp/gam.db
+    python -m repro.cli map NetAffx GO --db /tmp/gam.db
+    python -m repro.cli path NetAffx GO --db /tmp/gam.db
+    python -m repro.cli object LocusLink 353 --db /tmp/gam.db
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.genmapper import GenMapper
+from repro.export.writers import render_mapping, render_view, write_view
+from repro.gam.errors import GenMapperError
+from repro.query.language import parse_query
+from repro.query.session import run_query
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GenMapper reproduction: integrate and query annotation data",
+    )
+    parser.add_argument(
+        "--db",
+        default=":memory:",
+        help="path of the GAM database (default: in-memory)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("demo", help="build a synthetic demo database")
+    cmd.add_argument("--genes", type=int, default=200)
+    cmd.add_argument("--go-terms", type=int, default=120)
+    cmd.add_argument("--seed", type=int, default=7)
+
+    cmd = commands.add_parser("import", help="import a source file or directory")
+    cmd.add_argument("path", help="native source file, .eav file, or directory")
+    cmd.add_argument("--source", help="source name (chooses the parser)")
+    cmd.add_argument("--release", help="release label for audit info")
+
+    cmd = commands.add_parser(
+        "parse", help="run only the Parse step: native file -> staged .eav"
+    )
+    cmd.add_argument("path", help="native source file or manifest directory")
+    cmd.add_argument("--source", help="source name (chooses the parser)")
+    cmd.add_argument("--release", help="release label for the EAV header")
+    cmd.add_argument("--out", required=True,
+                     help="output .eav file (or staging directory)")
+
+    commands.add_parser("sources", help="list integrated sources")
+    cmd = commands.add_parser(
+        "stats", help="database and source-graph statistics"
+    )
+    cmd.add_argument("--detailed", action="store_true",
+                     help="per-source census, mapping sizes, cardinalities")
+    commands.add_parser("integrity", help="run cross-table integrity checks")
+
+    cmd = commands.add_parser(
+        "batch", help="run a file of ANNOTATE queries unattended"
+    )
+    cmd.add_argument("path", help="batch file: one query per line")
+    cmd.add_argument("--out", help="directory for per-query result files")
+    cmd.add_argument("--format", default="tsv",
+                     choices=("tsv", "csv", "json", "html"))
+    cmd.add_argument("--stop-on-error", action="store_true")
+
+    cmd = commands.add_parser("query", help="run an ANNOTATE ... WITH ... query")
+    cmd.add_argument("text", help="query in the ANNOTATE language")
+    cmd.add_argument("--format", default="table",
+                     choices=("table", "tsv", "csv", "json", "html"))
+    cmd.add_argument("--out", help="write the view to this file")
+
+    cmd = commands.add_parser("map", help="show the mapping between two sources")
+    cmd.add_argument("source")
+    cmd.add_argument("target")
+    cmd.add_argument("--via", nargs="*", default=None,
+                     help="intermediate sources of an explicit path")
+    cmd.add_argument("--format", default="tsv", choices=("tsv", "json"))
+    cmd.add_argument("--limit", type=int, default=20,
+                     help="show at most this many associations (0 = all)")
+
+    cmd = commands.add_parser("compose", help="compose mappings along a path")
+    cmd.add_argument("path", nargs="+", help="source names of the mapping path")
+    cmd.add_argument("--materialize", action="store_true",
+                     help="store the result as a Composed mapping")
+
+    cmd = commands.add_parser("path", help="find mapping paths between sources")
+    cmd.add_argument("source")
+    cmd.add_argument("target")
+    cmd.add_argument("--via", help="require this intermediate source")
+    cmd.add_argument("-k", type=int, default=1, help="number of alternatives")
+
+    cmd = commands.add_parser("subsume", help="derive the Subsumed mapping")
+    cmd.add_argument("source", help="a Network source with IS_A structure")
+
+    cmd = commands.add_parser("object", help="show all annotations of an object")
+    cmd.add_argument("source")
+    cmd.add_argument("accession")
+
+    cmd = commands.add_parser(
+        "explain", help="show the execution plan of a query without running it"
+    )
+    cmd.add_argument("text", help="query in the ANNOTATE language")
+
+    cmd = commands.add_parser(
+        "coverage", help="annotation coverage of a source's mappings"
+    )
+    cmd.add_argument("source")
+
+    cmd = commands.add_parser(
+        "match",
+        help="compute a Similarity mapping by attribute matching",
+    )
+    cmd.add_argument("source")
+    cmd.add_argument("target")
+    cmd.add_argument("--threshold", type=float, default=0.8)
+    cmd.add_argument("--top-k", type=int, default=1)
+    cmd.add_argument("--materialize", action="store_true",
+                     help="store the result as a Similarity mapping")
+
+    cmd = commands.add_parser(
+        "diff", help="diff a new release file against the stored source"
+    )
+    cmd.add_argument("path", help="native source file of the new release")
+    cmd.add_argument("--source", required=True)
+    cmd.add_argument("--release", help="release label of the new file")
+
+    cmd = commands.add_parser(
+        "delete-source", help="cascade-remove a source from the database"
+    )
+    cmd.add_argument("source")
+    cmd.add_argument("--prune", action="store_true",
+                     help="also prune objects left without associations")
+
+    cmd = commands.add_parser(
+        "dump", help="export the whole database as a portable JSON-lines dump"
+    )
+    cmd.add_argument("path", help="output file")
+
+    cmd = commands.add_parser(
+        "load", help="merge a JSON-lines dump into the database"
+    )
+    cmd.add_argument("path", help="dump file written by the dump command")
+
+    cmd = commands.add_parser(
+        "graph", help="export the source/mapping graph for visualization"
+    )
+    cmd.add_argument("--format", default="dot",
+                     choices=("dot", "graphml", "json"))
+    cmd.add_argument("--out", help="write to this file instead of stdout")
+
+    cmd = commands.add_parser(
+        "serve", help="serve the JSON HTTP API over this database"
+    )
+    cmd.add_argument("--host", default="127.0.0.1")
+    cmd.add_argument("--port", type=int, default=8350)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        with GenMapper(args.db) as genmapper:
+            return _dispatch(genmapper, args)
+    except GenMapperError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    handlers = {
+        "demo": _cmd_demo,
+        "import": _cmd_import,
+        "parse": _cmd_parse,
+        "sources": _cmd_sources,
+        "stats": _cmd_stats,
+        "integrity": _cmd_integrity,
+        "query": _cmd_query,
+        "map": _cmd_map,
+        "compose": _cmd_compose,
+        "path": _cmd_path,
+        "subsume": _cmd_subsume,
+        "object": _cmd_object,
+        "explain": _cmd_explain,
+        "coverage": _cmd_coverage,
+        "match": _cmd_match,
+        "diff": _cmd_diff,
+        "delete-source": _cmd_delete_source,
+        "batch": _cmd_batch,
+        "dump": _cmd_dump,
+        "load": _cmd_load,
+        "graph": _cmd_graph,
+        "serve": _cmd_serve,
+    }
+    return handlers[args.command](genmapper, args)
+
+
+def _cmd_demo(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.datagen.emit import write_universe
+    from repro.datagen.universe import UniverseConfig, generate_universe
+
+    universe = generate_universe(
+        UniverseConfig(seed=args.seed, n_genes=args.genes, n_go_terms=args.go_terms)
+    )
+    with tempfile.TemporaryDirectory() as directory:
+        write_universe(universe, directory)
+        reports = genmapper.integrate_directory(directory)
+    for report in reports:
+        print(report.summary())
+    print()
+    _cmd_stats(genmapper, args)
+    return 0
+
+
+def _cmd_import(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if path.is_dir():
+        reports = genmapper.integrate_directory(path)
+    elif path.suffix == ".eav":
+        reports = [genmapper.pipeline.integrate_eav_file(path)]
+    else:
+        reports = [
+            genmapper.integrate_file(
+                path, source_name=args.source, release=args.release
+            )
+        ]
+    for report in reports:
+        print(report.summary())
+    return 0
+
+
+def _cmd_parse(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.eav.io import write_eav
+    from repro.parsers.base import get_parser
+
+    path = Path(args.path)
+    if path.is_dir():
+        staged = genmapper.pipeline.stage_directory(path, args.out)
+        print(f"staged {len(staged)} sources into {args.out}")
+        return 0
+    if args.source is None:
+        print("error: --source is required for a single file", file=sys.stderr)
+        return 1
+    parser = get_parser(args.source)
+    dataset = parser.parse(path, release=args.release)
+    write_eav(dataset, args.out)
+    print(f"{dataset.summary()} -> {args.out}")
+    return 0
+
+
+def _cmd_sources(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    for source in genmapper.sources():
+        objects = genmapper.repository.count_objects(source)
+        release = f" release={source.release}" if source.release else ""
+        print(
+            f"{source.name:<28} {source.content.value:<8}"
+            f" {source.structure.value:<8} objects={objects}{release}"
+        )
+    return 0
+
+
+def _cmd_stats(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    if getattr(args, "detailed", False):
+        from repro.gam.statistics import collect_statistics
+
+        print(collect_statistics(genmapper.repository).render())
+        return 0
+    for key, value in genmapper.stats().items():
+        print(f"{key:<28} {value}")
+    return 0
+
+
+def _cmd_integrity(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    report = genmapper.check_integrity()
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_query(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    spec = parse_query(args.text)
+    print(f"# {spec.describe()}", file=sys.stderr)
+    view = run_query(genmapper, spec)
+    if args.out:
+        fmt = "tsv" if args.format == "table" else args.format
+        written = write_view(view, args.out, fmt)
+        print(f"wrote {len(view)} rows to {written}", file=sys.stderr)
+        return 0
+    if args.format == "table":
+        print(view.render())
+    else:
+        print(render_view(view, args.format), end="")
+    return 0
+
+
+def _cmd_map(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    mapping = genmapper.map(args.source, args.target, via=args.via)
+    print(f"# {mapping.describe()}", file=sys.stderr)
+    if args.limit:
+        from repro.operators.mapping import Mapping
+
+        mapping = Mapping(
+            mapping.source,
+            mapping.target,
+            mapping.associations[: args.limit],
+            mapping.rel_type,
+        )
+    print(render_mapping(mapping, args.format), end="")
+    return 0
+
+
+def _cmd_compose(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    mapping = genmapper.compose(args.path, materialize=args.materialize)
+    print(mapping.describe())
+    if args.materialize:
+        print(f"materialized as Composed: {mapping.source} ↔ {mapping.target}")
+    return 0
+
+
+def _cmd_path(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    if args.k <= 1:
+        paths = [genmapper.find_path(args.source, args.target, via=args.via)]
+    else:
+        paths = genmapper.find_paths(args.source, args.target, k=args.k)
+    from repro.pathfinder.search import path_cost
+
+    graph = genmapper.source_graph()
+    for path in paths:
+        cost = path_cost(graph, path)
+        print(f"{' -> '.join(path)}  (cost {cost:g})")
+    return 0
+
+
+def _cmd_subsume(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    inserted = genmapper.derive_subsumed(args.source)
+    print(f"derived Subsumed({args.source}): {inserted} associations stored")
+    return 0
+
+
+def _cmd_object(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    info = genmapper.object_info(args.source, args.accession)
+    if not info:
+        print(f"{args.source} {args.accession}: no stored associations")
+        return 0
+    print(f"{args.source} {args.accession}:")
+    for partner, rel_type, association in info:
+        print(
+            f"  {partner:<24} [{rel_type.value:<10}]"
+            f" {association.target_accession}"
+            + (f"  (evidence {association.evidence:g})"
+               if association.evidence != 1.0 else "")
+        )
+    return 0
+
+
+def _cmd_explain(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.query.plan import plan_query
+
+    spec = parse_query(args.text)
+    plan = plan_query(genmapper, spec)
+    print(plan.render())
+    return 0 if plan.executable else 1
+
+
+def _cmd_coverage(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.analysis.coverage import render_coverage, source_coverage
+
+    entries = source_coverage(genmapper.repository, args.source)
+    print(f"annotation coverage of {args.source}:")
+    print(render_coverage(entries))
+    return 0
+
+
+def _cmd_match(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.derived.composed import materialize_mapping
+    from repro.gam.enums import RelType
+    from repro.operators.matching import MatchConfig, match_attributes
+
+    config = MatchConfig(threshold=args.threshold, top_k=args.top_k)
+    mapping = match_attributes(
+        genmapper.repository, args.source, args.target, config
+    )
+    print(mapping.describe())
+    if args.materialize and not mapping.is_empty():
+        materialize_mapping(genmapper.repository, mapping, RelType.SIMILARITY)
+        print("materialized as Similarity mapping")
+    return 0
+
+
+def _cmd_diff(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.importer.diff import diff_against_store
+    from repro.parsers.base import get_parser
+
+    parser = get_parser(args.source)
+    dataset = parser.parse(args.path, release=args.release)
+    diff = diff_against_store(genmapper.repository, dataset)
+    print(diff.render())
+    return 0
+
+
+def _cmd_delete_source(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.gam.maintenance import delete_source, prune_orphan_objects
+
+    report = delete_source(genmapper.repository, args.source)
+    print(report.summary())
+    if args.prune:
+        pruned = prune_orphan_objects(genmapper.repository)
+        print(f"pruned {pruned} orphan objects")
+    return 0
+
+
+def _cmd_dump(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.gam.dump import dump_database
+
+    records = dump_database(genmapper.repository, args.path)
+    print(f"dumped {records} records to {args.path}")
+    return 0
+
+
+def _cmd_load(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.gam.dump import load_database
+
+    records = load_database(genmapper.repository, args.path)
+    counts = genmapper.db.counts()
+    print(f"loaded {records} records;"
+          f" database now holds {counts['object']} objects,"
+          f" {counts['object_rel']} associations")
+    return 0
+
+
+def _cmd_graph(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.pathfinder.export import to_dot, to_json, write_graphml
+
+    graph = genmapper.source_graph()
+    if args.format == "graphml":
+        if not args.out:
+            print("error: --out is required for graphml", file=sys.stderr)
+            return 1
+        write_graphml(graph, args.out)
+        print(f"wrote GraphML to {args.out}", file=sys.stderr)
+        return 0
+    text = to_dot(graph) if args.format == "dot" else to_json(graph)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_serve(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from wsgiref.simple_server import make_server
+
+    from repro.web.app import create_app
+
+    app = create_app(genmapper)
+    with make_server(args.host, args.port, app) as server:
+        print(f"GenMapper API on http://{args.host}:{args.port}/sources")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _cmd_batch(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.query.batch import read_batch, render_results, run_batch
+
+    entries = read_batch(args.path)
+    results = run_batch(
+        genmapper,
+        entries,
+        output_dir=args.out,
+        fmt=args.format,
+        stop_on_error=args.stop_on_error,
+    )
+    print(render_results(results))
+    return 0 if all(result.ok for result in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""The GenMapper core: the facade over GAM, import, operators and paths."""
+
+from repro.core.genmapper import GenMapper
+
+__all__ = ["GenMapper"]

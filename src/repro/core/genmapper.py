@@ -1,0 +1,362 @@
+"""The ``GenMapper`` facade — the system's public API.
+
+One object wires together the pieces the paper describes (Figure 2): the
+central GAM database, the Parse/Import pipeline, the high-level operators,
+derived-relationship materialization and the source-graph path finder.
+
+Typical use::
+
+    gm = GenMapper()                      # in-memory database
+    gm.integrate_file("locuslink.txt", source_name="LocusLink")
+    gm.integrate_file("go.obo", source_name="GO")
+    view = gm.generate_view(
+        "LocusLink",
+        targets=["Hugo", "GO", "Location"],
+        combine="OR",
+    )
+    print(view.render())
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+import networkx as nx
+
+from repro.derived.composed import derive_composed, materialize_mapping
+from repro.derived.subsumed import derive_subsumed, load_taxonomy, subsumed_mapping
+from repro.eav.store import EavDataset
+from repro.gam.database import GamDatabase
+from repro.gam.enums import CombineMethod, RelType
+from repro.gam.errors import UnknownMappingError
+from repro.gam.integrity import IntegrityReport, check
+from repro.gam.records import Association, GamObject, Source
+from repro.gam.repository import GamRepository
+from repro.importer.importer import ImportReport
+from repro.importer.pipeline import IntegrationPipeline
+from repro.operators.compose import EvidenceCombiner, compose, product_evidence
+from repro.operators.generate_view import TargetSpec, generate_view
+from repro.operators.mapping import Mapping
+from repro.operators.simple import map_
+from repro.operators.views import AnnotationView
+from repro.parsers.base import SourceParser
+from repro.pathfinder.graph import build_source_graph, connectivity_summary
+from repro.pathfinder.saved import PathRegistry
+from repro.pathfinder.search import (
+    MappingPath,
+    k_shortest_paths,
+    shortest_path,
+    shortest_path_via,
+    validate_path,
+)
+from repro.taxonomy.dag import Taxonomy
+
+#: Accepted target argument forms for :meth:`GenMapper.generate_view`.
+TargetLike = "str | TargetSpec | tuple"
+
+
+class GenMapper:
+    """Flexible integration of annotation data over one GAM database."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.db = GamDatabase(path)
+        self.repository = GamRepository(self.db)
+        self.pipeline = IntegrationPipeline(self.repository)
+        self.paths = PathRegistry(self.db)
+        self._graph: nx.MultiGraph | None = None
+
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self.db.close()
+
+    def __enter__(self) -> "GenMapper":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- data import (Figure 2, left) ------------------------------------------
+
+    def integrate_file(
+        self,
+        path: str | Path,
+        source_name: str | None = None,
+        release: str | None = None,
+        parser: SourceParser | None = None,
+    ) -> ImportReport:
+        """Parse and import one native source file."""
+        report = self.pipeline.integrate_file(
+            path, source_name=source_name, release=release, parser=parser
+        )
+        self._invalidate_graph()
+        return report
+
+    def integrate_text(
+        self,
+        text: str,
+        source_name: str,
+        release: str | None = None,
+        parser: SourceParser | None = None,
+    ) -> ImportReport:
+        """Parse and import source data given as a string."""
+        if parser is None:
+            from repro.parsers.base import get_parser
+
+            parser = get_parser(source_name)
+        dataset = parser.parse_text(text, release=release)
+        report = self.pipeline.integrate_dataset(dataset, parser=parser)
+        self._invalidate_graph()
+        return report
+
+    def integrate_dataset(
+        self, dataset: EavDataset, parser: SourceParser | None = None
+    ) -> ImportReport:
+        """Import an already-parsed EAV dataset."""
+        report = self.pipeline.integrate_dataset(dataset, parser=parser)
+        self._invalidate_graph()
+        return report
+
+    def integrate_directory(self, directory: str | Path) -> list[ImportReport]:
+        """Import every source listed in a directory's manifest."""
+        reports = self.pipeline.integrate_directory(directory)
+        self._invalidate_graph()
+        return reports
+
+    # -- sources and objects -----------------------------------------------------
+
+    def sources(self) -> list[Source]:
+        """All integrated sources."""
+        return self.repository.list_sources()
+
+    def source(self, name: str) -> Source:
+        """One source by name; raises if unknown."""
+        return self.repository.get_source(name)
+
+    def objects(self, source: str, limit: int | None = None) -> list[GamObject]:
+        """Objects of a source."""
+        return self.repository.objects_of(source, limit=limit)
+
+    def accessions(self, source: str) -> set[str]:
+        """Accession set of a source."""
+        return self.repository.accessions_of(source)
+
+    def object_info(
+        self, source: str, accession: str
+    ) -> list[tuple[str, RelType, Association]]:
+        """Everything known about one object (Figure 1 / Figure 6c)."""
+        return self.repository.annotations_of_object(source, accession)
+
+    # -- operators (Section 4.2) ---------------------------------------------------
+
+    def map(
+        self,
+        source: str,
+        target: str,
+        via: Sequence[str] | None = None,
+        combiner: EvidenceCombiner = product_evidence,
+    ) -> Mapping:
+        """``Map`` with automatic ``Compose`` fallback.
+
+        Tries the stored mapping first; when none exists, finds the
+        shortest mapping path in the source graph (optionally through the
+        explicit ``via`` intermediates) and composes along it.
+        """
+        if via:
+            return compose(self.repository, [source, *via, target], combiner)
+        try:
+            return map_(self.repository, source, target)
+        except UnknownMappingError:
+            path = self.find_path(source, target)
+            return compose(self.repository, path, combiner)
+
+    def compose(
+        self,
+        path: Sequence[str],
+        combiner: EvidenceCombiner = product_evidence,
+        materialize: bool = False,
+    ) -> Mapping:
+        """``Compose`` along an explicit mapping path."""
+        mapping = derive_composed(
+            self.repository, path, combiner, materialize=materialize
+        )
+        if materialize:
+            self._invalidate_graph()
+        return mapping
+
+    def generate_view(
+        self,
+        source: str,
+        targets: Sequence[TargetLike],
+        source_objects: Iterable[str] | None = None,
+        combine: CombineMethod | str = CombineMethod.OR,
+        combiner: EvidenceCombiner = product_evidence,
+        engine: str = "memory",
+    ) -> AnnotationView:
+        """``GenerateView`` (Figure 5) with automatic mapping resolution.
+
+        ``targets`` entries may be target names, ``(name, restrict_set)``
+        tuples, ``(name, restrict_set, negated)`` tuples or full
+        :class:`TargetSpec` objects.  ``source_objects=None`` covers the
+        entire source, matching the interactive interface's default.
+
+        ``engine`` picks the execution strategy: ``"memory"`` (default)
+        joins loaded mappings in Python; ``"sql"`` compiles the whole view
+        — including Compose paths and negation — into one SQL statement
+        (see :mod:`repro.operators.sql_engine`).  Results are identical;
+        the SQL engine ignores ``combiner`` since views carry no evidence.
+        """
+        specs = [self._as_spec(target) for target in targets]
+        if engine == "sql":
+            from repro.operators.sql_engine import SqlViewEngine
+
+            return SqlViewEngine(self.repository).generate_view(
+                source, source_objects, specs, combine
+            )
+        if engine != "memory":
+            raise ValueError(f"unknown view engine {engine!r}")
+        if source_objects is None:
+            source_objects = self.repository.accessions_of(source)
+
+        def resolver(view_source: str, spec: TargetSpec) -> Mapping:
+            return self.map(view_source, spec.name, via=spec.via or None, combiner=combiner)
+
+        return generate_view(resolver, source, source_objects, specs, combine)
+
+    @staticmethod
+    def _as_spec(target: TargetLike) -> TargetSpec:
+        if isinstance(target, TargetSpec):
+            return target
+        if isinstance(target, str):
+            return TargetSpec.of(target)
+        if isinstance(target, tuple):
+            name = target[0]
+            restrict = target[1] if len(target) > 1 else None
+            negated = bool(target[2]) if len(target) > 2 else False
+            return TargetSpec.of(name, restrict=restrict, negated=negated)
+        raise TypeError(f"not a view target: {target!r}")
+
+    # -- derived relationships -------------------------------------------------------
+
+    def derive_subsumed(self, source: str) -> int:
+        """Materialize the Subsumed mapping of a taxonomy source."""
+        __, inserted = derive_subsumed(self.repository, source)
+        self._invalidate_graph()
+        return inserted
+
+    def subsumed(self, source: str) -> Mapping:
+        """The term → subsumed-term mapping, computed on the fly."""
+        return subsumed_mapping(self.repository, source)
+
+    def taxonomy(self, source: str) -> Taxonomy:
+        """The IS_A taxonomy of a Network source."""
+        return load_taxonomy(self.repository, source)
+
+    def materialize(self, mapping: Mapping) -> int:
+        """Store an in-memory mapping as a Composed relationship."""
+        __, inserted = materialize_mapping(self.repository, mapping)
+        self._invalidate_graph()
+        return inserted
+
+    # -- source graph / paths (Section 5.1) ----------------------------------------------
+
+    def source_graph(self) -> nx.MultiGraph:
+        """The graph of all sources and mappings (cached until changed)."""
+        if self._graph is None:
+            self._graph = build_source_graph(self.repository)
+        return self._graph
+
+    def _invalidate_graph(self) -> None:
+        self._graph = None
+
+    def find_path(
+        self, source: str, target: str, via: str | None = None
+    ) -> MappingPath:
+        """Shortest mapping path, optionally through an intermediate."""
+        graph = self.source_graph()
+        if via is None:
+            return shortest_path(graph, source, target)
+        return shortest_path_via(graph, source, target, via)
+
+    def find_paths(self, source: str, target: str, k: int = 5) -> list[MappingPath]:
+        """Up to ``k`` alternative mapping paths, cheapest first."""
+        return k_shortest_paths(self.source_graph(), source, target, k)
+
+    def save_path(self, name: str, path: Sequence[str]) -> None:
+        """Validate and persist a manually built path."""
+        validated = validate_path(self.source_graph(), path)
+        self.paths.save(name, validated)
+
+    def load_path(self, name: str) -> MappingPath:
+        """Load a previously saved path."""
+        return self.paths.load(name)
+
+    # -- curation / maintenance ------------------------------------------------------------
+
+    def match(
+        self,
+        source: str,
+        target: str,
+        threshold: float = 0.8,
+        top_k: int = 1,
+        materialize: bool = False,
+    ) -> Mapping:
+        """Compute a Similarity mapping by attribute (name) matching.
+
+        Section 3's "attribute matching algorithm", exposed on the facade.
+        """
+        from repro.derived.composed import materialize_mapping
+        from repro.operators.matching import MatchConfig, match_attributes
+
+        config = MatchConfig(threshold=threshold, top_k=top_k)
+        mapping = match_attributes(self.repository, source, target, config)
+        if materialize and not mapping.is_empty():
+            materialize_mapping(self.repository, mapping, RelType.SIMILARITY)
+            self._invalidate_graph()
+        return mapping
+
+    def diff_release(self, dataset: EavDataset):
+        """Diff a parsed release against the store (curator review)."""
+        from repro.importer.diff import diff_against_store
+
+        return diff_against_store(self.repository, dataset)
+
+    def delete_source(self, source: str, prune: bool = False):
+        """Cascade-remove a source; optionally prune stranded objects."""
+        from repro.gam.maintenance import delete_source, prune_orphan_objects
+
+        report = delete_source(self.repository, source)
+        if prune:
+            prune_orphan_objects(self.repository)
+        self._invalidate_graph()
+        return report
+
+    def coverage(self, source: str):
+        """Annotation coverage of one source's outgoing mappings."""
+        from repro.analysis.coverage import source_coverage
+
+        return source_coverage(self.repository, source)
+
+    def statistics(self):
+        """The detailed deployment report (Section 5 census)."""
+        from repro.gam.statistics import collect_statistics
+
+        return collect_statistics(self.repository)
+
+    # -- statistics / health --------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Deployment statistics in the shape of paper Section 5."""
+        counts = self.db.counts()
+        graph_stats = connectivity_summary(self.source_graph())
+        return {
+            "sources": counts["source"],
+            "objects": counts["object"],
+            "mappings": counts["source_rel"],
+            "associations": counts["object_rel"],
+            **{f"graph_{key}": value for key, value in graph_stats.items()},
+        }
+
+    def check_integrity(self) -> IntegrityReport:
+        """Run the cross-table integrity checks."""
+        return check(self.db)

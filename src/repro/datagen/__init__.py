@@ -1,0 +1,35 @@
+"""Synthetic source universe — the substitute for live public downloads."""
+
+from repro.datagen.emit import SOURCE_FILES, write_universe
+from repro.datagen.expression import ExpressionStudy, generate_expression
+from repro.datagen.go_gen import GoTaxonomy, GoTerm, generate_go
+from repro.datagen.noise import degrade_evidence, drop, rewire
+from repro.datagen.universe import (
+    GeneRecord,
+    InterProRecord,
+    ProbeRecord,
+    ProteinRecord,
+    Universe,
+    UniverseConfig,
+    generate_universe,
+)
+
+__all__ = [
+    "ExpressionStudy",
+    "GeneRecord",
+    "GoTaxonomy",
+    "GoTerm",
+    "InterProRecord",
+    "ProbeRecord",
+    "ProteinRecord",
+    "SOURCE_FILES",
+    "Universe",
+    "UniverseConfig",
+    "degrade_evidence",
+    "drop",
+    "generate_expression",
+    "rewire",
+    "generate_go",
+    "generate_universe",
+    "write_universe",
+]

@@ -1,0 +1,146 @@
+"""Synthetic GeneOntology-like taxonomy generator.
+
+Builds a rooted DAG per namespace (biological process, molecular function,
+cellular component) with configurable size, depth and multi-parent
+probability — the structural properties that matter to Subsumed derivation
+and to the Section 5.2 rollup statistics.  Terms get GO-style accessions
+(``GO:0000123``) and vocabulary-based names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.datagen import vocab
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GoTerm:
+    """One synthetic GO term."""
+
+    accession: str
+    name: str
+    namespace: str
+    parents: tuple[str, ...]
+    depth: int
+
+
+@dataclasses.dataclass(frozen=True)
+class GoTaxonomy:
+    """A synthetic GO taxonomy: terms across the three namespaces."""
+
+    terms: tuple[GoTerm, ...]
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def accessions(self) -> list[str]:
+        """All term accessions, in generation order."""
+        return [term.accession for term in self.terms]
+
+    def leaf_accessions(self) -> list[str]:
+        """Accessions of terms that are nobody's parent."""
+        parents = {p for term in self.terms for p in term.parents}
+        return [t.accession for t in self.terms if t.accession not in parents]
+
+    def is_a_pairs(self) -> list[tuple[str, str]]:
+        """All (child, parent) pairs."""
+        return [
+            (term.accession, parent)
+            for term in self.terms
+            for parent in term.parents
+        ]
+
+    def by_accession(self) -> dict[str, GoTerm]:
+        """Accession -> term lookup."""
+        return {term.accession: term for term in self.terms}
+
+
+_NAMESPACES = (
+    ("biological_process", vocab.process_name),
+    ("molecular_function", vocab.function_name),
+    ("cellular_component", vocab.component_name),
+)
+
+
+def generate_go(
+    rng: np.random.Generator,
+    n_terms: int = 120,
+    max_depth: int = 5,
+    multi_parent_prob: float = 0.15,
+) -> GoTaxonomy:
+    """Generate a three-namespace GO-like taxonomy of ``n_terms`` terms.
+
+    Terms are distributed over the namespaces roughly 3:2:1 (mirroring real
+    GO's skew toward biological process).  Each non-root term gets one
+    parent from a shallower level, plus with probability
+    ``multi_parent_prob`` a second parent, making the result a DAG rather
+    than a tree.
+    """
+    if n_terms < 6:
+        raise ValueError("need at least 6 terms (one root + one child per namespace)")
+    weights = np.array([3.0, 2.0, 1.0])
+    counts = np.maximum(
+        (weights / weights.sum() * n_terms).astype(int), 2
+    )
+    # Adjust rounding drift onto the largest namespace.
+    counts[0] += n_terms - int(counts.sum())
+    terms: list[GoTerm] = []
+    next_id = 1
+    for (namespace, namer), count in zip(_NAMESPACES, counts):
+        terms.extend(
+            _generate_namespace(
+                rng, namespace, namer, int(count), next_id, max_depth,
+                multi_parent_prob,
+            )
+        )
+        next_id += int(count)
+    return GoTaxonomy(tuple(terms))
+
+
+def _generate_namespace(
+    rng: np.random.Generator,
+    namespace: str,
+    namer,
+    count: int,
+    first_id: int,
+    max_depth: int,
+    multi_parent_prob: float,
+) -> list[GoTerm]:
+    accession_of = lambda i: f"GO:{first_id + i:07d}"  # noqa: E731
+    root = GoTerm(
+        accession=accession_of(0),
+        name=namespace.replace("_", " "),
+        namespace=namespace,
+        parents=(),
+        depth=0,
+    )
+    terms = [root]
+    #: depth -> accessions at that depth (candidates for parenthood).
+    by_depth: dict[int, list[str]] = {0: [root.accession]}
+    for i in range(1, count):
+        # Bias new terms toward deeper levels as the namespace grows,
+        # capped at max_depth.
+        candidate_depths = [d for d in by_depth if d < max_depth]
+        depth_weights = np.array([len(by_depth[d]) for d in candidate_depths], float)
+        parent_depth = int(
+            rng.choice(candidate_depths, p=depth_weights / depth_weights.sum())
+        )
+        parent_pool = by_depth[parent_depth]
+        parents = [parent_pool[rng.integers(0, len(parent_pool))]]
+        if rng.random() < multi_parent_prob and len(parent_pool) > 1:
+            second = parent_pool[rng.integers(0, len(parent_pool))]
+            if second not in parents:
+                parents.append(second)
+        term = GoTerm(
+            accession=accession_of(i),
+            name=namer(rng),
+            namespace=namespace,
+            parents=tuple(parents),
+            depth=parent_depth + 1,
+        )
+        terms.append(term)
+        by_depth.setdefault(term.depth, []).append(term.accession)
+    return terms

@@ -1,0 +1,102 @@
+"""Noise injection: corrupting cross-references for robustness studies.
+
+Paper Section 4.2: "Compose may lead to wrong associations when the
+transitivity assumption does not hold ... The use of mappings containing
+associations of reduced evidence is a promising subject for future
+research."  To study that quantitatively, this module corrupts a mapping's
+associations in controlled ways:
+
+* :func:`rewire` — replace a fraction of associations' targets with a
+  random other target (transitivity now genuinely fails for those);
+* :func:`degrade_evidence` — keep associations but lower their evidence,
+  modelling computed (Similarity) mappings;
+* :func:`drop` — remove a fraction of associations (coverage loss).
+
+Corrupted pairs are returned alongside the mapping so experiments can
+score precision against the planted truth.  Everything is driven by an
+explicit ``numpy`` generator for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.operators.mapping import Mapping
+
+
+def rewire(
+    mapping: Mapping,
+    rate: float,
+    rng: np.random.Generator,
+    evidence: float = 0.5,
+) -> tuple[Mapping, set[tuple[str, str]]]:
+    """Rewire a fraction of associations to wrong targets.
+
+    Each selected association's target is replaced by a random *different*
+    target drawn from the mapping's range, and its evidence dropped to
+    ``evidence`` — a wrong link a computed matcher might plausibly
+    produce.  Returns the corrupted mapping and the set of wrong pairs.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    targets = sorted(mapping.range())
+    if len(targets) < 2 or rate == 0.0:
+        return mapping, set()
+    corrupted_pairs: set[tuple[str, str]] = set()
+    rows = []
+    for assoc in mapping:
+        if rng.random() < rate:
+            wrong = assoc.target_accession
+            while wrong == assoc.target_accession:
+                wrong = targets[rng.integers(0, len(targets))]
+            rows.append((assoc.source_accession, wrong, evidence))
+            corrupted_pairs.add((assoc.source_accession, wrong))
+        else:
+            rows.append(
+                (assoc.source_accession, assoc.target_accession, assoc.evidence)
+            )
+    noisy = Mapping.build(
+        mapping.source, mapping.target, rows, rel_type=mapping.rel_type
+    )
+    # Rewiring may collide with a true pair for the same source object;
+    # those are not wrong, remove them from the corruption record.
+    corrupted_pairs -= mapping.pair_set()
+    return noisy, corrupted_pairs
+
+
+def degrade_evidence(
+    mapping: Mapping,
+    rate: float,
+    rng: np.random.Generator,
+    low: float = 0.2,
+    high: float = 0.7,
+) -> Mapping:
+    """Lower the evidence of a fraction of associations into [low, high]."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    rows = []
+    for assoc in mapping:
+        if rng.random() < rate:
+            evidence = float(rng.uniform(low, high))
+        else:
+            evidence = assoc.evidence
+        rows.append((assoc.source_accession, assoc.target_accession, evidence))
+    return Mapping.build(
+        mapping.source, mapping.target, rows, rel_type=mapping.rel_type
+    )
+
+
+def drop(
+    mapping: Mapping, rate: float, rng: np.random.Generator
+) -> Mapping:
+    """Remove a fraction of associations (coverage loss)."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    rows = [
+        (assoc.source_accession, assoc.target_accession, assoc.evidence)
+        for assoc in mapping
+        if rng.random() >= rate
+    ]
+    return Mapping.build(
+        mapping.source, mapping.target, rows, rel_type=mapping.rel_type
+    )

@@ -1,0 +1,317 @@
+"""The synthetic source universe — ground truth behind every flat file.
+
+The paper integrates 60+ live public sources; this repo substitutes a
+deterministic generator (see DESIGN.md).  ``generate_universe`` first draws
+a coherent world — genes with symbols, positions, GO annotations, enzymes,
+diseases, clusters, probes and proteins — and the emitters in
+:mod:`repro.datagen.emit` then serialize *views* of that world in each
+source's native flat-file format, with realistic coverage gaps (not every
+gene has a UniGene cluster, not every probe is mapped to a locus).
+
+Because the world is kept as ground truth, benchmarks can measure the
+*correctness* of derived mappings (e.g. Compose precision) and not only
+their performance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.datagen import vocab
+from repro.datagen.go_gen import GoTaxonomy, generate_go
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GeneRecord:
+    """Ground truth for one gene (a LocusLink locus)."""
+
+    locus: str
+    symbol: str
+    name: str
+    chromosome: str
+    location: str
+    go_terms: tuple[str, ...]
+    ec: str | None = None
+    omim: str | None = None
+    unigene: str | None = None
+    ensembl: str | None = None
+    swissprot: str | None = None
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ProbeRecord:
+    """Ground truth for one microarray probe set (NetAffx row)."""
+
+    probe_id: str
+    locus: str
+    #: Accessions actually *published* in the NetAffx file; None models
+    #: vendor annotation gaps even though the probe does target the locus.
+    published_locus: str | None
+    published_unigene: str | None
+    published_symbol: str | None
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ProteinRecord:
+    """Ground truth for one protein (SwissProt entry)."""
+
+    accession: str
+    entry_name: str
+    name: str
+    gene_symbol: str
+    locus: str
+    interpro: tuple[str, ...]
+    go_terms: tuple[str, ...]
+    ec: str | None = None
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class InterProRecord:
+    """Ground truth for one InterPro family."""
+
+    accession: str
+    name: str
+    parent: str | None
+    go_terms: tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class UniverseConfig:
+    """Knobs of the synthetic world; defaults give a small test universe."""
+
+    seed: int = 7
+    n_genes: int = 200
+    n_go_terms: int = 120
+    go_depth: int = 5
+    #: Mean number of probes targeting each gene (Poisson, min 1 for
+    #: covered genes).
+    probes_per_gene: float = 1.6
+    #: Fraction of genes covered by each optional source.
+    unigene_coverage: float = 0.92
+    omim_coverage: float = 0.30
+    enzyme_coverage: float = 0.25
+    swissprot_coverage: float = 0.50
+    ensembl_coverage: float = 0.85
+    #: Fraction of probes whose NetAffx row publishes each cross-reference.
+    probe_locus_coverage: float = 0.85
+    probe_unigene_coverage: float = 0.95
+    #: GO terms per gene drawn uniformly from [1, max].
+    max_go_per_gene: int = 4
+    release: str = "2003-10"
+
+
+@dataclasses.dataclass(frozen=True)
+class Universe:
+    """The generated world: records plus the GO taxonomy."""
+
+    config: UniverseConfig
+    go: GoTaxonomy
+    genes: tuple[GeneRecord, ...]
+    probes: tuple[ProbeRecord, ...]
+    proteins: tuple[ProteinRecord, ...]
+    interpro: tuple[InterProRecord, ...]
+
+    # -- ground-truth mappings (for correctness checks) --------------------
+
+    def true_locus_to_go(self) -> set[tuple[str, str]]:
+        """(locus, GO term) ground truth, direct annotations only."""
+        return {
+            (gene.locus, term) for gene in self.genes for term in gene.go_terms
+        }
+
+    def true_locus_to_unigene(self) -> set[tuple[str, str]]:
+        """(locus, UniGene cluster) ground truth."""
+        return {
+            (gene.locus, gene.unigene)
+            for gene in self.genes
+            if gene.unigene is not None
+        }
+
+    def true_probe_to_locus(self) -> set[tuple[str, str]]:
+        """(probe, locus) ground truth — includes unpublished links."""
+        return {(probe.probe_id, probe.locus) for probe in self.probes}
+
+    def true_probe_to_go(self) -> set[tuple[str, str]]:
+        """(probe, GO term) ground truth via the probe's true gene."""
+        go_of_locus = {gene.locus: gene.go_terms for gene in self.genes}
+        return {
+            (probe.probe_id, term)
+            for probe in self.probes
+            for term in go_of_locus.get(probe.locus, ())
+        }
+
+    def genes_by_locus(self) -> dict[str, GeneRecord]:
+        """Locus -> gene record lookup."""
+        return {gene.locus: gene for gene in self.genes}
+
+
+def generate_universe(config: UniverseConfig = UniverseConfig()) -> Universe:
+    """Draw a deterministic world from the config's seed."""
+    rng = np.random.default_rng(config.seed)
+    go = generate_go(rng, n_terms=config.n_go_terms, max_depth=config.go_depth)
+    annotatable = [t for t in go.accessions() if t not in _root_accessions(go)]
+    genes = _generate_genes(rng, config, annotatable)
+    probes = _generate_probes(rng, config, genes)
+    interpro = _generate_interpro(rng, config, annotatable)
+    proteins = _generate_proteins(rng, config, genes, interpro)
+    return Universe(
+        config=config,
+        go=go,
+        genes=tuple(genes),
+        probes=tuple(probes),
+        proteins=tuple(proteins),
+        interpro=tuple(interpro),
+    )
+
+
+def _root_accessions(go: GoTaxonomy) -> set[str]:
+    return {term.accession for term in go.terms if not term.parents}
+
+
+def _generate_genes(
+    rng: np.random.Generator, config: UniverseConfig, go_terms: list[str]
+) -> list[GeneRecord]:
+    genes = []
+    #: Disambiguates duplicate vocabulary names into family members
+    #: ("purine kinase", "purine kinase 2", ...), as real nomenclature does.
+    name_counts: dict[str, int] = {}
+    for i in range(config.n_genes):
+        locus = str(100 + i)
+        symbol = vocab.gene_symbol(rng, i)
+        chrom = vocab.chromosome(rng)
+        n_terms = int(rng.integers(1, config.max_go_per_gene + 1))
+        term_idx = rng.choice(len(go_terms), size=min(n_terms, len(go_terms)),
+                              replace=False)
+        ec = None
+        if rng.random() < config.enzyme_coverage:
+            ec = _ec_number(rng)
+        base_name = vocab.gene_name(rng)
+        member = name_counts.get(base_name, 0) + 1
+        name_counts[base_name] = member
+        name = base_name if member == 1 else f"{base_name} {member}"
+        genes.append(
+            GeneRecord(
+                locus=locus,
+                symbol=symbol,
+                name=name,
+                chromosome=chrom,
+                location=vocab.cytogenetic_location(rng, chrom),
+                go_terms=tuple(sorted(go_terms[j] for j in term_idx)),
+                ec=ec,
+                omim=(
+                    str(100000 + i)
+                    if rng.random() < config.omim_coverage
+                    else None
+                ),
+                unigene=(
+                    f"Hs.{1000 + i}"
+                    if rng.random() < config.unigene_coverage
+                    else None
+                ),
+                ensembl=(
+                    f"ENSG{100000000 + i:011d}"
+                    if rng.random() < config.ensembl_coverage
+                    else None
+                ),
+                swissprot=(
+                    f"P{10000 + i:05d}"
+                    if rng.random() < config.swissprot_coverage
+                    else None
+                ),
+            )
+        )
+    return genes
+
+
+def _ec_number(rng: np.random.Generator) -> str:
+    return (
+        f"{int(rng.integers(1, 7))}.{int(rng.integers(1, 10))}"
+        f".{int(rng.integers(1, 10))}.{int(rng.integers(1, 40))}"
+    )
+
+
+def _generate_probes(
+    rng: np.random.Generator, config: UniverseConfig, genes: list[GeneRecord]
+) -> list[ProbeRecord]:
+    probes = []
+    counter = 1000
+    for gene in genes:
+        n_probes = max(1, int(rng.poisson(config.probes_per_gene)))
+        for __ in range(n_probes):
+            probe_id = f"{counter}_at"
+            counter += 1
+            probes.append(
+                ProbeRecord(
+                    probe_id=probe_id,
+                    locus=gene.locus,
+                    published_locus=(
+                        gene.locus
+                        if rng.random() < config.probe_locus_coverage
+                        else None
+                    ),
+                    published_unigene=(
+                        gene.unigene
+                        if gene.unigene is not None
+                        and rng.random() < config.probe_unigene_coverage
+                        else None
+                    ),
+                    published_symbol=gene.symbol,
+                )
+            )
+    return probes
+
+
+def _generate_interpro(
+    rng: np.random.Generator, config: UniverseConfig, go_terms: list[str]
+) -> list[InterProRecord]:
+    n_families = max(3, config.n_genes // 10)
+    records = []
+    for i in range(n_families):
+        accession = f"IPR{1000 + i:06d}"
+        parent = None
+        if i > 0 and rng.random() < 0.3:
+            parent = f"IPR{1000 + int(rng.integers(0, i)):06d}"
+        n_terms = int(rng.integers(0, 3))
+        term_idx = rng.choice(
+            len(go_terms), size=min(n_terms, len(go_terms)), replace=False
+        )
+        records.append(
+            InterProRecord(
+                accession=accession,
+                name=vocab.gene_name(rng) + " family",
+                parent=parent,
+                go_terms=tuple(sorted(go_terms[j] for j in term_idx)),
+            )
+        )
+    return records
+
+
+def _generate_proteins(
+    rng: np.random.Generator,
+    config: UniverseConfig,
+    genes: list[GeneRecord],
+    interpro: list[InterProRecord],
+) -> list[ProteinRecord]:
+    proteins = []
+    for gene in genes:
+        if gene.swissprot is None:
+            continue
+        n_families = int(rng.integers(1, 3))
+        family_idx = rng.choice(
+            len(interpro), size=min(n_families, len(interpro)), replace=False
+        )
+        proteins.append(
+            ProteinRecord(
+                accession=gene.swissprot,
+                entry_name=f"{gene.symbol}_HUMAN",
+                name=gene.name.capitalize(),
+                gene_symbol=gene.symbol,
+                locus=gene.locus,
+                interpro=tuple(sorted(interpro[j].accession for j in family_idx)),
+                go_terms=gene.go_terms,
+                ec=gene.ec,
+            )
+        )
+    return proteins

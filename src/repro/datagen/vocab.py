@@ -1,0 +1,108 @@
+"""Vocabulary for synthetic biological names.
+
+The generators build deterministic, plausible-looking names (gene symbols,
+GO term names, enzyme names) from small word lists, so that rendered views
+and exports read like the paper's screenshots rather than like opaque ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+PROCESS_NOUNS = (
+    "metabolism", "biosynthesis", "catabolism", "transport", "signaling",
+    "adhesion", "proliferation", "differentiation", "apoptosis", "repair",
+    "replication", "transcription", "translation", "folding", "secretion",
+    "phosphorylation", "glycosylation", "oxidation", "reduction", "binding",
+)
+
+SUBSTRATE_NOUNS = (
+    "nucleoside", "nucleotide", "purine", "pyrimidine", "amino acid",
+    "glucose", "lipid", "sterol", "fatty acid", "glycogen", "heme",
+    "protein", "RNA", "DNA", "peptide", "ion", "calcium", "potassium",
+    "electron", "proton",
+)
+
+FUNCTION_NOUNS = (
+    "kinase", "phosphatase", "transferase", "hydrolase", "oxidoreductase",
+    "ligase", "isomerase", "lyase", "receptor", "channel", "transporter",
+    "regulator", "inhibitor", "activator", "chaperone", "protease",
+    "polymerase", "helicase", "synthase", "reductase",
+)
+
+COMPONENT_NOUNS = (
+    "membrane", "nucleus", "cytoplasm", "mitochondrion", "ribosome",
+    "lysosome", "peroxisome", "cytoskeleton", "chromatin", "vesicle",
+    "endosome", "matrix", "envelope", "complex", "granule", "junction",
+    "lamellum", "centriole", "spindle", "pore",
+)
+
+DISEASE_NOUNS = (
+    "deficiency", "syndrome", "dystrophy", "anemia", "carcinoma",
+    "neuropathy", "myopathy", "dysplasia", "atrophy", "intolerance",
+)
+
+TISSUES = (
+    "brain", "liver", "kidney", "heart", "lung", "muscle", "spleen",
+    "testis", "placenta", "retina", "skin", "pancreas",
+)
+
+_SYMBOL_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def gene_symbol(rng: np.random.Generator, index: int) -> str:
+    """A HUGO-style gene symbol, unique per index (e.g. ``ABcD1`` style)."""
+    letters = "".join(
+        _SYMBOL_ALPHABET[rng.integers(0, len(_SYMBOL_ALPHABET))]
+        for __ in range(int(rng.integers(3, 5)))
+    )
+    return f"{letters}{index}"
+
+
+def gene_name(rng: np.random.Generator) -> str:
+    """A descriptive gene name, e.g. "nucleoside kinase"."""
+    substrate = SUBSTRATE_NOUNS[rng.integers(0, len(SUBSTRATE_NOUNS))]
+    function = FUNCTION_NOUNS[rng.integers(0, len(FUNCTION_NOUNS))]
+    return f"{substrate} {function}"
+
+
+def process_name(rng: np.random.Generator) -> str:
+    """A biological-process term name, e.g. "purine metabolism"."""
+    substrate = SUBSTRATE_NOUNS[rng.integers(0, len(SUBSTRATE_NOUNS))]
+    process = PROCESS_NOUNS[rng.integers(0, len(PROCESS_NOUNS))]
+    return f"{substrate} {process}"
+
+
+def function_name(rng: np.random.Generator) -> str:
+    """A molecular-function term name, e.g. "ion channel activity"."""
+    substrate = SUBSTRATE_NOUNS[rng.integers(0, len(SUBSTRATE_NOUNS))]
+    function = FUNCTION_NOUNS[rng.integers(0, len(FUNCTION_NOUNS))]
+    return f"{substrate} {function} activity"
+
+
+def component_name(rng: np.random.Generator) -> str:
+    """A cellular-component term name, e.g. "mitochondrion membrane"."""
+    first = COMPONENT_NOUNS[rng.integers(0, len(COMPONENT_NOUNS))]
+    second = COMPONENT_NOUNS[rng.integers(0, len(COMPONENT_NOUNS))]
+    if first == second:
+        return first
+    return f"{first} {second}"
+
+
+def disease_name(rng: np.random.Generator, symbol: str) -> str:
+    """An OMIM-style disease title derived from a gene symbol."""
+    noun = DISEASE_NOUNS[rng.integers(0, len(DISEASE_NOUNS))]
+    return f"{symbol} {noun}".upper()
+
+
+def cytogenetic_location(rng: np.random.Generator, chromosome: str) -> str:
+    """A cytogenetic band such as ``16q24`` on the given chromosome."""
+    arm = "pq"[rng.integers(0, 2)]
+    band = int(rng.integers(11, 29))
+    return f"{chromosome}{arm}{band}"
+
+
+def chromosome(rng: np.random.Generator) -> str:
+    """A human chromosome label (1-22, X, Y)."""
+    labels = [str(i) for i in range(1, 23)] + ["X", "Y"]
+    return labels[rng.integers(0, len(labels))]

@@ -1,0 +1,20 @@
+"""Derived relationships: Composed and Subsumed (paper Section 3)."""
+
+from repro.derived.composed import derive_composed, materialize_mapping
+from repro.derived.subsumed import (
+    derive_subsumed,
+    load_taxonomy,
+    query_with_subsumption,
+    rollup_mapping,
+    subsumed_mapping,
+)
+
+__all__ = [
+    "derive_composed",
+    "derive_subsumed",
+    "load_taxonomy",
+    "materialize_mapping",
+    "query_with_subsumption",
+    "rollup_mapping",
+    "subsumed_mapping",
+]

@@ -1,0 +1,118 @@
+"""Derivation of Subsumed relationships (paper Section 3).
+
+A Subsumed relationship is computed automatically from the IS_A structure
+of a Network source: it associates every term with all terms it subsumes
+(its descendants in the term hierarchy).  The paper's motivation: a gene
+annotated with a GO term should be found when querying with any ancestor of
+that term.
+
+Two operations are provided:
+
+* :func:`derive_subsumed` materializes the Subsumed mapping in the GAM
+  database, so frequent queries can use it like any stored mapping;
+* :func:`rollup_mapping` expands an annotation mapping (e.g. genes → GO)
+  so every object is also associated with the ancestors of its terms —
+  the rollup used by the Section 5.2 statistical analysis.
+"""
+
+from __future__ import annotations
+
+from repro.gam.enums import RelType
+from repro.gam.errors import UnknownMappingError
+from repro.gam.records import Source, SourceRel
+from repro.gam.repository import GamRepository
+from repro.operators.mapping import Mapping
+from repro.operators.simple import map_
+from repro.taxonomy.dag import Taxonomy
+
+
+def load_taxonomy(repository: GamRepository, source: "str | Source") -> Taxonomy:
+    """Build the IS_A taxonomy of a Network source from the database."""
+    src = repository.get_source(source)
+    rels = repository.find_source_rels(src, src, RelType.IS_A)
+    if not rels:
+        raise UnknownMappingError(src.name, src.name, "no IS_A structure stored")
+    pairs: list[tuple[str, str]] = []
+    for rel in rels:
+        for assoc in repository.associations_of(rel):
+            pairs.append((assoc.source_accession, assoc.target_accession))
+    return Taxonomy(pairs)
+
+
+def subsumed_mapping(
+    repository: GamRepository, source: "str | Source"
+) -> Mapping:
+    """The term → subsumed-term mapping of a source, computed on the fly."""
+    src = repository.get_source(source)
+    taxonomy = load_taxonomy(repository, src)
+    return Mapping.build(
+        src.name,
+        src.name,
+        taxonomy.subsumed_pairs(),
+        rel_type=RelType.SUBSUMED,
+    )
+
+
+def derive_subsumed(
+    repository: GamRepository, source: "str | Source"
+) -> tuple[SourceRel, int]:
+    """Materialize the Subsumed relationship of a source in the database.
+
+    Returns the source relationship and the number of associations stored.
+    Re-running is idempotent (associations are deduplicated by key).
+    """
+    src = repository.get_source(source)
+    mapping = subsumed_mapping(repository, src)
+    with repository.db.transaction():
+        rel = repository.ensure_source_rel(src, src, RelType.SUBSUMED)
+        inserted = repository.add_associations(
+            rel,
+            [
+                (assoc.source_accession, assoc.target_accession)
+                for assoc in mapping
+            ],
+        )
+    return rel, inserted
+
+
+def rollup_mapping(
+    annotation: Mapping, taxonomy: Taxonomy, include_direct: bool = True
+) -> Mapping:
+    """Expand an object → term mapping up the taxonomy.
+
+    Every association (object, term) contributes (object, ancestor) for all
+    ancestors of the term, so that querying with a general term finds
+    objects annotated with any of its subsumed (more specific) terms.
+    Terms not present in the taxonomy keep only their direct association.
+    """
+    pairs: list[tuple[str, str, float]] = []
+    for assoc in annotation:
+        term = assoc.target_accession
+        if include_direct:
+            pairs.append((assoc.source_accession, term, assoc.evidence))
+        if term in taxonomy:
+            for ancestor in taxonomy.ancestors(term):
+                pairs.append((assoc.source_accession, ancestor, assoc.evidence))
+    return Mapping.build(
+        annotation.source, annotation.target, pairs, rel_type=RelType.SUBSUMED
+    )
+
+
+def query_with_subsumption(
+    repository: GamRepository,
+    annotation_source: "str | Source",
+    taxonomy_source: "str | Source",
+    term: str,
+) -> set[str]:
+    """Objects annotated with ``term`` or any of its subsumed terms.
+
+    The direct use case from the paper: "if a gene is annotated with a
+    particular GO term, it is often necessary to consider the subsumed
+    terms for more detailed gene functions".
+    """
+    annotation = map_(repository, annotation_source, taxonomy_source)
+    taxonomy = load_taxonomy(repository, taxonomy_source)
+    wanted = {term}
+    if term in taxonomy:
+        wanted.update(taxonomy.descendants(term))
+    return annotation.restrict_range(wanted).domain()

@@ -1,0 +1,24 @@
+"""EAV — the uniform staging format emitted by the Parse step (Table 1)."""
+
+from repro.eav.io import read_eav, write_eav
+from repro.eav.model import (
+    CONTAINS_TARGET,
+    IS_A_TARGET,
+    NAME_TARGET,
+    NUMBER_TARGET,
+    RESERVED_TARGETS,
+    EavRow,
+)
+from repro.eav.store import EavDataset
+
+__all__ = [
+    "CONTAINS_TARGET",
+    "EavDataset",
+    "EavRow",
+    "IS_A_TARGET",
+    "NAME_TARGET",
+    "NUMBER_TARGET",
+    "RESERVED_TARGETS",
+    "read_eav",
+    "write_eav",
+]

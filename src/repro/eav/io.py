@@ -1,0 +1,80 @@
+"""Reading and writing EAV datasets as tab-separated files.
+
+The paper stores the Parse step's output "in a simple EAV format"; writing
+it to disk decouples parsing from importing and lets the import step be
+re-run without re-parsing.  The file format is a TSV with a two-line
+header::
+
+    #eav source=LocusLink release=2003-10
+    #entity	target	accession	text	number	evidence
+    353	Hugo	APRT	adenine phosphoribosyltransferase		1.0
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.eav.model import EavRow
+from repro.eav.store import EavDataset
+from repro.gam.errors import ParseError
+
+_HEADER_PREFIX = "#eav"
+_COLUMNS = "#entity\ttarget\taccession\ttext\tnumber\tevidence"
+
+
+def write_eav(dataset: EavDataset, path: str | Path) -> None:
+    """Write a dataset to a TSV file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = f"{_HEADER_PREFIX} source={dataset.source_name}"
+    if dataset.release:
+        header += f" release={dataset.release}"
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(header + "\n")
+        handle.write(_COLUMNS + "\n")
+        for row in dataset:
+            handle.write("\t".join(row.as_tuple()) + "\n")
+
+
+def read_eav(path: str | Path) -> EavDataset:
+    """Read a dataset from a TSV file written by :func:`write_eav`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if not header.startswith(_HEADER_PREFIX):
+            raise ParseError(
+                f"{path}: not an EAV file (missing {_HEADER_PREFIX!r} header)",
+                line_number=1,
+            )
+        attributes = _parse_header(header)
+        source_name = attributes.get("source")
+        if not source_name:
+            raise ParseError(f"{path}: EAV header lacks a source name", line_number=1)
+        dataset = EavDataset(source_name, release=attributes.get("release"))
+        for line_number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            fields = tuple(line.split("\t"))
+            if len(fields) < 3:
+                raise ParseError(
+                    f"{path}: EAV row needs at least 3 columns, got {len(fields)}",
+                    line_number=line_number,
+                )
+            try:
+                dataset.append(EavRow.from_tuple(fields))
+            except ValueError as exc:
+                raise ParseError(
+                    f"{path}: bad numeric field ({exc})", line_number=line_number
+                ) from exc
+    return dataset
+
+
+def _parse_header(header: str) -> dict[str, str]:
+    """Extract key=value attributes from the ``#eav`` header line."""
+    attributes: dict[str, str] = {}
+    for token in header.split()[1:]:
+        key, sep, value = token.partition("=")
+        if sep:
+            attributes[key] = value
+    return attributes

@@ -1,0 +1,71 @@
+"""The EAV staging format produced by the Parse step (paper Table 1).
+
+Every parser emits a uniform stream of :class:`EavRow` records, one per
+annotation, mirroring the paper's example::
+
+    Locus  Target    Accession    Text
+    353    Hugo      APRT         adenine phosphoribosyltransferase
+    353    Location  16q24
+    353    Enzyme    2.4.2.7
+    353    GO        GO:0009116   nucleoside metabolism
+
+``entity`` is the accession of the annotated object in the source being
+parsed, ``target`` names the annotating source (attribute), ``accession``
+is the value's accession in the target, and ``text`` optionally carries the
+value's textual component.  ``evidence`` extends the paper's format with the
+plausibility that OBJECT_REL stores for computed associations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class EavRow:
+    """One parsed annotation: (entity, target/attribute, value)."""
+
+    entity: str
+    target: str
+    accession: str
+    text: str | None = None
+    number: float | None = None
+    evidence: float = 1.0
+
+    def as_tuple(self) -> tuple[str, str, str, str, str, str]:
+        """Flatten to the 6-column TSV representation."""
+        return (
+            self.entity,
+            self.target,
+            self.accession,
+            self.text if self.text is not None else "",
+            "" if self.number is None else repr(self.number),
+            repr(self.evidence),
+        )
+
+    @classmethod
+    def from_tuple(cls, fields: tuple[str, ...]) -> "EavRow":
+        """Rebuild a row from its TSV representation (4 to 6 columns)."""
+        entity, target, accession = fields[0], fields[1], fields[2]
+        text = fields[3] if len(fields) > 3 and fields[3] != "" else None
+        number = (
+            float(fields[4]) if len(fields) > 4 and fields[4] != "" else None
+        )
+        evidence = float(fields[5]) if len(fields) > 5 and fields[5] != "" else 1.0
+        return cls(entity, target, accession, text, number, evidence)
+
+
+#: Reserved target names understood by the Import step as special attributes
+#: of the entity itself rather than cross-references to another source.
+NAME_TARGET = "Name"
+NUMBER_TARGET = "Number"
+
+#: Reserved target names mapped to structural relationships instead of
+#: annotation mappings: ``IS_A`` links a term to its parent term within the
+#: same source; ``CONTAINS`` links a sub-source partition to its member.
+IS_A_TARGET = "IS_A"
+CONTAINS_TARGET = "CONTAINS"
+
+RESERVED_TARGETS = frozenset(
+    {NAME_TARGET, NUMBER_TARGET, IS_A_TARGET, CONTAINS_TARGET}
+)

@@ -1,0 +1,104 @@
+"""An in-memory container for parsed EAV rows with simple query helpers.
+
+The Parse step produces an :class:`EavDataset` per source; the Import step
+consumes it.  The dataset also answers the questions the importer asks:
+which entities exist, which targets occur, and which rows belong to a given
+target.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from repro.eav.model import RESERVED_TARGETS, EavRow
+
+
+class EavDataset:
+    """Parsed annotations of one source in the uniform EAV format.
+
+    Parameters
+    ----------
+    source_name:
+        Name of the parsed source (the owner of the entities).
+    rows:
+        The parsed EAV rows.
+    release:
+        Optional release/audit label carried through to the Import step's
+        source-level duplicate elimination.
+    """
+
+    def __init__(
+        self,
+        source_name: str,
+        rows: Iterable[EavRow] = (),
+        release: str | None = None,
+    ) -> None:
+        self.source_name = source_name
+        self.release = release
+        self._rows: list[EavRow] = list(rows)
+
+    def append(self, row: EavRow) -> None:
+        """Add one parsed annotation."""
+        self._rows.append(row)
+
+    def extend(self, rows: Iterable[EavRow]) -> None:
+        """Add many parsed annotations."""
+        self._rows.extend(rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[EavRow]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EavDataset):
+            return NotImplemented
+        return (
+            self.source_name == other.source_name
+            and self.release == other.release
+            and self._rows == other._rows
+        )
+
+    @property
+    def rows(self) -> list[EavRow]:
+        """All rows in parse order."""
+        return list(self._rows)
+
+    def entities(self) -> list[str]:
+        """Distinct entity accessions in first-seen order."""
+        seen: dict[str, None] = {}
+        for row in self._rows:
+            seen.setdefault(row.entity, None)
+        return list(seen)
+
+    def targets(self) -> list[str]:
+        """Distinct target names in first-seen order, reserved ones included."""
+        seen: dict[str, None] = {}
+        for row in self._rows:
+            seen.setdefault(row.target, None)
+        return list(seen)
+
+    def annotation_targets(self) -> list[str]:
+        """Targets that become cross-source mappings on import."""
+        return [t for t in self.targets() if t not in RESERVED_TARGETS]
+
+    def rows_for_target(self, target: str) -> list[EavRow]:
+        """All rows annotating entities with the given target."""
+        return [row for row in self._rows if row.target == target]
+
+    def rows_for_entity(self, entity: str) -> list[EavRow]:
+        """All rows annotating one entity, in parse order."""
+        return [row for row in self._rows if row.entity == entity]
+
+    def target_counts(self) -> Counter[str]:
+        """Number of rows per target — handy for parser diagnostics."""
+        return Counter(row.target for row in self._rows)
+
+    def summary(self) -> str:
+        """One-line description used by the CLI and logs."""
+        return (
+            f"EavDataset({self.source_name!r}, entities={len(self.entities())},"
+            f" rows={len(self._rows)}, targets={len(self.targets())})"
+        )

@@ -1,0 +1,19 @@
+"""Export of views and mappings for external analysis tools."""
+
+from repro.export.writers import (
+    MAPPING_FORMATS,
+    VIEW_FORMATS,
+    render_mapping,
+    render_view,
+    write_mapping,
+    write_view,
+)
+
+__all__ = [
+    "MAPPING_FORMATS",
+    "VIEW_FORMATS",
+    "render_mapping",
+    "render_view",
+    "write_mapping",
+    "write_view",
+]

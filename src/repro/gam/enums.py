@@ -1,0 +1,137 @@
+"""Enumerations of the GAM data model (paper Figure 4).
+
+The GAM model attaches three enumerations to its tables:
+
+* ``SOURCE.content``    — Gene, Protein or Other,
+* ``SOURCE.structure``  — Flat or Network,
+* ``SOURCE_REL.type``   — Fact, Similarity, Contains, Is-a, Composed,
+  Subsumed.
+
+Relationship types split into three families (paper Section 3): *annotation*
+relationships imported from cross-references (Fact, Similarity), *structural*
+relationships describing the internal organization of a source (Contains,
+Is-a) and *derived* relationships computed by GenMapper itself (Composed,
+Subsumed).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SourceContent(enum.Enum):
+    """Rough content classification of a source (gene/protein/other)."""
+
+    GENE = "Gene"
+    PROTEIN = "Protein"
+    OTHER = "Other"
+
+    @classmethod
+    def parse(cls, value: "str | SourceContent") -> "SourceContent":
+        """Return the member for ``value``, accepting names and labels."""
+        if isinstance(value, cls):
+            return value
+        normalized = str(value).strip().lower()
+        for member in cls:
+            if normalized in (member.value.lower(), member.name.lower()):
+                return member
+        raise ValueError(f"not a source content type: {value!r}")
+
+
+class SourceStructure(enum.Enum):
+    """Whether a source's objects are organized in a structure.
+
+    ``NETWORK`` marks taxonomies, ontologies and database schemas whose
+    objects are linked by structural relationships; ``FLAT`` marks plain
+    object collections such as a set of gene accessions.
+    """
+
+    FLAT = "Flat"
+    NETWORK = "Network"
+
+    @classmethod
+    def parse(cls, value: "str | SourceStructure") -> "SourceStructure":
+        """Return the member for ``value``, accepting names and labels."""
+        if isinstance(value, cls):
+            return value
+        normalized = str(value).strip().lower()
+        for member in cls:
+            if normalized in (member.value.lower(), member.name.lower()):
+                return member
+        raise ValueError(f"not a source structure type: {value!r}")
+
+
+class RelType(enum.Enum):
+    """Type of a source relationship (mapping)."""
+
+    #: Annotation relationship that can be taken as a fact, e.g. the
+    #: position of a gene on the genome or a curated cross-reference.
+    FACT = "Fact"
+    #: Computed annotation relationship, e.g. from sequence alignment or an
+    #: attribute matching algorithm; associations carry reduced evidence.
+    SIMILARITY = "Similarity"
+    #: Containment between a source and its partitions (e.g. GO and its
+    #: three sub-taxonomies).
+    CONTAINS = "Contains"
+    #: Semantic is-a relationship between terms within a taxonomy.
+    IS_A = "Is-a"
+    #: Derived by composing existing mappings along a mapping path.
+    COMPOSED = "Composed"
+    #: Derived from the IS_A structure: term -> all subsumed descendants.
+    SUBSUMED = "Subsumed"
+
+    @classmethod
+    def parse(cls, value: "str | RelType") -> "RelType":
+        """Return the member for ``value``, accepting names and labels."""
+        if isinstance(value, cls):
+            return value
+        normalized = str(value).strip().lower().replace("_", "-")
+        for member in cls:
+            if normalized in (member.value.lower(), member.name.lower().replace("_", "-")):
+                return member
+        raise ValueError(f"not a relationship type: {value!r}")
+
+    @property
+    def is_annotation(self) -> bool:
+        """True for relationships imported from cross-references."""
+        return self in (RelType.FACT, RelType.SIMILARITY)
+
+    @property
+    def is_structural(self) -> bool:
+        """True for relationships describing a source's internal structure."""
+        return self in (RelType.CONTAINS, RelType.IS_A)
+
+    @property
+    def is_derived(self) -> bool:
+        """True for relationships computed by GenMapper itself."""
+        return self in (RelType.COMPOSED, RelType.SUBSUMED)
+
+
+#: Relationship types that connect *objects of different sources* and are
+#: therefore usable as mapping-path edges by ``Compose`` and the path finder.
+MAPPING_TYPES = frozenset(
+    {RelType.FACT, RelType.SIMILARITY, RelType.COMPOSED, RelType.SUBSUMED}
+)
+
+
+class CombineMethod(enum.Enum):
+    """How ``GenerateView`` combines the per-target mappings.
+
+    ``AND`` extends the view with an inner join per target (objects must have
+    an annotation in every target); ``OR`` uses a left outer join (objects
+    are kept even when a target has no annotation for them).
+    """
+
+    AND = "AND"
+    OR = "OR"
+
+    @classmethod
+    def parse(cls, value: "str | CombineMethod") -> "CombineMethod":
+        """Return the member for ``value``, accepting lowercase names."""
+        if isinstance(value, cls):
+            return value
+        normalized = str(value).strip().upper()
+        for member in cls:
+            if normalized == member.value:
+                return member
+        raise ValueError(f"not a combine method: {value!r}")

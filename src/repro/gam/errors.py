@@ -1,0 +1,111 @@
+"""Exception hierarchy for the GAM layer and everything built on top of it.
+
+All errors raised by this library derive from :class:`GenMapperError`, so
+callers can catch one type at an integration boundary.  More specific types
+exist where the caller can plausibly react differently (e.g. retry an import
+after fixing a duplicate accession vs. report a missing mapping to the user).
+"""
+
+from __future__ import annotations
+
+
+class GenMapperError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GamSchemaError(GenMapperError):
+    """The backing database does not contain a valid GAM schema."""
+
+
+class GamIntegrityError(GenMapperError):
+    """A GAM integrity constraint was violated.
+
+    Examples: an object association referencing a nonexistent object, an
+    object whose ``source_id`` does not exist, or a source relationship whose
+    endpoints disagree with the objects it associates.
+    """
+
+
+class UnknownSourceError(GenMapperError):
+    """A source was looked up by name or id and does not exist."""
+
+    def __init__(self, source: object) -> None:
+        super().__init__(f"unknown source: {source!r}")
+        self.source = source
+
+
+class UnknownObjectError(GenMapperError):
+    """An object was looked up by accession or id and does not exist."""
+
+    def __init__(self, obj: object) -> None:
+        super().__init__(f"unknown object: {obj!r}")
+        self.obj = obj
+
+
+class UnknownMappingError(GenMapperError):
+    """No mapping (source relationship) exists between two sources.
+
+    The ``Map`` operator raises this when neither a stored mapping nor any
+    composable path exists between the requested source and target.
+    """
+
+    def __init__(self, source: object, target: object, detail: str = "") -> None:
+        message = f"no mapping between {source!r} and {target!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.source = source
+        self.target = target
+
+
+class DuplicateSourceError(GenMapperError):
+    """A source with the same name and release already exists."""
+
+    def __init__(self, name: str, release: str | None = None) -> None:
+        suffix = f" (release {release})" if release else ""
+        super().__init__(f"source already registered: {name!r}{suffix}")
+        self.name = name
+        self.release = release
+
+
+class ParseError(GenMapperError):
+    """A source file could not be parsed into EAV rows."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class ImportError_(GenMapperError):
+    """The generic EAV-to-GAM import step failed.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`ImportError`.
+    """
+
+
+class ViewGenerationError(GenMapperError):
+    """``GenerateView`` received an inconsistent specification."""
+
+
+class PathNotFoundError(GenMapperError):
+    """No mapping path connects two sources in the source graph."""
+
+    def __init__(self, source: object, target: object, via: object = None) -> None:
+        message = f"no mapping path from {source!r} to {target!r}"
+        if via is not None:
+            message = f"{message} via {via!r}"
+        super().__init__(message)
+        self.source = source
+        self.target = target
+        self.via = via
+
+
+class QuerySpecError(GenMapperError):
+    """An interactive query specification is invalid."""
+
+
+class ExportError(GenMapperError):
+    """A view or mapping could not be exported in the requested format."""

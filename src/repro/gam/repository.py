@@ -1,0 +1,537 @@
+"""Repository: typed CRUD over the four GAM tables.
+
+This is the only layer that writes SQL against the GAM schema.  Everything
+above it (importer, operators, analysis) talks in terms of
+:class:`~repro.gam.records.Source`, :class:`~repro.gam.records.GamObject`,
+mappings and associations.
+
+Duplicate elimination (paper Section 4.1) lives here:
+
+* at the *source* level, ``add_source`` compares name and release audit
+  information and returns the existing row instead of inserting again;
+* at the *object* level, ``add_objects`` compares accessions per source and
+  only inserts unseen ones;
+* at the *association* level, a unique index makes re-imported associations
+  idempotent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+from repro.gam.database import GamDatabase
+from repro.gam.enums import MAPPING_TYPES, RelType, SourceContent, SourceStructure
+from repro.gam.errors import (
+    GamIntegrityError,
+    UnknownMappingError,
+    UnknownObjectError,
+    UnknownSourceError,
+)
+from repro.gam.records import Association, GamObject, ObjectRel, Source, SourceRel
+
+#: Rows accepted by ``add_objects``: (accession,), (accession, text) or
+#: (accession, text, number).
+ObjectRow = Sequence[object]
+
+#: Rows accepted by ``add_associations``: (accession1, accession2) or
+#: (accession1, accession2, evidence).
+AssociationRow = Sequence[object]
+
+
+class GamRepository:
+    """Typed access to one GAM database."""
+
+    def __init__(self, db: GamDatabase) -> None:
+        self.db = db
+
+    # -- sources ---------------------------------------------------------
+
+    def add_source(
+        self,
+        name: str,
+        content: SourceContent | str = SourceContent.OTHER,
+        structure: SourceStructure | str = SourceStructure.FLAT,
+        release: str | None = None,
+        imported_at: str | None = None,
+    ) -> Source:
+        """Register a source, or return the existing one.
+
+        Duplicate elimination at the source level compares the source name
+        and the release audit information (paper Section 4.1).  The name is
+        the source's identity: re-importing a source with a newer release
+        reuses the same source row — only its audit columns move forward —
+        so object-level duplicate elimination can relate the new snapshot's
+        objects with the existing ones.  A source auto-registered as an
+        annotation target (no release) is upgraded in place when the source
+        itself is imported later.  Importing the same (name, release) pair
+        twice is a no-op.
+        """
+        content = SourceContent.parse(content)
+        structure = SourceStructure.parse(structure)
+        existing = self.find_source(name)
+        if existing is not None:
+            return self._refresh_source(existing, structure, release, imported_at)
+        cursor = self.db.execute(
+            "INSERT INTO source (name, content, structure, release, imported_at)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (name, content.value, structure.value, release, imported_at),
+        )
+        return Source(
+            source_id=int(cursor.lastrowid),
+            name=name,
+            content=content,
+            structure=structure,
+            release=release,
+            imported_at=imported_at,
+        )
+
+    def _refresh_source(
+        self,
+        existing: Source,
+        structure: SourceStructure,
+        release: str | None,
+        imported_at: str | None,
+    ) -> Source:
+        """Move an existing source's audit/structure columns forward."""
+        updates: dict[str, object] = {}
+        if release is not None and release != existing.release:
+            updates["release"] = release
+        if imported_at is not None and (
+            release is None or release != existing.release
+        ):
+            updates["imported_at"] = imported_at
+        # A target-registered Flat source becomes Network when its own
+        # import reveals structure; never downgrade Network to Flat.
+        if (
+            structure == SourceStructure.NETWORK
+            and existing.structure == SourceStructure.FLAT
+        ):
+            updates["structure"] = structure.value
+        if not updates:
+            return existing
+        assignments = ", ".join(f"{column} = ?" for column in updates)
+        self.db.execute(
+            f"UPDATE source SET {assignments} WHERE source_id = ?",
+            (*updates.values(), existing.source_id),
+        )
+        replacements = {
+            key: (SourceStructure.parse(value) if key == "structure" else value)
+            for key, value in updates.items()
+        }
+        return dataclasses.replace(existing, **replacements)
+
+    def find_source(self, name: str, release: str | None = None) -> Source | None:
+        """Return the source with this name (and release), or None."""
+        if release is None:
+            row = self.db.execute(
+                "SELECT * FROM source WHERE name = ? ORDER BY source_id DESC LIMIT 1",
+                (name,),
+            ).fetchone()
+        else:
+            row = self.db.execute(
+                "SELECT * FROM source WHERE name = ? AND release = ?",
+                (name, release),
+            ).fetchone()
+        return self._source_from_row(row) if row is not None else None
+
+    def get_source(self, ref: "int | str | Source") -> Source:
+        """Resolve a source by id, name or identity; raise if unknown."""
+        if isinstance(ref, Source):
+            return ref
+        if isinstance(ref, int):
+            row = self.db.execute(
+                "SELECT * FROM source WHERE source_id = ?", (ref,)
+            ).fetchone()
+        else:
+            row = self.db.execute(
+                "SELECT * FROM source WHERE name = ? ORDER BY source_id DESC LIMIT 1",
+                (ref,),
+            ).fetchone()
+        if row is None:
+            raise UnknownSourceError(ref)
+        return self._source_from_row(row)
+
+    def list_sources(self) -> list[Source]:
+        """All registered sources, ordered by id."""
+        rows = self.db.execute("SELECT * FROM source ORDER BY source_id").fetchall()
+        return [self._source_from_row(row) for row in rows]
+
+    @staticmethod
+    def _source_from_row(row: object) -> Source:
+        return Source(
+            source_id=row["source_id"],
+            name=row["name"],
+            content=SourceContent.parse(row["content"]),
+            structure=SourceStructure.parse(row["structure"]),
+            release=row["release"],
+            imported_at=row["imported_at"],
+        )
+
+    # -- objects ---------------------------------------------------------
+
+    def add_objects(
+        self, source: "int | str | Source", rows: Iterable[ObjectRow]
+    ) -> int:
+        """Insert objects for a source, skipping existing accessions.
+
+        Each row is ``(accession,)``, ``(accession, text)`` or
+        ``(accession, text, number)``.  Returns the number of objects that
+        were actually inserted (duplicates are eliminated by accession).
+        """
+        src = self.get_source(source)
+        normalized = []
+        for row in rows:
+            accession = str(row[0])
+            text = row[1] if len(row) > 1 else None
+            number = row[2] if len(row) > 2 else None
+            normalized.append((src.source_id, accession, text, number))
+        before = self._object_count(src.source_id)
+        self.db.executemany(
+            "INSERT INTO object (source_id, accession, text, number)"
+            " VALUES (?, ?, ?, ?)"
+            " ON CONFLICT (source_id, accession) DO UPDATE SET"
+            "   text = coalesce(excluded.text, object.text),"
+            "   number = coalesce(excluded.number, object.number)",
+            normalized,
+        )
+        return self._object_count(src.source_id) - before
+
+    def _object_count(self, source_id: int) -> int:
+        row = self.db.execute(
+            "SELECT count(*) FROM object WHERE source_id = ?", (source_id,)
+        ).fetchone()
+        return int(row[0])
+
+    def count_objects(self, source: "int | str | Source | None" = None) -> int:
+        """Number of objects, optionally restricted to one source."""
+        if source is None:
+            row = self.db.execute("SELECT count(*) FROM object").fetchone()
+            return int(row[0])
+        return self._object_count(self.get_source(source).source_id)
+
+    def get_object(self, source: "int | str | Source", accession: str) -> GamObject:
+        """Resolve one object by source and accession; raise if unknown."""
+        src = self.get_source(source)
+        row = self.db.execute(
+            "SELECT * FROM object WHERE source_id = ? AND accession = ?",
+            (src.source_id, accession),
+        ).fetchone()
+        if row is None:
+            raise UnknownObjectError((src.name, accession))
+        return self._object_from_row(row)
+
+    def find_object(
+        self, source: "int | str | Source", accession: str
+    ) -> GamObject | None:
+        """Like :meth:`get_object` but returns None instead of raising."""
+        try:
+            return self.get_object(source, accession)
+        except (UnknownObjectError, UnknownSourceError):
+            return None
+
+    def objects_of(
+        self, source: "int | str | Source", limit: int | None = None
+    ) -> list[GamObject]:
+        """All objects of a source, ordered by accession."""
+        src = self.get_source(source)
+        sql = "SELECT * FROM object WHERE source_id = ? ORDER BY accession"
+        params: tuple = (src.source_id,)
+        if limit is not None:
+            sql += " LIMIT ?"
+            params = (src.source_id, limit)
+        rows = self.db.execute(sql, params).fetchall()
+        return [self._object_from_row(row) for row in rows]
+
+    def accessions_of(self, source: "int | str | Source") -> set[str]:
+        """The accession set of a source."""
+        src = self.get_source(source)
+        rows = self.db.execute(
+            "SELECT accession FROM object WHERE source_id = ?", (src.source_id,)
+        ).fetchall()
+        return {row[0] for row in rows}
+
+    def accession_to_id(self, source: "int | str | Source") -> dict[str, int]:
+        """Mapping accession -> object_id for one source (bulk lookups)."""
+        src = self.get_source(source)
+        rows = self.db.execute(
+            "SELECT accession, object_id FROM object WHERE source_id = ?",
+            (src.source_id,),
+        ).fetchall()
+        return {row[0]: row[1] for row in rows}
+
+    @staticmethod
+    def _object_from_row(row: object) -> GamObject:
+        return GamObject(
+            object_id=row["object_id"],
+            source_id=row["source_id"],
+            accession=row["accession"],
+            text=row["text"],
+            number=row["number"],
+        )
+
+    # -- source relationships (mappings) ---------------------------------
+
+    def ensure_source_rel(
+        self,
+        source1: "int | str | Source",
+        source2: "int | str | Source",
+        rel_type: RelType | str,
+    ) -> SourceRel:
+        """Get or create the source relationship of this type."""
+        rel_type = RelType.parse(rel_type)
+        src1 = self.get_source(source1)
+        src2 = self.get_source(source2)
+        row = self.db.execute(
+            "SELECT * FROM source_rel"
+            " WHERE source1_id = ? AND source2_id = ? AND type = ?",
+            (src1.source_id, src2.source_id, rel_type.value),
+        ).fetchone()
+        if row is not None:
+            return self._source_rel_from_row(row)
+        cursor = self.db.execute(
+            "INSERT INTO source_rel (source1_id, source2_id, type) VALUES (?, ?, ?)",
+            (src1.source_id, src2.source_id, rel_type.value),
+        )
+        return SourceRel(
+            src_rel_id=int(cursor.lastrowid),
+            source1_id=src1.source_id,
+            source2_id=src2.source_id,
+            type=rel_type,
+        )
+
+    def find_source_rels(
+        self,
+        source1: "int | str | Source | None" = None,
+        source2: "int | str | Source | None" = None,
+        rel_type: RelType | str | None = None,
+    ) -> list[SourceRel]:
+        """Source relationships filtered by endpoints and/or type."""
+        clauses = []
+        params: list[object] = []
+        if source1 is not None:
+            clauses.append("source1_id = ?")
+            params.append(self.get_source(source1).source_id)
+        if source2 is not None:
+            clauses.append("source2_id = ?")
+            params.append(self.get_source(source2).source_id)
+        if rel_type is not None:
+            clauses.append("type = ?")
+            params.append(RelType.parse(rel_type).value)
+        sql = "SELECT * FROM source_rel"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY src_rel_id"
+        rows = self.db.execute(sql, tuple(params)).fetchall()
+        return [self._source_rel_from_row(row) for row in rows]
+
+    def mappings_between(
+        self,
+        source1: "int | str | Source",
+        source2: "int | str | Source",
+        directed: bool = False,
+    ) -> list[SourceRel]:
+        """Mapping-type relationships between two sources.
+
+        With ``directed=False`` (default) relationships stored in either
+        direction are returned, since associations are navigable both ways.
+        """
+        src1 = self.get_source(source1)
+        src2 = self.get_source(source2)
+        types = tuple(sorted(t.value for t in MAPPING_TYPES))
+        placeholders = ", ".join("?" for _ in types)
+        sql = (
+            f"SELECT * FROM source_rel WHERE type IN ({placeholders})"
+            " AND ((source1_id = ? AND source2_id = ?)"
+        )
+        params: list[object] = [*types, src1.source_id, src2.source_id]
+        if directed:
+            sql += ")"
+        else:
+            sql += " OR (source1_id = ? AND source2_id = ?))"
+            params.extend([src2.source_id, src1.source_id])
+        sql += " ORDER BY src_rel_id"
+        rows = self.db.execute(sql, tuple(params)).fetchall()
+        return [self._source_rel_from_row(row) for row in rows]
+
+    def all_mappings(self) -> list[SourceRel]:
+        """Every mapping-type source relationship in the database."""
+        types = tuple(sorted(t.value for t in MAPPING_TYPES))
+        placeholders = ", ".join("?" for _ in types)
+        rows = self.db.execute(
+            f"SELECT * FROM source_rel WHERE type IN ({placeholders})"
+            " ORDER BY src_rel_id",
+            types,
+        ).fetchall()
+        return [self._source_rel_from_row(row) for row in rows]
+
+    @staticmethod
+    def _source_rel_from_row(row: object) -> SourceRel:
+        return SourceRel(
+            src_rel_id=row["src_rel_id"],
+            source1_id=row["source1_id"],
+            source2_id=row["source2_id"],
+            type=RelType.parse(row["type"]),
+        )
+
+    # -- object associations ---------------------------------------------
+
+    def add_associations(
+        self,
+        rel: SourceRel,
+        rows: Iterable[AssociationRow],
+        strict: bool = True,
+    ) -> int:
+        """Insert object associations for a source relationship.
+
+        Rows reference objects by accession: ``(acc1, acc2)`` or
+        ``(acc1, acc2, evidence)``.  Accessions are resolved against the
+        relationship's two endpoint sources.  With ``strict=True`` an
+        unknown accession raises :class:`GamIntegrityError`; otherwise the
+        row is skipped.  Returns the number of associations inserted
+        (existing pairs are left untouched).
+        """
+        ids1 = self.accession_to_id(rel.source1_id)
+        ids2 = (
+            ids1
+            if rel.source2_id == rel.source1_id
+            else self.accession_to_id(rel.source2_id)
+        )
+        resolved = []
+        for row in rows:
+            acc1, acc2 = str(row[0]), str(row[1])
+            evidence = float(row[2]) if len(row) > 2 else 1.0
+            id1 = ids1.get(acc1)
+            id2 = ids2.get(acc2)
+            if id1 is None or id2 is None:
+                if strict:
+                    missing = acc1 if id1 is None else acc2
+                    raise GamIntegrityError(
+                        f"association references unknown accession {missing!r}"
+                        f" (source_rel {rel.src_rel_id})"
+                    )
+                continue
+            resolved.append((rel.src_rel_id, id1, id2, evidence))
+        before = self.count_associations(rel)
+        self.db.executemany(
+            "INSERT OR IGNORE INTO object_rel"
+            " (src_rel_id, object1_id, object2_id, evidence) VALUES (?, ?, ?, ?)",
+            resolved,
+        )
+        return self.count_associations(rel) - before
+
+    def count_associations(self, rel: SourceRel | None = None) -> int:
+        """Number of object associations, optionally for one relationship."""
+        if rel is None:
+            row = self.db.execute("SELECT count(*) FROM object_rel").fetchone()
+        else:
+            row = self.db.execute(
+                "SELECT count(*) FROM object_rel WHERE src_rel_id = ?",
+                (rel.src_rel_id,),
+            ).fetchone()
+        return int(row[0])
+
+    def associations_of(self, rel: SourceRel) -> list[Association]:
+        """All associations of a relationship, materialized with accessions."""
+        rows = self.db.execute(
+            "SELECT o1.accession AS acc1, o2.accession AS acc2, r.evidence"
+            " FROM object_rel r"
+            " JOIN object o1 ON o1.object_id = r.object1_id"
+            " JOIN object o2 ON o2.object_id = r.object2_id"
+            " WHERE r.src_rel_id = ?"
+            " ORDER BY acc1, acc2",
+            (rel.src_rel_id,),
+        ).fetchall()
+        return [Association(row["acc1"], row["acc2"], row["evidence"]) for row in rows]
+
+    def object_rels_of(self, rel: SourceRel) -> list[ObjectRel]:
+        """Raw object-relationship rows of one source relationship."""
+        rows = self.db.execute(
+            "SELECT * FROM object_rel WHERE src_rel_id = ? ORDER BY obj_rel_id",
+            (rel.src_rel_id,),
+        ).fetchall()
+        return [
+            ObjectRel(
+                obj_rel_id=row["obj_rel_id"],
+                src_rel_id=row["src_rel_id"],
+                object1_id=row["object1_id"],
+                object2_id=row["object2_id"],
+                evidence=row["evidence"],
+            )
+            for row in rows
+        ]
+
+    def annotations_of_object(
+        self, source: "int | str | Source", accession: str
+    ) -> list[tuple[str, RelType, Association]]:
+        """Every association touching one object, with the partner source.
+
+        Returns ``(partner_source_name, rel_type, association)`` triples
+        where the association is oriented from the queried object to its
+        partner.  This backs the Figure 1 / Figure 6c "object information"
+        display.
+        """
+        obj = self.get_object(source, accession)
+        results: list[tuple[str, RelType, Association]] = []
+        rows = self.db.execute(
+            "SELECT s.name AS partner, sr.type AS rel_type,"
+            "       o2.accession AS other, r.evidence AS evidence"
+            " FROM object_rel r"
+            " JOIN source_rel sr ON sr.src_rel_id = r.src_rel_id"
+            " JOIN object o2 ON o2.object_id = r.object2_id"
+            " JOIN source s ON s.source_id = sr.source2_id"
+            " WHERE r.object1_id = ?",
+            (obj.object_id,),
+        ).fetchall()
+        for row in rows:
+            results.append(
+                (
+                    row["partner"],
+                    RelType.parse(row["rel_type"]),
+                    Association(accession, row["other"], row["evidence"]),
+                )
+            )
+        rows = self.db.execute(
+            "SELECT s.name AS partner, sr.type AS rel_type,"
+            "       o1.accession AS other, r.evidence AS evidence"
+            " FROM object_rel r"
+            " JOIN source_rel sr ON sr.src_rel_id = r.src_rel_id"
+            " JOIN object o1 ON o1.object_id = r.object1_id"
+            " JOIN source s ON s.source_id = sr.source1_id"
+            " WHERE r.object2_id = ?",
+            (obj.object_id,),
+        ).fetchall()
+        for row in rows:
+            results.append(
+                (
+                    row["partner"],
+                    RelType.parse(row["rel_type"]),
+                    Association(accession, row["other"], row["evidence"]),
+                )
+            )
+        results.sort(key=lambda item: (item[0], item[2].target_accession))
+        return results
+
+    # -- mapping retrieval for operators ----------------------------------
+
+    def fetch_mapping_associations(
+        self, source: "int | str | Source", target: "int | str | Source"
+    ) -> tuple[SourceRel, list[Association]]:
+        """Find a stored mapping between two sources and load it.
+
+        Associations are oriented source→target even when the relationship
+        row is stored in the opposite direction.  Raises
+        :class:`UnknownMappingError` when no mapping exists.
+        """
+        src = self.get_source(source)
+        tgt = self.get_source(target)
+        rels = self.mappings_between(src, tgt)
+        if not rels:
+            raise UnknownMappingError(src.name, tgt.name)
+        # Prefer imported annotation mappings over derived ones.
+        rels.sort(key=lambda r: (r.type.is_derived, r.src_rel_id))
+        rel = rels[0]
+        associations = self.associations_of(rel)
+        if rel.source1_id != src.source_id:
+            associations = [assoc.reversed() for assoc in associations]
+        return rel, associations

@@ -1,0 +1,154 @@
+"""Detailed database statistics — the Section 5 deployment report.
+
+The paper characterizes its deployment by counts: "approx. 2 million
+objects of over 60 data sources, and 5 million object associations
+organized in over 500 different mappings".  This module produces that
+report for any GAM database, enriched with what the model makes cheap to
+compute: per-source object counts, per-mapping sizes, cardinality
+classes, relationship-type census, and the most-connected hub sources.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.gam.repository import GamRepository
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MappingStat:
+    """Size and shape of one stored mapping."""
+
+    source: str
+    target: str
+    rel_type: str
+    associations: int
+    cardinality: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SourceStat:
+    """Per-source census entry."""
+
+    name: str
+    content: str
+    structure: str
+    objects: int
+    mappings: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DatabaseStatistics:
+    """The full deployment report."""
+
+    sources: tuple[SourceStat, ...]
+    mappings: tuple[MappingStat, ...]
+    rel_type_census: dict[str, int]
+    total_objects: int
+    total_associations: int
+
+    def hub_sources(self, k: int = 5) -> list[SourceStat]:
+        """The k sources participating in the most mappings."""
+        ranked = sorted(self.sources, key=lambda s: (-s.mappings, s.name))
+        return ranked[:k]
+
+    def cardinality_census(self) -> Counter[str]:
+        """How many mappings fall in each cardinality class."""
+        return Counter(stat.cardinality for stat in self.mappings)
+
+    def render(self, max_rows: int = 15) -> str:
+        """A fixed-width report for the CLI."""
+        lines = [
+            f"{len(self.sources)} sources, {self.total_objects} objects,"
+            f" {len(self.mappings)} mappings,"
+            f" {self.total_associations} associations",
+            "",
+            f"{'source':<26} {'content':<8} {'structure':<9}"
+            f" {'objects':>8} {'mappings':>9}",
+        ]
+        for stat in self.sources[:max_rows]:
+            lines.append(
+                f"{stat.name:<26} {stat.content:<8} {stat.structure:<9}"
+                f" {stat.objects:>8} {stat.mappings:>9}"
+            )
+        if len(self.sources) > max_rows:
+            lines.append(f"... ({len(self.sources) - max_rows} more sources)")
+        lines.append("")
+        lines.append("relationship types: " + ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(self.rel_type_census.items())
+        ))
+        lines.append("mapping cardinalities: " + ", ".join(
+            f"{card}={count}"
+            for card, count in sorted(self.cardinality_census().items())
+        ))
+        return "\n".join(lines)
+
+
+def collect_statistics(repository: GamRepository) -> DatabaseStatistics:
+    """Compute the full deployment report for one database."""
+    db = repository.db
+    sources_by_id = {s.source_id: s for s in repository.list_sources()}
+    mapping_participation: Counter[int] = Counter()
+    rel_type_census: Counter[str] = Counter()
+    mapping_stats = []
+    for rel in repository.find_source_rels():
+        rel_type_census[rel.type.value] += 1
+        if not rel.is_mapping:
+            continue
+        mapping_participation[rel.source1_id] += 1
+        if rel.source2_id != rel.source1_id:
+            mapping_participation[rel.source2_id] += 1
+        cardinality = _mapping_cardinality(repository, rel.src_rel_id)
+        mapping_stats.append(
+            MappingStat(
+                source=sources_by_id[rel.source1_id].name,
+                target=sources_by_id[rel.source2_id].name,
+                rel_type=rel.type.value,
+                associations=repository.count_associations(rel),
+                cardinality=cardinality,
+            )
+        )
+    source_stats = tuple(
+        SourceStat(
+            name=source.name,
+            content=source.content.value,
+            structure=source.structure.value,
+            objects=repository.count_objects(source),
+            mappings=mapping_participation.get(source.source_id, 0),
+        )
+        for source in sources_by_id.values()
+    )
+    counts = db.counts()
+    return DatabaseStatistics(
+        sources=source_stats,
+        mappings=tuple(mapping_stats),
+        rel_type_census=dict(rel_type_census),
+        total_objects=counts["object"],
+        total_associations=counts["object_rel"],
+    )
+
+
+def _mapping_cardinality(repository: GamRepository, src_rel_id: int) -> str:
+    """Cardinality class of one stored mapping, computed in SQL."""
+    row = repository.db.execute(
+        "SELECT max(source_fan) AS s, max(target_fan) AS t FROM ("
+        " SELECT count(*) AS source_fan, 1 AS target_fan FROM object_rel"
+        "  WHERE src_rel_id = ? GROUP BY object1_id"
+        " UNION ALL"
+        " SELECT 1, count(*) FROM object_rel"
+        "  WHERE src_rel_id = ? GROUP BY object2_id)",
+        (src_rel_id, src_rel_id),
+    ).fetchone()
+    if row is None or row["s"] is None:
+        return "1:1"
+    source_fans_out = row["s"] > 1
+    target_fans_out = row["t"] > 1
+    if source_fans_out and target_fans_out:
+        return "n:m"
+    if source_fans_out:
+        return "1:n"
+    if target_fans_out:
+        return "n:1"
+    return "1:1"

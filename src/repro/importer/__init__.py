@@ -1,0 +1,28 @@
+"""Data import — the generic EAV-to-GAM Import step and its orchestration."""
+
+from repro.importer.diff import (
+    ReleaseDiff,
+    TargetDiff,
+    diff_against_store,
+    diff_datasets,
+)
+from repro.importer.importer import GamImporter, ImportReport
+from repro.importer.pipeline import (
+    IntegrationPipeline,
+    ManifestEntry,
+    read_manifest,
+    write_manifest,
+)
+
+__all__ = [
+    "GamImporter",
+    "ReleaseDiff",
+    "TargetDiff",
+    "diff_against_store",
+    "diff_datasets",
+    "ImportReport",
+    "IntegrationPipeline",
+    "ManifestEntry",
+    "read_manifest",
+    "write_manifest",
+]

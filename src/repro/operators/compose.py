@@ -1,0 +1,125 @@
+"""The ``Compose`` operation: derive new mappings by transitivity.
+
+Paper Section 4.2: *"if a locus l in LocusLink is annotated with some GO
+terms, so are the Unigene entries associated with locus l"*.  Compose takes
+a mapping path — two or more mappings connecting two sources — and joins
+them pairwise on the shared intermediate source, producing a direct mapping
+between the path's endpoints.
+
+Evidence handling extends the paper's future-work note on mappings with
+reduced evidence: when associations are chained, their evidence values are
+combined by a configurable combiner (``product`` by default, which treats
+evidences as independent plausibilities; ``min`` implements a weakest-link
+policy).  When several intermediate objects connect the same endpoint pair,
+the strongest chain wins.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Sequence
+
+from repro.gam.enums import RelType
+from repro.gam.errors import UnknownMappingError
+from repro.gam.records import Source
+from repro.gam.repository import GamRepository
+from repro.operators.mapping import Mapping
+from repro.operators.simple import map_
+
+#: Combines the evidences of two chained associations into one.
+EvidenceCombiner = Callable[[float, float], float]
+
+
+def product_evidence(left: float, right: float) -> float:
+    """Independent-plausibility combiner (default)."""
+    return left * right
+
+
+def min_evidence(left: float, right: float) -> float:
+    """Weakest-link combiner."""
+    return min(left, right)
+
+
+def compose_pair(
+    first: Mapping,
+    second: Mapping,
+    combiner: EvidenceCombiner = product_evidence,
+) -> Mapping:
+    """Join two mappings sharing an intermediate source.
+
+    ``first``: S1 ↔ S2 and ``second``: S2 ↔ S3 produce S1 ↔ S3.  The join
+    is on target accessions of ``first`` and source accessions of
+    ``second`` (the relational join of the paper).  Raises ``ValueError``
+    when the mappings do not share the intermediate source.
+    """
+    if first.target != second.source:
+        raise ValueError(
+            f"cannot compose {first.source}↔{first.target} with"
+            f" {second.source}↔{second.target}: intermediate sources differ"
+        )
+    by_intermediate: dict[str, list] = defaultdict(list)
+    for assoc in second:
+        by_intermediate[assoc.source_accession].append(assoc)
+    best: dict[tuple[str, str], float] = {}
+    for left in first:
+        for right in by_intermediate.get(left.target_accession, ()):
+            key = (left.source_accession, right.target_accession)
+            evidence = combiner(left.evidence, right.evidence)
+            if key not in best or evidence > best[key]:
+                best[key] = evidence
+    return Mapping.build(
+        first.source,
+        second.target,
+        ((acc1, acc2, evidence) for (acc1, acc2), evidence in best.items()),
+        rel_type=RelType.COMPOSED,
+    )
+
+
+def compose_mappings(
+    mappings: Sequence[Mapping],
+    combiner: EvidenceCombiner = product_evidence,
+) -> Mapping:
+    """Fold :func:`compose_pair` over a mapping path of length >= 1."""
+    if not mappings:
+        raise ValueError("compose needs at least one mapping")
+    result = mappings[0]
+    for mapping in mappings[1:]:
+        result = compose_pair(result, mapping, combiner)
+    return result
+
+
+def compose(
+    repository: GamRepository,
+    path: Sequence["str | Source"],
+    combiner: EvidenceCombiner = product_evidence,
+) -> Mapping:
+    """``Compose`` along a path of source names.
+
+    ``path`` lists the sources of the mapping path in order, e.g.
+    ``["Unigene", "LocusLink", "GO"]`` derives Unigene ↔ GO from
+    Unigene ↔ LocusLink and LocusLink ↔ GO.  Every consecutive pair must
+    have a stored mapping; otherwise :class:`UnknownMappingError` is
+    raised (path *discovery* is the path finder's job, not Compose's).
+    """
+    if len(path) < 2:
+        raise ValueError("a mapping path needs at least two sources")
+    legs = []
+    for step_source, step_target in zip(path, path[1:]):
+        legs.append(map_(repository, step_source, step_target))
+    composed = compose_mappings(legs, combiner)
+    if len(path) == 2:
+        # A single leg is the stored mapping itself, not a derived one.
+        return legs[0]
+    return composed
+
+
+def materialization_rows(mapping: Mapping) -> list[tuple[str, str, float]]:
+    """The mapping's associations as repository ``add_associations`` rows.
+
+    Used when a composed mapping of general interest is materialized in the
+    central database (paper Section 1, derived relationships).
+    """
+    return [
+        (assoc.source_accession, assoc.target_accession, assoc.evidence)
+        for assoc in mapping
+    ]

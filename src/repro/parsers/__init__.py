@@ -1,0 +1,51 @@
+"""Source-specific parsers — the Parse step of data import (Section 4.1).
+
+Importing this package registers every built-in parser with the registry in
+:mod:`repro.parsers.base`.
+"""
+
+from repro.parsers.base import (
+    SourceParser,
+    get_parser,
+    has_parser,
+    register_parser,
+    registered_parsers,
+)
+from repro.parsers.ensembl import EnsemblParser
+from repro.parsers.gaf import EVIDENCE_VALUES, GafParser
+from repro.parsers.enzyme import EnzymeParser
+from repro.parsers.generic_tsv import GenericTsvParser
+from repro.parsers.go_obo import GoOboParser
+from repro.parsers.hugo import HugoParser
+from repro.parsers.interpro import InterProParser
+from repro.parsers.locuslink import LocusLinkParser
+from repro.parsers.netaffx import NetAffxParser
+from repro.parsers.omim import OmimParser
+from repro.parsers.swissprot import SwissProtParser
+from repro.parsers.targets import TargetInfo, known_targets, register_target, target_info
+from repro.parsers.unigene import UnigeneParser
+
+__all__ = [
+    "EVIDENCE_VALUES",
+    "EnsemblParser",
+    "GafParser",
+    "EnzymeParser",
+    "GenericTsvParser",
+    "GoOboParser",
+    "HugoParser",
+    "InterProParser",
+    "LocusLinkParser",
+    "NetAffxParser",
+    "OmimParser",
+    "SourceParser",
+    "SwissProtParser",
+    "TargetInfo",
+    "UnigeneParser",
+    "get_parser",
+    "has_parser",
+    "known_targets",
+    "register_parser",
+    "register_target",
+    "registered_parsers",
+    "target_info",
+]

@@ -1,0 +1,61 @@
+"""Parser for Ensembl gene exports (BioMart-style TSV).
+
+Accepted format (header required)::
+
+    gene_id	name	chromosome	band	locuslink
+    ENSG00000198931	APRT	16	q24.3	353
+
+Positions map to the ``Chromosome`` and ``Location`` targets; the
+cytogenetic location is normalized to ``<chromosome><band>`` (e.g.
+``16q24.3``) so Ensembl-derived locations join with LocusLink's ``MAP``
+values in annotation views.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.eav.model import NAME_TARGET, EavRow
+from repro.gam.enums import SourceContent, SourceStructure
+from repro.parsers.base import SourceParser, register_parser
+
+
+@register_parser
+class EnsemblParser(SourceParser):
+    """Parse Ensembl/BioMart gene TSV exports into EAV rows."""
+
+    source_name = "Ensembl"
+    content = SourceContent.GENE
+    structure = SourceStructure.FLAT
+    format_description = "TSV with header: gene_id, name, chromosome, band, ..."
+
+    def parse_lines(self, lines: Iterable[str]) -> Iterator[EavRow]:
+        header: list[str] | None = None
+        for line_number, raw_line in enumerate(lines, start=1):
+            line = raw_line.rstrip("\n")
+            if not line.strip() or line.startswith("#"):
+                continue
+            cells = line.split("\t")
+            if header is None:
+                header = [cell.strip().lower() for cell in cells]
+                self.require(
+                    "gene_id" in header,
+                    "Ensembl export must have a 'gene_id' column",
+                    line_number,
+                )
+                continue
+            record = dict(zip(header, cells))
+            gene_id = record.get("gene_id", "").strip()
+            self.require(bool(gene_id), "row without a gene_id", line_number)
+            name = record.get("name", "").strip()
+            if name:
+                yield EavRow(gene_id, NAME_TARGET, name, text=name)
+                yield EavRow(gene_id, "Hugo", name)
+            chromosome = record.get("chromosome", "").strip()
+            if chromosome:
+                yield EavRow(gene_id, "Chromosome", chromosome)
+            band = record.get("band", "").strip()
+            if chromosome and band:
+                yield EavRow(gene_id, "Location", f"{chromosome}{band}")
+            for locus in self.split_multi(record.get("locuslink", "").strip()):
+                yield EavRow(gene_id, "LocusLink", locus)

@@ -1,0 +1,60 @@
+"""Parser for HUGO gene nomenclature dumps (tab-separated).
+
+Accepted format (header required)::
+
+    symbol	name	locuslink	omim
+    APRT	adenine phosphoribosyltransferase	353	102600
+
+Empty cells are allowed; multi-valued cells use ``|`` separators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.eav.model import NAME_TARGET, EavRow
+from repro.gam.enums import SourceContent, SourceStructure
+from repro.parsers.base import SourceParser, register_parser
+
+_COLUMN_TO_TARGET = {
+    "locuslink": "LocusLink",
+    "omim": "OMIM",
+    "ensembl": "Ensembl",
+    "location": "Location",
+}
+
+
+@register_parser
+class HugoParser(SourceParser):
+    """Parse HUGO nomenclature TSV dumps into EAV rows."""
+
+    source_name = "Hugo"
+    content = SourceContent.GENE
+    structure = SourceStructure.FLAT
+    format_description = "TSV with header: symbol, name, locuslink, omim, ..."
+
+    def parse_lines(self, lines: Iterable[str]) -> Iterator[EavRow]:
+        header: list[str] | None = None
+        for line_number, raw_line in enumerate(lines, start=1):
+            line = raw_line.rstrip("\n")
+            if not line.strip() or line.startswith("#"):
+                continue
+            cells = line.split("\t")
+            if header is None:
+                header = [cell.strip().lower() for cell in cells]
+                self.require(
+                    "symbol" in header,
+                    "HUGO dump header must contain a 'symbol' column",
+                    line_number,
+                )
+                continue
+            record = dict(zip(header, cells))
+            symbol = record.get("symbol", "").strip()
+            self.require(bool(symbol), "row without a gene symbol", line_number)
+            name = record.get("name", "").strip()
+            if name:
+                yield EavRow(symbol, NAME_TARGET, name, text=name)
+            for column, target in _COLUMN_TO_TARGET.items():
+                value = record.get(column, "").strip()
+                for accession in self.split_multi(value):
+                    yield EavRow(symbol, target, accession)

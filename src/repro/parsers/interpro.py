@@ -1,0 +1,55 @@
+"""Parser for InterPro protein-family entries (simplified list format).
+
+Accepted format (tab-separated, header required)::
+
+    accession	name	parent	go
+    IPR000312	Phosphoribosyltransferase	IPR999000	GO:0009116|GO:0016757
+
+``parent`` expresses the InterPro family/subfamily hierarchy and imports as
+an intra-source Is-a relationship; ``go`` lists cross-references to GO.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.eav.model import IS_A_TARGET, NAME_TARGET, EavRow
+from repro.gam.enums import SourceContent, SourceStructure
+from repro.parsers.base import SourceParser, register_parser
+
+
+@register_parser
+class InterProParser(SourceParser):
+    """Parse InterPro entry lists into EAV rows."""
+
+    source_name = "InterPro"
+    content = SourceContent.PROTEIN
+    structure = SourceStructure.NETWORK
+    format_description = "TSV with header: accession, name, parent, go"
+
+    def parse_lines(self, lines: Iterable[str]) -> Iterator[EavRow]:
+        header: list[str] | None = None
+        for line_number, raw_line in enumerate(lines, start=1):
+            line = raw_line.rstrip("\n")
+            if not line.strip() or line.startswith("#"):
+                continue
+            cells = line.split("\t")
+            if header is None:
+                header = [cell.strip().lower() for cell in cells]
+                self.require(
+                    "accession" in header,
+                    "InterPro list must have an 'accession' column",
+                    line_number,
+                )
+                continue
+            record = dict(zip(header, cells))
+            accession = record.get("accession", "").strip()
+            self.require(bool(accession), "row without an accession", line_number)
+            name = record.get("name", "").strip()
+            if name:
+                yield EavRow(accession, NAME_TARGET, name, text=name)
+            parent = record.get("parent", "").strip()
+            if parent:
+                yield EavRow(accession, IS_A_TARGET, parent)
+            for go_term in self.split_multi(record.get("go", "").strip()):
+                yield EavRow(accession, "GO", go_term)

@@ -1,0 +1,72 @@
+"""Parser for NetAffx probe-set annotation files (Affymetrix CSV format).
+
+NetAffx is the vendor source of annotations for microarray probe sets
+(paper Section 1 and 5.2).  The accepted format is the quoted CSV that
+Affymetrix ships::
+
+    "Probe Set ID","Gene Symbol","UniGene ID","LocusLink","Gene Ontology Biological Process"
+    "1000_at","APRT","Hs.28914","353","GO:0009116 // nucleoside metabolism"
+
+GO cells may list several terms separated by ``///``; each term may carry a
+`` // ``-separated description.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Iterator
+
+from repro.eav.model import EavRow
+from repro.gam.enums import SourceContent, SourceStructure
+from repro.parsers.base import SourceParser, register_parser
+
+_COLUMN_TO_TARGET = {
+    "gene symbol": "Hugo",
+    "unigene id": "Unigene",
+    "locuslink": "LocusLink",
+    "gene ontology biological process": "GO",
+    "gene ontology molecular function": "GO",
+    "gene ontology cellular component": "GO",
+    "chromosomal location": "Location",
+    "swissprot": "SwissProt",
+    "ensembl": "Ensembl",
+}
+
+
+@register_parser
+class NetAffxParser(SourceParser):
+    """Parse NetAffx CSV annotation files into EAV rows."""
+
+    source_name = "NetAffx"
+    content = SourceContent.GENE
+    structure = SourceStructure.FLAT
+    format_description = "Affymetrix quoted CSV with 'Probe Set ID' column"
+
+    def parse_lines(self, lines: Iterable[str]) -> Iterator[EavRow]:
+        reader = csv.reader(lines)
+        header: list[str] | None = None
+        for line_number, cells in enumerate(reader, start=1):
+            if not cells or all(not cell.strip() for cell in cells):
+                continue
+            if header is None:
+                header = [cell.strip().lower() for cell in cells]
+                self.require(
+                    "probe set id" in header,
+                    "NetAffx file must have a 'Probe Set ID' column",
+                    line_number,
+                )
+                continue
+            record = dict(zip(header, cells))
+            probe = record.get("probe set id", "").strip()
+            self.require(bool(probe), "row without a probe set id", line_number)
+            for column, target in _COLUMN_TO_TARGET.items():
+                value = record.get(column, "").strip()
+                if not value or value == "---":
+                    continue
+                for part in value.split("///"):
+                    accession, __, text = part.strip().partition("//")
+                    accession = accession.strip()
+                    if accession:
+                        yield EavRow(
+                            probe, target, accession, text=text.strip() or None
+                        )

@@ -1,0 +1,57 @@
+"""Parser for OMIM records (simplified ``omim.txt`` field format).
+
+Accepted format::
+
+    *RECORD*
+    *FIELD* NO
+    102600
+    *FIELD* TI
+    APRT DEFICIENCY
+    *FIELD* CS
+    ...ignored clinical text...
+
+Only the number (``NO``) and title (``TI``) fields are used; they produce
+the OMIM entry and its ``Name`` annotation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.eav.model import NAME_TARGET, EavRow
+from repro.gam.enums import SourceContent, SourceStructure
+from repro.parsers.base import SourceParser, register_parser
+
+
+@register_parser
+class OmimParser(SourceParser):
+    """Parse OMIM ``*RECORD*``/``*FIELD*`` dumps into EAV rows."""
+
+    source_name = "OMIM"
+    content = SourceContent.OTHER
+    structure = SourceStructure.FLAT
+    format_description = "*RECORD* blocks with *FIELD* NO / *FIELD* TI"
+
+    def parse_lines(self, lines: Iterable[str]) -> Iterator[EavRow]:
+        field: str | None = None
+        entry: str | None = None
+        for raw_line in lines:
+            line = raw_line.rstrip("\n")
+            stripped = line.strip()
+            if stripped == "*RECORD*":
+                field = None
+                entry = None
+                continue
+            if stripped.startswith("*FIELD*"):
+                field = stripped.split(None, 1)[1].strip() if " " in stripped else ""
+                continue
+            if not stripped:
+                continue
+            if field == "NO":
+                entry = stripped
+            elif field == "TI" and entry is not None:
+                # Titles may span lines; only the first line is the name.
+                title = stripped.lstrip("*#%+^ ").strip()
+                if title:
+                    yield EavRow(entry, NAME_TARGET, title, text=title)
+                    field = None

@@ -1,0 +1,84 @@
+"""Catalog of annotation targets and their GAM classification.
+
+When the Import step encounters an annotation target (e.g. ``GO`` or
+``Location`` in a parsed LocusLink record) it must register the target as a
+source with the right content and structure classification, and decide
+whether the resulting mapping is a *Fact* or a *Similarity* relationship.
+This catalog centralizes that knowledge; targets not listed default to a
+flat ``Other`` source with Fact mappings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gam.enums import RelType, SourceContent, SourceStructure
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TargetInfo:
+    """GAM classification of one annotation target."""
+
+    name: str
+    content: SourceContent = SourceContent.OTHER
+    structure: SourceStructure = SourceStructure.FLAT
+    #: Default relationship type of mappings onto this target.
+    rel_type: RelType = RelType.FACT
+
+
+_CATALOG: dict[str, TargetInfo] = {}
+
+
+def register_target(info: TargetInfo) -> None:
+    """Add or replace a catalog entry."""
+    _CATALOG[info.name.lower()] = info
+
+
+def target_info(name: str) -> TargetInfo:
+    """Catalog entry for a target name, with a flat/Other/Fact default."""
+    info = _CATALOG.get(name.lower())
+    if info is not None:
+        return info
+    return TargetInfo(name=name)
+
+
+def known_targets() -> list[str]:
+    """All cataloged target names, sorted."""
+    return sorted(info.name for info in _CATALOG.values())
+
+
+def _populate_defaults() -> None:
+    gene = SourceContent.GENE
+    protein = SourceContent.PROTEIN
+    other = SourceContent.OTHER
+    flat = SourceStructure.FLAT
+    network = SourceStructure.NETWORK
+    defaults = [
+        # Gene-oriented sources.
+        TargetInfo("LocusLink", gene, flat),
+        TargetInfo("Unigene", gene, flat),
+        TargetInfo("Hugo", gene, flat),
+        TargetInfo("Ensembl", gene, flat),
+        TargetInfo("NetAffx", gene, flat),
+        TargetInfo("Alias", gene, flat),
+        # Protein-oriented sources.
+        TargetInfo("SwissProt", protein, flat),
+        TargetInfo("InterPro", protein, network),
+        # Ontologies / taxonomies (Network structure).
+        TargetInfo("GO", other, network),
+        TargetInfo("Enzyme", other, network),
+        # Positional / descriptive attributes modeled as flat sources.
+        TargetInfo("Location", other, flat),
+        TargetInfo("Chromosome", other, flat),
+        TargetInfo("OMIM", other, flat),
+        TargetInfo("Species", other, flat),
+        TargetInfo("Tissue", other, flat),
+        # Computed relationships carry reduced evidence.
+        TargetInfo("Homology", gene, flat, RelType.SIMILARITY),
+        TargetInfo("BlastHit", protein, flat, RelType.SIMILARITY),
+    ]
+    for info in defaults:
+        register_target(info)
+
+
+_populate_defaults()

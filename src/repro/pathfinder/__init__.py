@@ -1,0 +1,29 @@
+"""Source graph and mapping-path search (paper Section 5.1)."""
+
+from repro.pathfinder.export import to_dot, to_json, write_graphml
+from repro.pathfinder.graph import EDGE_WEIGHTS, build_source_graph, connectivity_summary
+from repro.pathfinder.saved import PathRegistry
+from repro.pathfinder.search import (
+    MappingPath,
+    k_shortest_paths,
+    path_cost,
+    shortest_path,
+    shortest_path_via,
+    validate_path,
+)
+
+__all__ = [
+    "EDGE_WEIGHTS",
+    "MappingPath",
+    "PathRegistry",
+    "build_source_graph",
+    "connectivity_summary",
+    "k_shortest_paths",
+    "path_cost",
+    "shortest_path",
+    "shortest_path_via",
+    "to_dot",
+    "to_json",
+    "validate_path",
+    "write_graphml",
+]

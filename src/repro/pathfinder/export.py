@@ -1,0 +1,131 @@
+"""Export of the source graph for external visualization.
+
+The interactive interface's path-selection step benefits from *seeing* the
+graph of sources and mappings (Section 5.1).  This module serializes the
+graph built by :func:`repro.pathfinder.graph.build_source_graph` as:
+
+* Graphviz DOT (`to_dot`) — render with ``dot -Tsvg``,
+* GraphML (`write_graphml`) — loadable by Cytoscape/Gephi/yEd,
+* adjacency JSON (`to_json`) — for web frontends.
+
+Edges carry the relationship type and association count; node shape/color
+encode the source's content and structure classification.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import networkx as nx
+
+from repro.gam.enums import RelType
+
+#: DOT fill colors by content classification.
+_CONTENT_COLORS = {
+    "Gene": "#cfe8cf",
+    "Protein": "#cfd8e8",
+    "Other": "#eeeeee",
+}
+
+#: DOT edge styles by relationship type.
+_EDGE_STYLES = {
+    RelType.FACT: "solid",
+    RelType.SIMILARITY: "dashed",
+    RelType.COMPOSED: "dotted",
+    RelType.SUBSUMED: "dotted",
+}
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(graph: nx.MultiGraph, title: str = "GenMapper sources") -> str:
+    """Serialize the source graph as Graphviz DOT."""
+    lines = [
+        f"graph {_quote(title)} {{",
+        "  layout=neato;",
+        "  overlap=false;",
+        "  node [style=filled, fontname=Helvetica, fontsize=10];",
+        "  edge [fontname=Helvetica, fontsize=8];",
+    ]
+    for name, data in sorted(graph.nodes(data=True)):
+        source = data.get("source")
+        content = source.content.value if source else "Other"
+        structure = source.structure.value if source else "Flat"
+        shape = "box" if structure == "Network" else "ellipse"
+        color = _CONTENT_COLORS.get(content, "#eeeeee")
+        lines.append(
+            f"  {_quote(name)} [shape={shape}, fillcolor={_quote(color)}];"
+        )
+    for node1, node2, data in sorted(
+        graph.edges(data=True), key=lambda edge: (edge[0], edge[1])
+    ):
+        if node1 == node2:
+            continue  # self-loops (Subsumed) clutter the drawing
+        rel_type = data.get("rel_type", RelType.FACT)
+        style = _EDGE_STYLES.get(rel_type, "solid")
+        size = data.get("size", 0)
+        label = f"{rel_type.value} ({size})"
+        lines.append(
+            f"  {_quote(node1)} -- {_quote(node2)}"
+            f" [style={style}, label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_graphml(graph: nx.MultiGraph, path: str | Path) -> Path:
+    """Write the graph as GraphML (strings only — GraphML-safe types)."""
+    export = nx.MultiGraph()
+    for name, data in graph.nodes(data=True):
+        source = data.get("source")
+        export.add_node(
+            name,
+            content=source.content.value if source else "Other",
+            structure=source.structure.value if source else "Flat",
+        )
+    for node1, node2, key, data in graph.edges(keys=True, data=True):
+        rel_type = data.get("rel_type", RelType.FACT)
+        export.add_edge(
+            node1,
+            node2,
+            key=key,
+            rel_type=rel_type.value,
+            size=int(data.get("size", 0)),
+            weight=float(data.get("weight", 1.0)),
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    nx.write_graphml(export, path)
+    return path
+
+
+def to_json(graph: nx.MultiGraph) -> str:
+    """Serialize nodes and edges as adjacency JSON."""
+    nodes = []
+    for name, data in sorted(graph.nodes(data=True)):
+        source = data.get("source")
+        nodes.append(
+            {
+                "name": name,
+                "content": source.content.value if source else "Other",
+                "structure": source.structure.value if source else "Flat",
+            }
+        )
+    edges = []
+    for node1, node2, data in sorted(
+        graph.edges(data=True), key=lambda edge: (edge[0], edge[1])
+    ):
+        rel_type = data.get("rel_type", RelType.FACT)
+        edges.append(
+            {
+                "source": node1,
+                "target": node2,
+                "rel_type": rel_type.value,
+                "size": int(data.get("size", 0)),
+            }
+        )
+    return json.dumps({"nodes": nodes, "edges": edges}, indent=2)

@@ -1,0 +1,67 @@
+"""Saved mapping paths (paper Section 5.1).
+
+"GenMapper also allows the user to manually build and save a path
+customized for specific analysis requirements."  Saved paths are persisted
+in the database's ``meta`` table as JSON under ``saved_path:<name>`` keys,
+so they survive across sessions against the same GAM database.
+"""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+
+from repro.gam.database import GamDatabase
+from repro.gam.errors import QuerySpecError
+from repro.pathfinder.search import MappingPath, validate_path
+
+_KEY_PREFIX = "saved_path:"
+
+
+class PathRegistry:
+    """Named, persisted mapping paths for one GAM database."""
+
+    def __init__(self, db: GamDatabase) -> None:
+        self.db = db
+
+    def save(
+        self, name: str, path: MappingPath, graph: nx.MultiGraph | None = None
+    ) -> None:
+        """Persist a path under a name, optionally validating it first."""
+        if not name:
+            raise QuerySpecError("a saved path needs a non-empty name")
+        if graph is not None:
+            path = validate_path(graph, path)
+        if len(path) < 2:
+            raise QuerySpecError("a saved path needs at least two sources")
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)"
+                " ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+                (_KEY_PREFIX + name, json.dumps(list(path))),
+            )
+
+    def load(self, name: str) -> MappingPath:
+        """Load a saved path; raises :class:`QuerySpecError` if unknown."""
+        row = self.db.execute(
+            "SELECT value FROM meta WHERE key = ?", (_KEY_PREFIX + name,)
+        ).fetchone()
+        if row is None:
+            raise QuerySpecError(f"no saved path named {name!r}")
+        return tuple(json.loads(row[0]))
+
+    def delete(self, name: str) -> bool:
+        """Remove a saved path; returns False when it did not exist."""
+        with self.db.transaction():
+            cursor = self.db.execute(
+                "DELETE FROM meta WHERE key = ?", (_KEY_PREFIX + name,)
+            )
+        return cursor.rowcount > 0
+
+    def names(self) -> list[str]:
+        """All saved path names, sorted."""
+        rows = self.db.execute(
+            "SELECT key FROM meta WHERE key LIKE ?", (_KEY_PREFIX + "%",)
+        ).fetchall()
+        return sorted(row[0][len(_KEY_PREFIX):] for row in rows)

@@ -1,0 +1,136 @@
+"""Mapping-path search over the source graph (paper Section 5.1).
+
+Three search modes mirror the interactive interface:
+
+* :func:`shortest_path` — the automatic mode: the cheapest mapping path
+  from a source to a target;
+* :func:`shortest_path_via` — "search in the graph for specific paths, for
+  example, with a particular intermediate source";
+* :func:`k_shortest_paths` — enumerate alternatives when "with a high
+  degree of inter-connectivity many paths may be possible", letting the
+  user pick one to customize and save.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+
+import networkx as nx
+
+from repro.gam.errors import PathNotFoundError
+
+#: A mapping path: the ordered source names it traverses.
+MappingPath = tuple[str, ...]
+
+
+def _require_nodes(graph: nx.MultiGraph, names: Sequence[str]) -> None:
+    missing = [name for name in names if name not in graph]
+    if missing:
+        raise PathNotFoundError(missing[0], "<graph>")
+
+
+def shortest_path(
+    graph: nx.MultiGraph, source: str, target: str
+) -> MappingPath:
+    """The cheapest mapping path from ``source`` to ``target``.
+
+    Raises :class:`PathNotFoundError` when the sources are not connected.
+    A path of length 1 (``(source,)`` == target) is returned when source
+    and target coincide.
+    """
+    _require_nodes(graph, (source, target))
+    try:
+        path = nx.shortest_path(graph, source, target, weight=_min_edge_weight(graph))
+    except nx.NetworkXNoPath:
+        raise PathNotFoundError(source, target) from None
+    return tuple(path)
+
+
+def shortest_path_via(
+    graph: nx.MultiGraph, source: str, target: str, via: str
+) -> MappingPath:
+    """The cheapest path forced through an intermediate source.
+
+    The two legs are searched independently and concatenated; the
+    intermediate appears exactly once.
+    """
+    _require_nodes(graph, (source, target, via))
+    first = shortest_path(graph, source, via)
+    try:
+        second = shortest_path(graph, via, target)
+    except PathNotFoundError:
+        raise PathNotFoundError(source, target, via=via) from None
+    return first + second[1:]
+
+
+def k_shortest_paths(
+    graph: nx.MultiGraph, source: str, target: str, k: int = 5
+) -> list[MappingPath]:
+    """Up to ``k`` loop-free paths, cheapest first."""
+    _require_nodes(graph, (source, target))
+    generator: Iterator[list[str]] = nx.shortest_simple_paths(
+        _as_simple_graph(graph), source, target, weight="weight"
+    )
+    try:
+        return [tuple(path) for path in itertools.islice(generator, k)]
+    except nx.NetworkXNoPath:
+        raise PathNotFoundError(source, target) from None
+
+
+def path_cost(graph: nx.MultiGraph, path: MappingPath) -> float:
+    """Total weight of a path, taking the cheapest parallel edge per hop."""
+    weight_of = _min_edge_weight(graph)
+    total = 0.0
+    for step_source, step_target in zip(path, path[1:]):
+        if not graph.has_edge(step_source, step_target):
+            raise PathNotFoundError(step_source, step_target)
+        data = graph.get_edge_data(step_source, step_target)
+        total += min(
+            weight_of(step_source, step_target, attrs) for attrs in data.values()
+        )
+    return total
+
+
+def validate_path(graph: nx.MultiGraph, path: Sequence[str]) -> MappingPath:
+    """Check a manually built path: every hop must be a stored mapping.
+
+    Supports the interactive interface's "manually build and save a path"
+    feature — a saved path must remain valid against the current graph.
+    """
+    if len(path) < 2:
+        raise PathNotFoundError(path[0] if path else "<empty>", "<target>")
+    _require_nodes(graph, path)
+    for step_source, step_target in zip(path, path[1:]):
+        if not graph.has_edge(step_source, step_target):
+            raise PathNotFoundError(step_source, step_target)
+    return tuple(path)
+
+
+def _min_edge_weight(graph: nx.MultiGraph):
+    """Weight callable for multigraph shortest-path: cheapest parallel edge."""
+
+    def weight(__u: str, __v: str, attrs: dict) -> float:
+        if isinstance(attrs, dict) and "weight" in attrs:
+            return float(attrs["weight"])
+        # Multigraph passes {key: attr_dict}; take the cheapest edge.
+        return min(float(data.get("weight", 1.0)) for data in attrs.values())
+
+    return weight
+
+
+def _as_simple_graph(graph: nx.MultiGraph) -> nx.Graph:
+    """Collapse parallel edges, keeping the minimum weight per pair."""
+    simple = nx.Graph()
+    simple.add_nodes_from(graph.nodes)
+    for node1, node2, data in graph.edges(data=True):
+        if node1 == node2:
+            continue
+        weight = float(data.get("weight", 1.0))
+        if simple.has_edge(node1, node2):
+            simple[node1][node2]["weight"] = min(
+                simple[node1][node2]["weight"], weight
+            )
+        else:
+            simple.add_edge(node1, node2, weight=weight)
+    return simple

@@ -1,0 +1,31 @@
+"""Interactive query layer (paper Section 5.1, Figure 6)."""
+
+from repro.query.batch import (
+    BatchEntry,
+    BatchResult,
+    parse_batch,
+    read_batch,
+    render_results,
+    run_batch,
+)
+from repro.query.language import parse_query
+from repro.query.plan import QueryPlan, TargetPlan, plan_query
+from repro.query.session import QuerySession, run_query
+from repro.query.spec import QuerySpec, QueryTarget
+
+__all__ = [
+    "BatchEntry",
+    "BatchResult",
+    "QueryPlan",
+    "parse_batch",
+    "read_batch",
+    "render_results",
+    "run_batch",
+    "QuerySession",
+    "TargetPlan",
+    "plan_query",
+    "QuerySpec",
+    "QueryTarget",
+    "parse_query",
+    "run_query",
+]

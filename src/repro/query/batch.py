@@ -1,0 +1,127 @@
+"""Batch query execution — GenMapper in automated analysis pipelines.
+
+Paper Section 2: the operators "also represent the means to integrate
+GenMapper with external applications to provide automatic analysis
+pipelines with annotation data", and Section 5.2 runs exactly such a
+pipeline.  This module executes a *batch file* of ANNOTATE queries
+unattended and writes one result file per query — the glue an external
+pipeline calls between its own steps.
+
+Batch file format (``#`` comments, blank lines ignored)::
+
+    # name: go_profiles
+    ANNOTATE LocusLink WITH Hugo AND GO
+
+    # name: disease_genes
+    ANNOTATE LocusLink WITH OMIM AND Location
+
+Each query may be preceded by a ``# name:`` directive naming its output
+file; unnamed queries are numbered ``query_001``, ``query_002``, ...
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.core.genmapper import GenMapper
+from repro.export.writers import write_view
+from repro.gam.errors import GenMapperError
+from repro.query.language import parse_query
+from repro.query.session import run_query
+from repro.query.spec import QuerySpec
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchEntry:
+    """One query of a batch file."""
+
+    name: str
+    spec: QuerySpec
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one executed batch entry."""
+
+    name: str
+    rows: int
+    output: Path | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def parse_batch(text: str) -> list[BatchEntry]:
+    """Parse a batch file's text into named query entries."""
+    entries: list[BatchEntry] = []
+    pending_name: str | None = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            directive = line[1:].strip()
+            if directive.lower().startswith("name:"):
+                pending_name = directive.split(":", 1)[1].strip()
+            continue
+        name = pending_name or f"query_{len(entries) + 1:03d}"
+        entries.append(BatchEntry(name=name, spec=parse_query(line)))
+        pending_name = None
+    return entries
+
+
+def read_batch(path: str | Path) -> list[BatchEntry]:
+    """Read and parse a batch file."""
+    return parse_batch(Path(path).read_text(encoding="utf-8"))
+
+
+def run_batch(
+    genmapper: GenMapper,
+    entries: list[BatchEntry],
+    output_dir: str | Path | None = None,
+    fmt: str = "tsv",
+    stop_on_error: bool = False,
+) -> list[BatchResult]:
+    """Execute every entry; optionally write one result file per query.
+
+    Failures are captured per entry (the pipeline keeps going) unless
+    ``stop_on_error`` is set.
+    """
+    results = []
+    for entry in entries:
+        try:
+            view = run_query(genmapper, entry.spec)
+        except GenMapperError as exc:
+            results.append(
+                BatchResult(name=entry.name, rows=0, output=None,
+                            error=str(exc))
+            )
+            if stop_on_error:
+                break
+            continue
+        output = None
+        if output_dir is not None:
+            output = write_view(
+                view, Path(output_dir) / f"{entry.name}.{fmt}", fmt
+            )
+        results.append(
+            BatchResult(name=entry.name, rows=len(view), output=output)
+        )
+    return results
+
+
+def render_results(results: list[BatchResult]) -> str:
+    """A one-line-per-query execution summary."""
+    lines = []
+    for result in results:
+        if result.ok:
+            where = f" -> {result.output}" if result.output else ""
+            lines.append(f"ok    {result.name}: {result.rows} rows{where}")
+        else:
+            lines.append(f"FAIL  {result.name}: {result.error}")
+    succeeded = sum(result.ok for result in results)
+    lines.append(f"{succeeded}/{len(results)} queries succeeded")
+    return "\n".join(lines)

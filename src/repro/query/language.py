@@ -1,0 +1,176 @@
+"""A small textual query language over annotation views.
+
+The paper motivates queries of the form "Given a set of LocusLink genes,
+identify those that are located at some given cytogenetic positions, and
+annotated with some given GO functions, but not associated with some given
+OMIM diseases".  This module gives that sentence a machine-readable form::
+
+    ANNOTATE LocusLink OBJECTS 353, 354
+    WITH Location IN (16q24)
+    AND GO IN (GO:0009116)
+    AND NOT OMIM IN (102600)
+
+Grammar (case-insensitive keywords)::
+
+    query      := "ANNOTATE" source ["OBJECTS" list] "WITH" clause
+                  (connector clause)*
+    clause     := ["NOT"] target ["IN" "(" list ")"] ["VIA" path]
+    connector  := "AND" | "OR"          (must be consistent within a query)
+    path       := source ("->" source)*
+    list       := item ("," item)*
+
+``AND`` and ``OR`` map to the GenerateView combine method; mixing them in
+one query is rejected, as the operator combines all targets one way.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.gam.enums import CombineMethod
+from repro.gam.errors import QuerySpecError
+from repro.query.spec import QuerySpec, QueryTarget
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<lparen>\() | (?P<rparen>\)) | (?P<comma>,) | (?P<arrow>->)
+    | (?P<word>[^\s(),]+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"ANNOTATE", "OBJECTS", "WITH", "AND", "OR", "NOT", "IN", "VIA"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        token = match.group(0)
+        tokens.append(token)
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> str | None:
+        if self.position >= len(self.tokens):
+            return None
+        return self.tokens[self.position]
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QuerySpecError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.next()
+        if token.upper() != keyword:
+            raise QuerySpecError(f"expected {keyword}, got {token!r}")
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token is not None and token.upper() in keywords
+
+    def parse(self) -> QuerySpec:
+        self.expect_keyword("ANNOTATE")
+        source = self._name()
+        accessions = None
+        if self.at_keyword("OBJECTS"):
+            self.next()
+            accessions = self._bare_list(stop_keywords={"WITH"})
+        self.expect_keyword("WITH")
+        targets = [self._clause()]
+        combine: CombineMethod | None = None
+        while self.at_keyword("AND", "OR"):
+            connector = CombineMethod.parse(self.next())
+            if combine is None:
+                combine = connector
+            elif combine != connector:
+                raise QuerySpecError(
+                    "cannot mix AND and OR in one query; GenerateView"
+                    " combines all targets one way"
+                )
+            targets.append(self._clause())
+        if self.peek() is not None:
+            raise QuerySpecError(f"trailing tokens after query: {self.peek()!r}")
+        return QuerySpec(
+            source=source,
+            accessions=None if accessions is None else frozenset(accessions),
+            targets=tuple(targets),
+            combine=combine or CombineMethod.AND,
+        )
+
+    def _name(self) -> str:
+        token = self.next()
+        if token.upper() in _KEYWORDS or token in "(),":
+            raise QuerySpecError(f"expected a name, got {token!r}")
+        return token
+
+    def _clause(self) -> QueryTarget:
+        negated = False
+        if self.at_keyword("NOT"):
+            self.next()
+            negated = True
+        name = self._name()
+        accessions = None
+        if self.at_keyword("IN"):
+            self.next()
+            accessions = frozenset(self._paren_list())
+        via: tuple[str, ...] = ()
+        if self.at_keyword("VIA"):
+            self.next()
+            via = tuple(self._path())
+        return QueryTarget(
+            name=name, accessions=accessions, negated=negated, via=via
+        )
+
+    def _paren_list(self) -> list[str]:
+        if self.next() != "(":
+            raise QuerySpecError("expected '(' after IN")
+        items = []
+        while True:
+            token = self.next()
+            if token == ")":
+                break
+            if token == ",":
+                continue
+            items.append(token)
+        if not items:
+            raise QuerySpecError("empty IN (...) list")
+        return items
+
+    def _bare_list(self, stop_keywords: set[str]) -> list[str]:
+        items = []
+        while True:
+            token = self.peek()
+            if token is None or token.upper() in stop_keywords:
+                break
+            self.next()
+            if token == ",":
+                continue
+            items.append(token)
+        if not items:
+            raise QuerySpecError("OBJECTS needs at least one accession")
+        return items
+
+    def _path(self) -> list[str]:
+        sources = [self._name()]
+        while self.peek() == "->":
+            self.next()
+            sources.append(self._name())
+        return sources
+
+
+def parse_query(text: str) -> QuerySpec:
+    """Parse a query string into a :class:`QuerySpec`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QuerySpecError("empty query")
+    return _Parser(tokens).parse()

@@ -1,0 +1,126 @@
+"""Query planning: how a specification will execute, before it does.
+
+The interactive interface lets users inspect and override the mapping
+paths GenMapper chose (Section 5.1).  ``plan_query`` performs exactly the
+mapping resolution ``GenerateView`` would — stored mapping, explicit
+``via`` path, or shortest-path composition — without loading associations,
+and reports per-target: the resolution kind, the path, and a size estimate
+from the stored association counts.  The CLI surfaces this as ``explain``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.genmapper import GenMapper
+from repro.gam.errors import PathNotFoundError
+from repro.pathfinder.search import shortest_path
+from repro.query.spec import QuerySpec
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetPlan:
+    """How one target's mapping will be obtained."""
+
+    target: str
+    #: "stored", "composed" or "unreachable".
+    kind: str
+    #: The mapping path, source first, target last (empty if unreachable).
+    path: tuple[str, ...]
+    #: Size estimate: the smallest stored association count along the
+    #: path (the join cannot match more chains than its thinnest leg
+    #: offers, though fan-out can multiply endpoint pairs).
+    estimated_associations: int
+    negated: bool = False
+
+    def describe(self) -> str:
+        label = "NOT " + self.target if self.negated else self.target
+        if self.kind == "unreachable":
+            return f"{label}: UNREACHABLE"
+        route = " -> ".join(self.path)
+        return (
+            f"{label}: {self.kind} via {route}"
+            f" (~{self.estimated_associations} associations)"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryPlan:
+    """The full execution plan of a query specification."""
+
+    source: str
+    source_objects: int | None
+    combine: str
+    targets: tuple[TargetPlan, ...]
+
+    @property
+    def executable(self) -> bool:
+        """True when every target is reachable."""
+        return all(target.kind != "unreachable" for target in self.targets)
+
+    def render(self) -> str:
+        scope = (
+            "entire source"
+            if self.source_objects is None
+            else f"{self.source_objects} uploaded objects"
+        )
+        lines = [f"ANNOTATE {self.source} ({scope}), combine = {self.combine}"]
+        lines.extend(f"  {target.describe()}" for target in self.targets)
+        if not self.executable:
+            lines.append("  !! plan is not executable")
+        return "\n".join(lines)
+
+
+def _edge_size(graph, step_source: str, step_target: str) -> int:
+    data = graph.get_edge_data(step_source, step_target)
+    if not data:
+        return 0
+    return max(attrs.get("size", 0) for attrs in data.values())
+
+
+def plan_query(genmapper: GenMapper, spec: QuerySpec) -> QueryPlan:
+    """Resolve every target of a spec to a plan without executing it."""
+    graph = genmapper.source_graph()
+    target_plans = []
+    for target in spec.targets:
+        if target.via:
+            path = (spec.source, *target.via, target.name)
+            kind = "composed" if len(path) > 2 else "stored"
+            hops_exist = all(
+                graph.has_edge(a, b) for a, b in zip(path, path[1:])
+            )
+            if not hops_exist:
+                target_plans.append(
+                    TargetPlan(target.name, "unreachable", (), 0,
+                               target.negated)
+                )
+                continue
+        else:
+            try:
+                path = shortest_path(graph, spec.source, target.name)
+            except PathNotFoundError:
+                target_plans.append(
+                    TargetPlan(target.name, "unreachable", (), 0,
+                               target.negated)
+                )
+                continue
+            kind = "stored" if len(path) == 2 else "composed"
+        estimate = min(
+            (_edge_size(graph, a, b) for a, b in zip(path, path[1:])),
+            default=0,
+        )
+        target_plans.append(
+            TargetPlan(
+                target=target.name,
+                kind=kind,
+                path=path,
+                estimated_associations=estimate,
+                negated=target.negated,
+            )
+        )
+    return QueryPlan(
+        source=spec.source,
+        source_objects=None if spec.accessions is None else len(spec.accessions),
+        combine=spec.combine.value,
+        targets=tuple(target_plans),
+    )

@@ -1,0 +1,104 @@
+"""User-facing query specifications (the Figure 6a form, as data).
+
+A :class:`QuerySpec` captures everything the interactive interface collects
+before running ``GenerateView``: the source, the uploaded accessions (or
+the whole source), the targets with their accession restrictions, negation
+flags and optional custom mapping paths, and the combine method.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from repro.gam.enums import CombineMethod
+from repro.gam.errors import QuerySpecError
+from repro.operators.generate_view import TargetSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryTarget:
+    """One requested annotation target."""
+
+    name: str
+    #: Relevant target accessions; None covers the whole target source.
+    accessions: frozenset[str] | None = None
+    negated: bool = False
+    #: Intermediate sources of a custom mapping path (excluding endpoints).
+    via: tuple[str, ...] = ()
+
+    def to_target_spec(self) -> TargetSpec:
+        """Convert to the operator-level specification."""
+        return TargetSpec(
+            name=self.name,
+            restrict=self.accessions,
+            negated=self.negated,
+            via=self.via,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class QuerySpec:
+    """A complete annotation query."""
+
+    source: str
+    #: Uploaded object accessions; None means the entire source.
+    accessions: frozenset[str] | None
+    targets: tuple[QueryTarget, ...]
+    combine: CombineMethod = CombineMethod.AND
+
+    def __post_init__(self) -> None:
+        if not self.source:
+            raise QuerySpecError("a query needs a source")
+        if not self.targets:
+            raise QuerySpecError("a query needs at least one target")
+        names = [target.name for target in self.targets]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise QuerySpecError(
+                f"duplicate targets in query: {sorted(duplicates)}"
+            )
+        if self.source in names:
+            raise QuerySpecError(
+                f"source {self.source!r} cannot also be a target"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        source: str,
+        targets: Iterable["QueryTarget | str"],
+        accessions: Iterable[str] | None = None,
+        combine: CombineMethod | str = CombineMethod.AND,
+    ) -> "QuerySpec":
+        """Convenience constructor accepting plain target names."""
+        normalized = tuple(
+            target if isinstance(target, QueryTarget) else QueryTarget(target)
+            for target in targets
+        )
+        return cls(
+            source=source,
+            accessions=None if accessions is None else frozenset(accessions),
+            targets=normalized,
+            combine=CombineMethod.parse(combine),
+        )
+
+    def describe(self) -> str:
+        """A readable one-line rendering (used by the CLI)."""
+        parts = []
+        for target in self.targets:
+            text = target.name
+            if target.negated:
+                text = f"NOT {text}"
+            if target.accessions is not None:
+                text += f" IN ({', '.join(sorted(target.accessions))})"
+            if target.via:
+                text += f" VIA {' -> '.join(target.via)}"
+            parts.append(text)
+        connector = f" {self.combine.value} "
+        scope = (
+            "all objects"
+            if self.accessions is None
+            else f"{len(self.accessions)} objects"
+        )
+        return f"ANNOTATE {self.source} [{scope}] WITH {connector.join(parts)}"

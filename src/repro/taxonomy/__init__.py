@@ -1,0 +1,6 @@
+"""Taxonomy utilities over intra-source IS_A structures."""
+
+from repro.taxonomy.dag import Taxonomy
+from repro.taxonomy.semantic import SemanticIndex
+
+__all__ = ["SemanticIndex", "Taxonomy"]

@@ -1,0 +1,138 @@
+"""Semantic similarity over an annotation taxonomy.
+
+An extension of the Section 5.2 methodology: once genes are classified
+into the GO taxonomy, the taxonomy's structure supports *semantic
+similarity* between terms (and between the genes they annotate) — the
+standard information-content approach:
+
+* the information content of a term is ``-log2`` of the fraction of the
+  annotation corpus the term covers after subsumption rollup (rare,
+  specific terms are informative; the root carries none);
+* the Resnik similarity of two terms is the information content of their
+  most informative common ancestor;
+* gene functional similarity aggregates term similarities with the
+  best-match average.
+
+Everything is computed against a :class:`~repro.taxonomy.dag.Taxonomy`
+and an annotation :class:`~repro.operators.mapping.Mapping`, i.e. directly
+against GenMapper's stored knowledge.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.operators.mapping import Mapping
+from repro.taxonomy.dag import Taxonomy
+
+
+class SemanticIndex:
+    """Precomputed information contents over one annotation corpus."""
+
+    def __init__(self, taxonomy: Taxonomy, annotation: Mapping) -> None:
+        # Imported lazily: repro.derived depends on repro.taxonomy.dag,
+        # so a module-level import here would be circular.
+        from repro.derived.subsumed import rollup_mapping
+
+        self.taxonomy = taxonomy
+        rolled = rollup_mapping(annotation, taxonomy)
+        per_term: dict[str, set[str]] = {}
+        for assoc in rolled:
+            per_term.setdefault(assoc.target_accession, set()).add(
+                assoc.source_accession
+            )
+        self._corpus_size = len(rolled.domain())
+        self._term_counts = Counter(
+            {term: len(objects) for term, objects in per_term.items()}
+        )
+        #: gene -> its direct annotation terms (for gene-level similarity).
+        self._gene_terms: dict[str, set[str]] = {}
+        for assoc in annotation:
+            self._gene_terms.setdefault(assoc.source_accession, set()).add(
+                assoc.target_accession
+            )
+
+    @property
+    def corpus_size(self) -> int:
+        """Number of annotated objects in the corpus."""
+        return self._corpus_size
+
+    def annotation_count(self, term: str) -> int:
+        """Objects annotated with the term or anything it subsumes."""
+        return self._term_counts.get(term, 0)
+
+    def information_content(self, term: str) -> float:
+        """``-log2(p(term))``; 0.0 for unannotated terms and empty corpora."""
+        count = self.annotation_count(term)
+        if count == 0 or self._corpus_size == 0:
+            return 0.0
+        probability = count / self._corpus_size
+        return -math.log2(probability)
+
+    def most_informative_common_ancestor(
+        self, term1: str, term2: str
+    ) -> str | None:
+        """The common ancestor (incl. self) with the highest information
+        content, or None when the terms share no ancestor."""
+        if term1 not in self.taxonomy or term2 not in self.taxonomy:
+            return None
+        ancestors1 = self.taxonomy.ancestors(term1, include_self=True)
+        ancestors2 = self.taxonomy.ancestors(term2, include_self=True)
+        common = ancestors1 & ancestors2
+        if not common:
+            return None
+        return max(
+            sorted(common), key=lambda term: self.information_content(term)
+        )
+
+    def resnik(self, term1: str, term2: str) -> float:
+        """Resnik similarity: IC of the most informative common ancestor."""
+        ancestor = self.most_informative_common_ancestor(term1, term2)
+        if ancestor is None:
+            return 0.0
+        return self.information_content(ancestor)
+
+    def lin(self, term1: str, term2: str) -> float:
+        """Lin similarity: normalized Resnik, in [0, 1]."""
+        ic1 = self.information_content(term1)
+        ic2 = self.information_content(term2)
+        if ic1 == 0.0 or ic2 == 0.0:
+            return 0.0
+        return 2.0 * self.resnik(term1, term2) / (ic1 + ic2)
+
+    def gene_similarity(self, gene1: str, gene2: str) -> float:
+        """Best-match-average functional similarity of two genes.
+
+        For each term of gene1, take its best Lin similarity against
+        gene2's terms; average both directions.  Genes without
+        annotations score 0.0.
+        """
+        terms1 = self._gene_terms.get(gene1, set())
+        terms2 = self._gene_terms.get(gene2, set())
+        if not terms1 or not terms2:
+            return 0.0
+
+        def best_average(from_terms: set[str], to_terms: set[str]) -> float:
+            scores = [
+                max(self.lin(t1, t2) for t2 in to_terms) for t1 in from_terms
+            ]
+            return sum(scores) / len(scores)
+
+        return (
+            best_average(terms1, terms2) + best_average(terms2, terms1)
+        ) / 2.0
+
+    def most_similar_genes(
+        self, gene: str, candidates: list[str] | None = None, k: int = 5
+    ) -> list[tuple[str, float]]:
+        """The k functionally closest genes, best first."""
+        if candidates is None:
+            candidates = sorted(self._gene_terms)
+        scored = [
+            (candidate, self.gene_similarity(gene, candidate))
+            for candidate in candidates
+            if candidate != gene
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:k]

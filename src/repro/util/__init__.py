@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from repro.util.timer import Timer
+
+__all__ = ["Timer"]

@@ -1,0 +1,5 @@
+"""HTTP JSON API over GenMapper (the paper's interactive access)."""
+
+from repro.web.app import ApiError, create_app
+
+__all__ = ["ApiError", "create_app"]

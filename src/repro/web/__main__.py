@@ -1,0 +1,50 @@
+"""Serve the GenMapper JSON API: ``python -m repro.web --db gam.db``."""
+
+from __future__ import annotations
+
+import argparse
+from wsgiref.simple_server import make_server
+
+from repro.core.genmapper import GenMapper
+from repro.web.app import create_app
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.web", description="Serve the GenMapper JSON API"
+    )
+    parser.add_argument("--db", default=":memory:",
+                        help="GAM database path (default: in-memory)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8350)
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="populate an in-memory database with a synthetic universe",
+    )
+    args = parser.parse_args(argv)
+
+    genmapper = GenMapper(args.db)
+    if args.demo:
+        import tempfile
+
+        from repro.datagen.emit import write_universe
+        from repro.datagen.universe import UniverseConfig, generate_universe
+
+        universe = generate_universe(UniverseConfig())
+        with tempfile.TemporaryDirectory() as directory:
+            write_universe(universe, directory)
+            genmapper.integrate_directory(directory)
+        print(f"demo universe loaded: {genmapper.stats()['objects']} objects")
+
+    app = create_app(genmapper)
+    with make_server(args.host, args.port, app) as server:
+        print(f"GenMapper API on http://{args.host}:{args.port}/sources")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,260 @@
+"""A JSON HTTP API over GenMapper (the paper's "interactive access").
+
+The original system exposed a Java web GUI at izbi.de; this reproduction
+exposes the same capabilities as a small WSGI application built on the
+standard library, serving JSON:
+
+====================================  =========================================
+Endpoint                              Returns
+====================================  =========================================
+``GET /sources``                      the imported sources
+``GET /sources/<name>``               one source + object count + coverage
+``GET /sources/<name>/objects``       accessions (paginated: limit/offset)
+``GET /objects/<source>/<accession>`` object info (Figure 1 / 6c)
+``GET /map?source=S&target=T``        the mapping S ↔ T (auto-Compose)
+``GET /paths?source=S&target=T&k=3``  alternative mapping paths
+``POST /query``                       run a query; body is either
+                                      ``{"query": "ANNOTATE ..."}`` or a
+                                      structured spec (source/targets/...)
+``POST /query/explain``               the query plan, without executing
+``GET /stats``                        deployment statistics (Section 5)
+====================================  =========================================
+
+Use :func:`create_app` to get the WSGI callable and serve it with any WSGI
+server (``python -m repro.web`` runs ``wsgiref.simple_server``); tests
+drive the callable directly without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable
+from urllib.parse import parse_qs
+
+from repro.core.genmapper import GenMapper
+from repro.gam.enums import CombineMethod
+from repro.gam.errors import GenMapperError
+from repro.query.language import parse_query
+from repro.query.plan import plan_query
+from repro.query.session import run_query
+from repro.query.spec import QuerySpec, QueryTarget
+
+StartResponse = Callable[[str, list[tuple[str, str]]], None]
+
+_STATUS = {
+    200: "200 OK",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+}
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def create_app(genmapper: GenMapper) -> Callable:
+    """Build the WSGI application bound to one GenMapper instance."""
+
+    def app(environ: dict, start_response: StartResponse) -> Iterable[bytes]:
+        try:
+            status, payload = _route(genmapper, environ)
+        except ApiError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except GenMapperError as exc:
+            status, payload = 400, {"error": str(exc)}
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        start_response(
+            _STATUS[status],
+            [
+                ("Content-Type", "application/json; charset=utf-8"),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+    return app
+
+
+def _route(genmapper: GenMapper, environ: dict) -> tuple[int, object]:
+    method = environ.get("REQUEST_METHOD", "GET").upper()
+    path = environ.get("PATH_INFO", "/").rstrip("/") or "/"
+    query = parse_qs(environ.get("QUERY_STRING", ""))
+    segments = [segment for segment in path.split("/") if segment]
+
+    if method == "GET":
+        return _route_get(genmapper, segments, query)
+    if method == "POST":
+        return _route_post(genmapper, segments, environ)
+    raise ApiError(405, f"method {method} not allowed")
+
+
+def _route_get(
+    genmapper: GenMapper, segments: list[str], query: dict
+) -> tuple[int, object]:
+    if segments == ["sources"]:
+        return 200, {"sources": [_source_json(genmapper, s)
+                                 for s in genmapper.sources()]}
+    if len(segments) == 2 and segments[0] == "sources":
+        source = genmapper.source(segments[1])
+        payload = _source_json(genmapper, source)
+        from repro.analysis.coverage import source_coverage
+
+        payload["coverage"] = [
+            {
+                "target": entry.target,
+                "rel_type": entry.rel_type,
+                "coverage": round(entry.coverage, 4),
+                "associations": entry.associations,
+            }
+            for entry in source_coverage(genmapper.repository, source)
+        ]
+        return 200, payload
+    if len(segments) == 3 and segments[0] == "sources" and segments[2] == "objects":
+        limit = int(query.get("limit", ["100"])[0])
+        offset = int(query.get("offset", ["0"])[0])
+        objects = genmapper.objects(segments[1])
+        page = objects[offset: offset + limit]
+        return 200, {
+            "source": segments[1],
+            "total": len(objects),
+            "offset": offset,
+            "objects": [
+                {"accession": o.accession, "text": o.text} for o in page
+            ],
+        }
+    if len(segments) == 3 and segments[0] == "objects":
+        __, source, accession = segments
+        info = genmapper.object_info(source, accession)
+        return 200, {
+            "source": source,
+            "accession": accession,
+            "annotations": [
+                {
+                    "partner": partner,
+                    "rel_type": rel_type.value,
+                    "accession": assoc.target_accession,
+                    "evidence": assoc.evidence,
+                }
+                for partner, rel_type, assoc in info
+            ],
+        }
+    if segments == ["map"]:
+        source = _require_param(query, "source")
+        target = _require_param(query, "target")
+        via = query.get("via", [None])[0]
+        mapping = genmapper.map(
+            source, target, via=[via] if via else None
+        )
+        return 200, {
+            "source": mapping.source,
+            "target": mapping.target,
+            "rel_type": mapping.rel_type.value if mapping.rel_type else None,
+            "associations": [
+                [a.source_accession, a.target_accession, a.evidence]
+                for a in mapping
+            ],
+        }
+    if segments == ["paths"]:
+        source = _require_param(query, "source")
+        target = _require_param(query, "target")
+        k = int(query.get("k", ["3"])[0])
+        paths = genmapper.find_paths(source, target, k=k)
+        return 200, {"paths": [list(path) for path in paths]}
+    if segments == ["stats"]:
+        return 200, genmapper.stats()
+    raise ApiError(404, f"no such resource: /{'/'.join(segments)}")
+
+
+def _route_post(
+    genmapper: GenMapper, segments: list[str], environ: dict
+) -> tuple[int, object]:
+    if segments not in (["query"], ["query", "explain"]):
+        raise ApiError(404, f"no such resource: /{'/'.join(segments)}")
+    spec = _parse_body_spec(environ)
+    if segments == ["query", "explain"]:
+        plan = plan_query(genmapper, spec)
+        return 200, {
+            "source": plan.source,
+            "combine": plan.combine,
+            "executable": plan.executable,
+            "targets": [
+                {
+                    "target": target.target,
+                    "kind": target.kind,
+                    "path": list(target.path),
+                    "estimated_associations": target.estimated_associations,
+                    "negated": target.negated,
+                }
+                for target in plan.targets
+            ],
+        }
+    view = run_query(genmapper, spec)
+    return 200, {
+        "columns": list(view.columns),
+        "rows": [list(row) for row in view.rows],
+        "row_count": len(view),
+    }
+
+
+def _parse_body_spec(environ: dict) -> QuerySpec:
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except ValueError:
+        length = 0
+    raw = environ["wsgi.input"].read(length) if length else b""
+    if not raw:
+        raise ApiError(400, "request body required")
+    try:
+        body = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ApiError(400, f"invalid JSON body: {exc}") from exc
+    if "query" in body:
+        return parse_query(body["query"])
+    try:
+        targets = tuple(
+            QueryTarget(
+                name=target["name"],
+                accessions=(
+                    frozenset(target["accessions"])
+                    if target.get("accessions") is not None
+                    else None
+                ),
+                negated=bool(target.get("negated", False)),
+                via=tuple(target.get("via", ())),
+            )
+            for target in body["targets"]
+        )
+        return QuerySpec(
+            source=body["source"],
+            accessions=(
+                frozenset(body["accessions"])
+                if body.get("accessions") is not None
+                else None
+            ),
+            targets=targets,
+            combine=CombineMethod.parse(body.get("combine", "AND")),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ApiError(400, f"malformed query spec: {exc}") from exc
+
+
+def _require_param(query: dict, name: str) -> str:
+    values = query.get(name)
+    if not values or not values[0]:
+        raise ApiError(400, f"missing query parameter {name!r}")
+    return values[0]
+
+
+def _source_json(genmapper: GenMapper, source) -> dict:
+    return {
+        "name": source.name,
+        "content": source.content.value,
+        "structure": source.structure.value,
+        "release": source.release,
+        "objects": genmapper.repository.count_objects(source),
+    }

@@ -1,0 +1,230 @@
+"""Tests for the Section 5.2 analysis layer: expression statistics,
+enrichment, and the full profiling pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diffexpr import (
+    benjamini_hochberg,
+    detect_differential,
+    detect_expressed,
+)
+from repro.analysis.enrichment import enrich, significant
+from repro.analysis.profiling import FunctionalProfiler
+from repro.datagen.expression import ExpressionStudy, generate_expression
+from repro.operators.mapping import Mapping
+from repro.taxonomy.dag import Taxonomy
+
+
+def make_study(values, probe_ids=None, n_human=3, n_chimp=3):
+    values = np.asarray(values, dtype=float)
+    probe_ids = probe_ids or [f"p{i}" for i in range(values.shape[0])]
+    return ExpressionStudy(
+        probe_ids=tuple(probe_ids),
+        species=tuple(["human"] * n_human + ["chimp"] * n_chimp),
+        values=values,
+        expressed_probes=frozenset(),
+        differential_probes=frozenset(),
+        differential_loci=frozenset(),
+        planted_terms=frozenset(),
+    )
+
+
+class TestBenjaminiHochberg:
+    def test_empty_input(self):
+        assert benjamini_hochberg(np.array([])).size == 0
+
+    def test_single_p_value_unchanged(self):
+        assert benjamini_hochberg(np.array([0.03]))[0] == pytest.approx(0.03)
+
+    def test_known_example(self):
+        p = np.array([0.01, 0.04, 0.03, 0.005])
+        q = benjamini_hochberg(p)
+        # Sorted p: .005, .01, .03, .04 -> q: .02, .02, .04, .04.
+        assert q[np.argsort(p)] == pytest.approx([0.02, 0.02, 0.04, 0.04])
+
+    def test_monotone_in_sorted_order(self):
+        rng = np.random.default_rng(3)
+        p = rng.uniform(size=50)
+        q = benjamini_hochberg(p)
+        order = np.argsort(p)
+        assert np.all(np.diff(q[order]) >= -1e-12)
+
+    def test_q_values_bounded(self):
+        rng = np.random.default_rng(4)
+        q = benjamini_hochberg(rng.uniform(size=100))
+        assert np.all(q >= 0.0) and np.all(q <= 1.0)
+
+    def test_q_at_least_p(self):
+        rng = np.random.default_rng(5)
+        p = rng.uniform(size=30)
+        q = benjamini_hochberg(p)
+        assert np.all(q >= p - 1e-12)
+
+
+class TestDetectExpressed:
+    def test_threshold_separates_signal_from_background(self):
+        study = make_study([[8.0] * 6, [4.0] * 6])
+        assert detect_expressed(study, threshold=6.0) == {"p0"}
+
+    def test_all_below_threshold(self):
+        study = make_study([[1.0] * 6])
+        assert detect_expressed(study) == set()
+
+
+class TestDetectDifferential:
+    def test_finds_planted_shift(self):
+        flat = [8.0, 8.1, 7.9, 8.0, 8.1, 7.9]
+        shifted = [8.0, 8.1, 7.9, 11.0, 11.1, 10.9]
+        study = make_study([flat, shifted])
+        results = detect_differential(study, expressed={"p0", "p1"}, fdr=0.05)
+        assert [r.probe_id for r in results] == ["p1"]
+        assert results[0].direction == "up"
+
+    def test_down_direction(self):
+        shifted = [8.0, 8.1, 7.9, 5.0, 5.1, 4.9]
+        study = make_study([shifted])
+        results = detect_differential(study, expressed={"p0"}, fdr=0.05)
+        assert results[0].direction == "down"
+
+    def test_only_expressed_probes_tested(self):
+        shifted = [8.0, 8.1, 7.9, 11.0, 11.1, 10.9]
+        study = make_study([shifted])
+        assert detect_differential(study, expressed=set(), fdr=0.5) == []
+
+    def test_requires_two_samples_per_species(self):
+        study = make_study([[8.0, 9.0]], n_human=1, n_chimp=1)
+        with pytest.raises(ValueError, match="two samples"):
+            detect_differential(study, expressed={"p0"})
+
+    def test_results_sorted_by_q(self):
+        strong = [8.0, 8.0, 8.0, 12.0, 12.0, 12.0]
+        weak = [8.0, 8.3, 7.7, 9.2, 9.4, 8.6]
+        study = make_study([weak, strong])
+        results = detect_differential(
+            study, expressed={"p0", "p1"}, fdr=1.0
+        )
+        assert results[0].probe_id == "p1"
+
+
+class TestEnrichment:
+    @pytest.fixture()
+    def annotation(self):
+        # 10 genes; term T1 annotates g0..g3, T2 annotates g4..g9.
+        pairs = [(f"g{i}", "T1") for i in range(4)]
+        pairs += [(f"g{i}", "T2") for i in range(4, 10)]
+        return Mapping.build("Gene", "GO", pairs)
+
+    def test_enriched_term_detected(self, annotation):
+        results = enrich(annotation, study_objects={"g0", "g1", "g2"})
+        by_term = {r.term: r for r in results}
+        assert by_term["T1"].p_value < by_term["T2"].p_value
+        assert by_term["T1"].study_count == 3
+
+    def test_population_defaults_to_domain(self, annotation):
+        results = enrich(annotation, study_objects={"g0"})
+        assert results[0].population_size == 10
+
+    def test_explicit_population_intersected(self, annotation):
+        results = enrich(
+            annotation,
+            study_objects={"g0"},
+            population_objects={f"g{i}" for i in range(5)} | {"not-annotated"},
+        )
+        assert results[0].population_size == 5
+
+    def test_min_term_size_filters(self, annotation):
+        small = Mapping.build("Gene", "GO", [("g0", "T3")])
+        merged = Mapping.build(
+            "Gene", "GO",
+            [(a.source_accession, a.target_accession) for a in annotation]
+            + [("g0", "T3")],
+        )
+        results = enrich(merged, study_objects={"g0"}, min_term_size=2)
+        assert all(r.term != "T3" for r in results)
+        del small
+
+    def test_rollup_tests_ancestor_terms(self, annotation):
+        taxonomy = Taxonomy([("T1", "ROOT"), ("T2", "ROOT")])
+        results = enrich(
+            annotation, study_objects={"g0", "g1"}, taxonomy=taxonomy
+        )
+        assert any(r.term == "ROOT" for r in results)
+
+    def test_fold_enrichment(self, annotation):
+        results = enrich(annotation, study_objects={"g0", "g1"})
+        t1 = next(r for r in results if r.term == "T1")
+        # Expected = 4 * 2 / 10 = 0.8; observed 2 -> fold 2.5.
+        assert t1.fold_enrichment == pytest.approx(2.5)
+
+    def test_empty_annotation_gives_no_results(self):
+        empty = Mapping.build("Gene", "GO", [])
+        assert enrich(empty, study_objects={"g0"}) == []
+
+    def test_significant_filters_by_q(self, annotation):
+        results = enrich(annotation, study_objects={"g0", "g1", "g2", "g3"})
+        assert all(r.q_value <= 0.05 for r in significant(results, 0.05))
+
+
+class TestProfilingPipeline:
+    @pytest.fixture(scope="class")
+    def profiled(self, request):
+        # Build a private, larger universe for a reliable planted signal.
+        import tempfile
+
+        from repro.core.genmapper import GenMapper
+        from repro.datagen.emit import write_universe
+        from repro.datagen.universe import UniverseConfig, generate_universe
+
+        universe = generate_universe(
+            UniverseConfig(seed=23, n_genes=250, n_go_terms=90)
+        )
+        gm = GenMapper()
+        with tempfile.TemporaryDirectory() as directory:
+            write_universe(universe, directory)
+            gm.integrate_directory(directory)
+        study = generate_expression(universe)
+        report = FunctionalProfiler(gm).run(study)
+        request.addfinalizer(gm.close)
+        return universe, study, report
+
+    def test_headline_proportions(self, profiled):
+        __, study, report = profiled
+        # Roughly half the probes expressed, an eighth of those differential
+        # (the paper's 40k -> 20k -> 2.5k shape).
+        expressed_fraction = len(report.expressed_probes) / report.n_probes
+        assert 0.35 <= expressed_fraction <= 0.65
+        differential_fraction = (
+            len(report.differential) / len(report.expressed_probes)
+        )
+        assert 0.05 <= differential_fraction <= 0.25
+
+    def test_differential_probes_recovered(self, profiled):
+        __, study, report = profiled
+        found = report.differential_probes
+        truth = study.differential_probes
+        overlap = len(found & truth)
+        assert overlap / max(len(truth), 1) >= 0.7
+        assert overlap / max(len(found), 1) >= 0.7
+
+    def test_study_genes_translated_to_unigene(self, profiled):
+        universe, __, report = profiled
+        clusters = {g.unigene for g in universe.genes if g.unigene}
+        assert report.study_genes <= clusters
+        assert report.population_genes <= clusters
+
+    def test_enrichment_recovers_planted_signal(self, profiled):
+        universe, study, report = profiled
+        taxonomy = Taxonomy(universe.go.is_a_pairs())
+        planted_and_ancestors = set(study.planted_terms)
+        for term in study.planted_terms:
+            if term in taxonomy:
+                planted_and_ancestors |= taxonomy.ancestors(term)
+        hits = {r.term for r in report.significant_terms(fdr=0.10)}
+        assert hits & planted_and_ancestors
+
+    def test_summary_mentions_counts(self, profiled):
+        __, __s, report = profiled
+        summary = report.summary()
+        assert "probes measured" in summary
+        assert "expressed" in summary

@@ -1,0 +1,202 @@
+"""Tests for the three baseline systems (SRS-style, web-link, warehouse)."""
+
+import pytest
+
+from repro.baselines.srs import SrsSystem
+from repro.baselines.warehouse import SchemaEvolutionRequired, StarWarehouse
+from repro.baselines.weblink import WebLinkNavigator
+from repro.eav.model import EavRow
+from repro.eav.store import EavDataset
+
+
+@pytest.fixture()
+def locuslink_dataset():
+    return EavDataset(
+        "LocusLink",
+        [
+            EavRow("353", "Name", "adenine phosphoribosyltransferase",
+                   "adenine phosphoribosyltransferase"),
+            EavRow("353", "Hugo", "APRT"),
+            EavRow("353", "GO", "GO:0009116"),
+            EavRow("353", "OMIM", "102600"),
+            EavRow("354", "Hugo", "GP1BB"),
+            EavRow("354", "GO", "GO:0007155"),
+        ],
+    )
+
+
+@pytest.fixture()
+def unigene_dataset():
+    return EavDataset(
+        "Unigene",
+        [
+            EavRow("Hs.28914", "LocusLink", "353"),
+            EavRow("Hs.2", "LocusLink", "354"),
+        ],
+    )
+
+
+class TestSrsSystem:
+    @pytest.fixture()
+    def srs(self, locuslink_dataset, unigene_dataset):
+        system = SrsSystem()
+        system.load(locuslink_dataset)
+        system.load(unigene_dataset)
+        return system
+
+    def test_sources_and_attributes_indexed(self, srs):
+        assert srs.sources() == ["LocusLink", "Unigene"]
+        assert "GO" in srs.attributes("LocusLink")
+
+    def test_single_source_query_works(self, srs):
+        assert srs.query("LocusLink", "GO", "GO:0009116") == {"353"}
+
+    def test_lookup_returns_entry(self, srs):
+        entry = srs.lookup("LocusLink", "353")
+        assert entry.attributes["Hugo"] == ["APRT"]
+
+    def test_lookup_counts_page_views(self, srs):
+        srs.reset_counters()
+        srs.lookup("LocusLink", "353")
+        srs.lookup("LocusLink", "354")
+        assert srs.lookups == 2
+
+    def test_no_join_operation_exists(self, srs):
+        # The defining limitation: the public surface has no join/view API.
+        assert not hasattr(srs, "generate_view")
+        assert not hasattr(srs, "join")
+
+    def test_navigate_chases_references_per_object(self, srs):
+        srs.reset_counters()
+        results = srs.navigate(
+            "Unigene", ["Hs.28914", "Hs.2"], ["LocusLink", "LocusLink", "GO"]
+        )
+        assert results == {
+            "Hs.28914": {"GO:0009116"},
+            "Hs.2": {"GO:0007155"},
+        }
+        # Two objects, two hops each -> at least four lookups.
+        assert srs.lookups >= 4
+
+    def test_navigate_cost_scales_with_objects(self, srs):
+        srs.reset_counters()
+        srs.navigate("Unigene", ["Hs.28914"], ["LocusLink", "LocusLink", "GO"])
+        single = srs.lookups
+        srs.reset_counters()
+        srs.navigate(
+            "Unigene", ["Hs.28914", "Hs.2"], ["LocusLink", "LocusLink", "GO"]
+        )
+        assert srs.lookups == 2 * single
+
+    def test_navigate_odd_path_required(self, srs):
+        with pytest.raises(ValueError, match="attr"):
+            srs.navigate("Unigene", ["Hs.2"], ["LocusLink", "LocusLink"])
+
+    def test_unknown_source_rejected(self, srs):
+        from repro.gam.errors import UnknownSourceError
+
+        with pytest.raises(UnknownSourceError):
+            srs.query("Nope", "GO", "x")
+
+
+class TestWebLinkNavigator:
+    @pytest.fixture()
+    def web(self, locuslink_dataset, unigene_dataset):
+        navigator = WebLinkNavigator(fetch_latency=0.05)
+        navigator.load(locuslink_dataset)
+        navigator.load(unigene_dataset)
+        return navigator
+
+    def test_fetch_returns_links(self, web):
+        links = web.fetch("LocusLink", "353")
+        assert ("GO", "GO:0009116") in links
+        assert ("Hugo", "APRT") in links
+
+    def test_links_are_bidirectional(self, web):
+        links = web.fetch("GO", "GO:0009116")
+        assert ("LocusLink", "353") in links
+
+    def test_name_rows_are_not_links(self, web):
+        links = web.fetch("LocusLink", "353")
+        assert all(target != "Name" for target, __ in links)
+
+    def test_profile_by_link_chasing(self, web):
+        found = web.annotation_profile("Unigene", "Hs.28914", "GO", max_hops=2)
+        assert found == {"GO:0009116"}
+
+    def test_hop_limit_respected(self, web):
+        found = web.annotation_profile("Unigene", "Hs.28914", "GO", max_hops=1)
+        assert found == set()
+
+    def test_cost_accounting(self, web):
+        __, cost = web.profile_cost("Unigene", ["Hs.28914", "Hs.2"], "GO")
+        assert cost.page_fetches > 0
+        assert cost.simulated_seconds == pytest.approx(
+            cost.page_fetches * 0.05
+        )
+
+    def test_fetch_counter(self, web):
+        web.reset_counters()
+        web.fetch("LocusLink", "353")
+        assert web.page_fetches == 1
+        assert web.simulated_seconds == pytest.approx(0.05)
+
+
+class TestStarWarehouse:
+    def test_designed_attributes_load_without_evolution(self, locuslink_dataset):
+        warehouse = StarWarehouse()
+        warehouse.design("LocusLink")
+        warehouse.integrate(locuslink_dataset)
+        assert warehouse.schema_changes == 0
+        assert ("353", "GO:0009116") in warehouse.annotations("LocusLink", "GO")
+
+    def test_unanticipated_attribute_requires_evolution(self):
+        warehouse = StarWarehouse()
+        warehouse.design("LocusLink")
+        dataset = EavDataset(
+            "LocusLink", [EavRow("353", "Phenotype", "dwarfism")]
+        )
+        with pytest.raises(SchemaEvolutionRequired, match="Phenotype"):
+            warehouse.integrate(dataset)
+
+    def test_auto_evolve_counts_ddl(self):
+        warehouse = StarWarehouse()
+        warehouse.design("LocusLink")
+        dataset = EavDataset(
+            "LocusLink",
+            [
+                EavRow("353", "Phenotype", "dwarfism"),
+                EavRow("353", "Pathway", "purine-salvage"),
+            ],
+        )
+        warehouse.integrate(dataset, auto_evolve=True)
+        assert warehouse.schema_changes == 2
+        assert {e.attribute for e in warehouse.evolution_log} == {
+            "Phenotype", "Pathway",
+        }
+
+    def test_new_source_requires_entity_table(self, unigene_dataset):
+        warehouse = StarWarehouse()
+        with pytest.raises(SchemaEvolutionRequired):
+            warehouse.integrate(unigene_dataset)
+
+    def test_new_source_auto_evolution(self, unigene_dataset):
+        warehouse = StarWarehouse()
+        warehouse.integrate(unigene_dataset, auto_evolve=True)
+        # One entity table + one bridge table for LocusLink references.
+        assert warehouse.schema_changes == 2
+
+    def test_annotations_of_unknown_attribute_rejected(self):
+        warehouse = StarWarehouse()
+        warehouse.design("LocusLink")
+        with pytest.raises(SchemaEvolutionRequired):
+            warehouse.annotations("LocusLink", "Phenotype")
+
+    def test_name_rows_update_entity_table(self, locuslink_dataset):
+        warehouse = StarWarehouse()
+        warehouse.design("LocusLink")
+        warehouse.integrate(locuslink_dataset)
+        row = warehouse._connection.execute(
+            "SELECT name FROM locuslink WHERE accession = '353'"
+        ).fetchone()
+        assert row["name"] == "adenine phosphoribosyltransferase"

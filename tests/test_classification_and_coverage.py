@@ -1,0 +1,173 @@
+"""Tests for taxonomy classification, conserved/changed functions, and
+annotation coverage statistics."""
+
+import pytest
+
+from repro.analysis.classification import (
+    classify,
+    conserved_and_changed,
+    level_profile,
+)
+from repro.analysis.coverage import (
+    coverage_matrix,
+    render_coverage,
+    source_coverage,
+)
+from repro.operators.mapping import Mapping
+from repro.taxonomy.dag import Taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    r"""root -> {metabolism, signaling}; metabolism -> {purine, lipid}."""
+    return Taxonomy(
+        [
+            ("metabolism", "root"),
+            ("signaling", "root"),
+            ("purine", "metabolism"),
+            ("lipid", "metabolism"),
+        ]
+    )
+
+
+@pytest.fixture()
+def annotation():
+    return Mapping.build(
+        "Gene",
+        "GO",
+        [
+            ("g1", "purine"),
+            ("g2", "purine"),
+            ("g3", "lipid"),
+            ("g4", "signaling"),
+        ],
+    )
+
+
+class TestClassify:
+    def test_rollup_to_ancestors(self, annotation, taxonomy):
+        classified = classify(annotation, taxonomy)
+        assert classified["purine"].genes == {"g1", "g2"}
+        assert classified["metabolism"].genes == {"g1", "g2", "g3"}
+        assert classified["root"].genes == {"g1", "g2", "g3", "g4"}
+
+    def test_depths_recorded(self, annotation, taxonomy):
+        classified = classify(annotation, taxonomy)
+        assert classified["root"].depth == 0
+        assert classified["purine"].depth == 2
+
+    def test_gene_restriction(self, annotation, taxonomy):
+        classified = classify(annotation, taxonomy, genes={"g1", "g4"})
+        assert classified["root"].genes == {"g1", "g4"}
+        assert "lipid" not in classified
+
+    def test_terms_without_genes_absent(self, taxonomy):
+        annotation = Mapping.build("Gene", "GO", [("g1", "signaling")])
+        classified = classify(annotation, taxonomy)
+        assert "purine" not in classified
+
+
+class TestLevelProfile:
+    def test_level_one_summary(self, annotation, taxonomy):
+        profile = level_profile(annotation, taxonomy, depth=1)
+        assert profile == {"metabolism": 3, "signaling": 1}
+
+    def test_leaf_level(self, annotation, taxonomy):
+        profile = level_profile(annotation, taxonomy, depth=2)
+        assert profile == {"purine": 2, "lipid": 1}
+
+    def test_unknown_terms_skipped(self, taxonomy):
+        annotation = Mapping.build("Gene", "GO", [("g1", "not-in-tax")])
+        assert level_profile(annotation, taxonomy, depth=0) == {}
+
+
+class TestConservedAndChanged:
+    def test_changed_function_ranks_first(self, annotation, taxonomy):
+        # g1/g2 (purine) changed; g3/g4 conserved.
+        comparisons = conserved_and_changed(
+            annotation, taxonomy,
+            first_genes={"g3", "g4"},      # conserved
+            second_genes={"g1", "g2"},     # differentially expressed
+        )
+        assert comparisons[0].term == "purine"
+        assert comparisons[0].second_fraction == 1.0
+
+    def test_conserved_function_ranks_last(self, annotation, taxonomy):
+        comparisons = conserved_and_changed(
+            annotation, taxonomy,
+            first_genes={"g3", "g4"},
+            second_genes={"g1", "g2"},
+        )
+        assert comparisons[-1].term in ("signaling", "lipid")
+        assert comparisons[-1].second_fraction == 0.0
+
+    def test_counts_per_term(self, annotation, taxonomy):
+        comparisons = conserved_and_changed(
+            annotation, taxonomy,
+            first_genes={"g3"},
+            second_genes={"g1"},
+        )
+        by_term = {c.term: c for c in comparisons}
+        assert by_term["metabolism"].first_count == 1
+        assert by_term["metabolism"].second_count == 1
+        assert by_term["metabolism"].second_fraction == pytest.approx(0.5)
+
+    def test_min_size_filters(self, annotation, taxonomy):
+        comparisons = conserved_and_changed(
+            annotation, taxonomy,
+            first_genes={"g3"},
+            second_genes={"g1"},
+            min_size=2,
+        )
+        assert all(c.total >= 2 for c in comparisons)
+
+
+class TestCoverage:
+    def test_paper_fixture_coverage(self, paper_genmapper):
+        entries = source_coverage(paper_genmapper.repository, "LocusLink")
+        by_target = {entry.target: entry for entry in entries}
+        # The single locus 353 is annotated with every target.
+        assert by_target["GO"].coverage == 1.0
+        assert by_target["GO"].associations == 1
+        assert by_target["Hugo"].source_objects == 1
+
+    def test_universe_coverage_tracks_generation(
+        self, loaded_genmapper, universe
+    ):
+        entries = source_coverage(loaded_genmapper.repository, "LocusLink")
+        by_target = {entry.target: entry for entry in entries}
+        expected_unigene = sum(
+            1 for gene in universe.genes if gene.unigene is not None
+        ) / len(universe.genes)
+        assert by_target["Unigene"].coverage == pytest.approx(expected_unigene)
+        expected_omim = sum(
+            1 for gene in universe.genes if gene.omim is not None
+        ) / len(universe.genes)
+        assert by_target["OMIM"].coverage == pytest.approx(expected_omim)
+
+    def test_mean_annotations(self, loaded_genmapper, universe):
+        entries = source_coverage(loaded_genmapper.repository, "LocusLink")
+        go = next(entry for entry in entries if entry.target == "GO")
+        expected = sum(len(g.go_terms) for g in universe.genes) / len(
+            universe.genes
+        )
+        assert go.mean_annotations == pytest.approx(expected)
+
+    def test_entries_sorted_by_coverage(self, loaded_genmapper):
+        entries = source_coverage(loaded_genmapper.repository, "LocusLink")
+        coverages = [entry.coverage for entry in entries]
+        assert coverages == sorted(coverages, reverse=True)
+
+    def test_matrix_covers_all_mappings(self, paper_genmapper):
+        matrix = coverage_matrix(paper_genmapper.repository)
+        assert ("LocusLink", "GO") in matrix
+        assert ("Unigene", "LocusLink") in matrix
+
+    def test_render(self, paper_genmapper):
+        entries = source_coverage(paper_genmapper.repository, "LocusLink")
+        text = render_coverage(entries)
+        assert "GO" in text
+        assert "100.0%" in text
+
+    def test_render_empty(self):
+        assert "no outgoing mappings" in render_coverage([])

@@ -1,0 +1,105 @@
+"""Tests for the extended CLI commands: coverage, match, diff,
+delete-source (explain is covered in test_query_plan)."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import GO_MINI_OBO, LOCUS_353_RECORD, UNIGENE_MINI
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    db = tmp_path / "gam.db"
+    for name, content, source in (
+        ("ll.txt", LOCUS_353_RECORD, "LocusLink"),
+        ("go.obo", GO_MINI_OBO, "GO"),
+        ("ug.data", UNIGENE_MINI, "Unigene"),
+    ):
+        path = tmp_path / name
+        path.write_text(content)
+        assert main(["--db", str(db), "import", str(path),
+                     "--source", source]) == 0
+    return db
+
+
+class TestCoverageCommand:
+    def test_reports_targets(self, db_path, capsys):
+        assert main(["--db", str(db_path), "coverage", "LocusLink"]) == 0
+        out = capsys.readouterr().out
+        assert "GO" in out
+        assert "100.0%" in out
+
+    def test_unknown_source_errors(self, db_path, capsys):
+        assert main(["--db", str(db_path), "coverage", "Nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMatchCommand:
+    def test_match_reports_mapping(self, db_path, capsys):
+        code = main(["--db", str(db_path), "match", "LocusLink", "Unigene",
+                     "--threshold", "1.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LocusLink" in out and "Unigene" in out
+
+    def test_match_materializes(self, db_path, capsys):
+        code = main(["--db", str(db_path), "match", "LocusLink", "Unigene",
+                     "--threshold", "1.0", "--materialize"])
+        assert code == 0
+        assert "materialized" in capsys.readouterr().out
+
+
+class TestDiffCommand:
+    def test_diff_detects_new_locus(self, db_path, tmp_path, capsys):
+        new_release = tmp_path / "ll_new.txt"
+        new_release.write_text(
+            LOCUS_353_RECORD + ">>999\nOFFICIAL_SYMBOL: NEW1\n"
+        )
+        code = main(["--db", str(db_path), "diff", str(new_release),
+                     "--source", "LocusLink", "--release", "2004-01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+1 entities" in out
+        assert "999" in out
+
+    def test_diff_identical_release(self, db_path, tmp_path, capsys):
+        same = tmp_path / "ll_same.txt"
+        same.write_text(LOCUS_353_RECORD)
+        code = main(["--db", str(db_path), "diff", str(same),
+                     "--source", "LocusLink"])
+        assert code == 0
+        assert "no changes" in capsys.readouterr().out
+
+
+class TestDeleteSourceCommand:
+    def test_delete_reports_counts(self, db_path, capsys):
+        code = main(["--db", str(db_path), "delete-source", "OMIM"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deleted OMIM" in out
+
+    def test_delete_with_prune(self, db_path, capsys):
+        code = main(["--db", str(db_path), "delete-source", "LocusLink",
+                     "--prune"])
+        assert code == 0
+        assert "pruned" in capsys.readouterr().out
+
+    def test_deleted_source_gone(self, db_path, capsys):
+        main(["--db", str(db_path), "delete-source", "OMIM"])
+        capsys.readouterr()
+        assert main(["--db", str(db_path), "sources"]) == 0
+        assert "OMIM" not in capsys.readouterr().out
+
+
+class TestDumpLoadCommands:
+    def test_dump_then_load(self, db_path, tmp_path, capsys):
+        dump_file = tmp_path / "dump.jsonl"
+        assert main(["--db", str(db_path), "dump", str(dump_file)]) == 0
+        assert "dumped" in capsys.readouterr().out
+        other_db = tmp_path / "other.db"
+        assert main(["--db", str(other_db), "load", str(dump_file)]) == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out
+        # The restored database answers the same query.
+        assert main(["--db", str(other_db), "map", "LocusLink", "GO"]) == 0
+        assert "353\tGO:0009116" in capsys.readouterr().out

@@ -1,0 +1,162 @@
+"""Tests for the GenMapper facade — the public API surface."""
+
+import pytest
+
+from repro.core.genmapper import GenMapper
+from repro.gam.enums import CombineMethod, RelType
+from repro.gam.errors import UnknownSourceError
+from repro.operators.generate_view import TargetSpec
+from tests.conftest import GO_MINI_OBO, LOCUS_353_RECORD, UNIGENE_MINI
+
+
+class TestIntegration:
+    def test_integrate_text_and_sources(self, genmapper):
+        genmapper.integrate_text(LOCUS_353_RECORD, "LocusLink")
+        names = {source.name for source in genmapper.sources()}
+        assert "LocusLink" in names
+        assert "GO" in names  # created as an annotation target
+
+    def test_integrate_file(self, genmapper, tmp_path):
+        path = tmp_path / "ll.txt"
+        path.write_text(LOCUS_353_RECORD)
+        report = genmapper.integrate_file(path, source_name="LocusLink")
+        assert report.new_objects == 1
+
+    def test_accessions_and_objects(self, paper_genmapper):
+        assert paper_genmapper.accessions("LocusLink") == {"353"}
+        objects = paper_genmapper.objects("LocusLink")
+        assert objects[0].text == "adenine phosphoribosyltransferase"
+
+    def test_source_lookup_raises_for_unknown(self, genmapper):
+        with pytest.raises(UnknownSourceError):
+            genmapper.source("Nope")
+
+    def test_object_info_lists_figure_1_annotations(self, paper_genmapper):
+        info = paper_genmapper.object_info("LocusLink", "353")
+        partners = {partner for partner, __, __a in info}
+        assert {"Hugo", "GO", "Location", "OMIM", "Enzyme"} <= partners
+
+
+class TestMapAndCompose:
+    def test_map_uses_stored_mapping(self, paper_genmapper):
+        mapping = paper_genmapper.map("LocusLink", "GO")
+        assert mapping.rel_type is RelType.FACT
+        assert ("353", "GO:0009116") in mapping
+
+    def test_map_falls_back_to_compose(self, paper_genmapper):
+        mapping = paper_genmapper.map("Unigene", "GO")
+        assert mapping.rel_type is RelType.COMPOSED
+        assert mapping.pair_set() == {("Hs.28914", "GO:0009116")}
+
+    def test_map_with_explicit_via(self, paper_genmapper):
+        mapping = paper_genmapper.map("Unigene", "GO", via=["LocusLink"])
+        assert mapping.pair_set() == {("Hs.28914", "GO:0009116")}
+
+    def test_compose_with_materialize(self, paper_genmapper):
+        paper_genmapper.compose(
+            ["Unigene", "LocusLink", "GO"], materialize=True
+        )
+        stored = paper_genmapper.map("Unigene", "GO")
+        assert stored.rel_type is RelType.COMPOSED
+
+    def test_materialize_mapping_directly(self, paper_genmapper):
+        mapping = paper_genmapper.map("Unigene", "GO")
+        inserted = paper_genmapper.materialize(mapping)
+        assert inserted == 1
+
+
+class TestGenerateView:
+    def test_figure_3_shape(self, paper_genmapper):
+        view = paper_genmapper.generate_view(
+            "LocusLink", ["Hugo", "GO", "Location", "OMIM"], combine="OR"
+        )
+        assert view.columns == ("LocusLink", "Hugo", "GO", "Location", "OMIM")
+        assert ("353", "APRT", "GO:0009116", "16q24", "102600") in view.rows
+
+    def test_target_tuple_shorthand(self, paper_genmapper):
+        view = paper_genmapper.generate_view(
+            "LocusLink", [("GO", {"GO:0009116"})], combine="AND"
+        )
+        assert len(view) == 1
+
+    def test_negated_tuple_shorthand(self, paper_genmapper):
+        view = paper_genmapper.generate_view(
+            "LocusLink", [("OMIM", None, True)], combine="AND"
+        )
+        assert view.is_empty()  # 353 has an OMIM annotation
+
+    def test_target_spec_objects(self, paper_genmapper):
+        view = paper_genmapper.generate_view(
+            "LocusLink",
+            [TargetSpec.of("GO", restrict={"GO:9999999"})],
+            combine=CombineMethod.AND,
+        )
+        assert view.is_empty()
+
+    def test_bad_target_type_rejected(self, paper_genmapper):
+        with pytest.raises(TypeError, match="view target"):
+            paper_genmapper.generate_view("LocusLink", [42])
+
+    def test_source_objects_default_to_whole_source(self, paper_genmapper):
+        view = paper_genmapper.generate_view("LocusLink", ["Hugo"])
+        assert view.source_objects() == ["353"]
+
+    def test_view_through_composed_target(self, paper_genmapper):
+        view = paper_genmapper.generate_view("Unigene", ["GO"], combine="AND")
+        assert set(view.rows) == {("Hs.28914", "GO:0009116")}
+
+
+class TestDerivedAndPaths:
+    def test_derive_subsumed(self, paper_genmapper):
+        inserted = paper_genmapper.derive_subsumed("GO")
+        assert inserted == 3
+
+    def test_taxonomy_access(self, paper_genmapper):
+        taxonomy = paper_genmapper.taxonomy("GO")
+        assert taxonomy.depth("GO:0009116") == 2
+
+    def test_subsumed_on_the_fly(self, paper_genmapper):
+        mapping = paper_genmapper.subsumed("GO")
+        assert ("GO:0008150", "GO:0009116") in mapping
+
+    def test_find_path_and_alternatives(self, paper_genmapper):
+        assert paper_genmapper.find_path("Unigene", "GO") == (
+            "Unigene", "LocusLink", "GO",
+        )
+        paths = paper_genmapper.find_paths("Unigene", "GO", k=3)
+        assert paths[0] == ("Unigene", "LocusLink", "GO")
+
+    def test_save_and_load_path(self, paper_genmapper):
+        paper_genmapper.save_path("go-route", ["Unigene", "LocusLink", "GO"])
+        assert paper_genmapper.load_path("go-route") == (
+            "Unigene", "LocusLink", "GO",
+        )
+
+    def test_graph_cache_invalidated_on_import(self, genmapper):
+        genmapper.integrate_text(LOCUS_353_RECORD, "LocusLink")
+        first = genmapper.source_graph()
+        genmapper.integrate_text(UNIGENE_MINI, "Unigene")
+        second = genmapper.source_graph()
+        # The Unigene import adds new mappings (e.g. Unigene <-> Hugo).
+        assert second.number_of_edges() > first.number_of_edges()
+
+    def test_graph_cached_between_reads(self, paper_genmapper):
+        assert paper_genmapper.source_graph() is paper_genmapper.source_graph()
+
+
+class TestStatsAndIntegrity:
+    def test_stats_shape(self, paper_genmapper):
+        stats = paper_genmapper.stats()
+        for key in ("sources", "objects", "mappings", "associations"):
+            assert stats[key] > 0
+
+    def test_integrity_ok(self, paper_genmapper):
+        assert paper_genmapper.check_integrity().ok
+
+    def test_context_manager_closes(self, tmp_path):
+        with GenMapper(tmp_path / "gam.db") as gm:
+            gm.integrate_text(GO_MINI_OBO, "GO")
+        with GenMapper(tmp_path / "gam.db") as gm:
+            assert gm.accessions("GO") == {
+                "GO:0008150", "GO:0009117", "GO:0009116",
+            }

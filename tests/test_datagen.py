@@ -1,0 +1,248 @@
+"""Tests for the synthetic universe: generation, emission, round trips."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.emit import (
+    SOURCE_FILES,
+    emit_go_obo,
+    emit_locuslink,
+    emit_netaffx,
+    write_universe,
+)
+from repro.datagen.expression import generate_expression
+from repro.datagen.go_gen import generate_go
+from repro.datagen.universe import UniverseConfig, generate_universe
+from repro.parsers.go_obo import GoOboParser
+from repro.parsers.locuslink import LocusLinkParser
+from repro.parsers.netaffx import NetAffxParser
+from repro.taxonomy.dag import Taxonomy
+
+
+class TestGoGenerator:
+    @pytest.fixture(scope="class")
+    def go(self):
+        return generate_go(np.random.default_rng(1), n_terms=90, max_depth=4)
+
+    def test_term_count(self, go):
+        assert len(go) == 90
+
+    def test_three_namespaces(self, go):
+        assert {t.namespace for t in go.terms} == {
+            "biological_process", "molecular_function", "cellular_component",
+        }
+
+    def test_accessions_unique_and_go_style(self, go):
+        accessions = go.accessions()
+        assert len(set(accessions)) == len(accessions)
+        assert all(a.startswith("GO:") and len(a) == 10 for a in accessions)
+
+    def test_is_a_pairs_form_a_dag(self, go):
+        taxonomy = Taxonomy(go.is_a_pairs())  # raises on cycles
+        assert taxonomy.max_depth() <= 4
+
+    def test_one_root_per_namespace(self, go):
+        roots = [t for t in go.terms if not t.parents]
+        assert len(roots) == 3
+
+    def test_parents_are_shallower(self, go):
+        by_accession = go.by_accession()
+        for term in go.terms:
+            for parent in term.parents:
+                assert by_accession[parent].depth < term.depth
+
+    def test_deterministic_for_seed(self):
+        first = generate_go(np.random.default_rng(5), n_terms=30)
+        second = generate_go(np.random.default_rng(5), n_terms=30)
+        assert first == second
+
+    def test_too_few_terms_rejected(self):
+        with pytest.raises(ValueError):
+            generate_go(np.random.default_rng(1), n_terms=3)
+
+    def test_leaf_accessions(self, go):
+        leaves = set(go.leaf_accessions())
+        parents = {p for t in go.terms for p in t.parents}
+        assert leaves.isdisjoint(parents)
+
+
+class TestUniverseGeneration:
+    def test_deterministic_for_seed(self, universe):
+        again = generate_universe(universe.config)
+        assert again.genes == universe.genes
+        assert again.probes == universe.probes
+
+    def test_gene_count(self, universe):
+        assert len(universe.genes) == universe.config.n_genes
+
+    def test_loci_unique(self, universe):
+        loci = [g.locus for g in universe.genes]
+        assert len(set(loci)) == len(loci)
+
+    def test_every_gene_has_go_terms(self, universe):
+        assert all(g.go_terms for g in universe.genes)
+
+    def test_go_terms_exist_in_taxonomy(self, universe):
+        valid = set(universe.go.accessions())
+        for gene in universe.genes:
+            assert set(gene.go_terms) <= valid
+
+    def test_coverage_fractions_respected(self, universe):
+        genes = universe.genes
+        unigene_fraction = sum(g.unigene is not None for g in genes) / len(genes)
+        assert abs(unigene_fraction - universe.config.unigene_coverage) < 0.15
+
+    def test_every_probe_targets_a_gene(self, universe):
+        loci = {g.locus for g in universe.genes}
+        assert all(p.locus in loci for p in universe.probes)
+
+    def test_published_links_subset_of_truth(self, universe):
+        for probe in universe.probes:
+            if probe.published_locus is not None:
+                assert probe.published_locus == probe.locus
+
+    def test_proteins_only_for_swissprot_genes(self, universe):
+        covered = {g.locus for g in universe.genes if g.swissprot}
+        assert {p.locus for p in universe.proteins} == covered
+
+    def test_ground_truth_mappings_consistent(self, universe):
+        truth = universe.true_probe_to_go()
+        locus_go = universe.true_locus_to_go()
+        probe_locus = universe.true_probe_to_locus()
+        rebuilt = {
+            (probe, term)
+            for probe, locus in probe_locus
+            for locus2, term in locus_go
+            if locus2 == locus
+        }
+        assert truth == rebuilt
+
+
+class TestEmission:
+    def test_all_source_files_written(self, universe, tmp_path):
+        write_universe(universe, tmp_path)
+        for file_name, __ in SOURCE_FILES:
+            assert (tmp_path / file_name).exists()
+        assert (tmp_path / "manifest.tsv").exists()
+
+    def test_locuslink_round_trip(self, universe):
+        dataset = LocusLinkParser().parse_text(emit_locuslink(universe))
+        assert set(dataset.entities()) == {g.locus for g in universe.genes}
+        go_rows = {
+            (r.entity, r.accession) for r in dataset.rows_for_target("GO")
+        }
+        assert go_rows == universe.true_locus_to_go()
+
+    def test_go_obo_round_trip(self, universe):
+        dataset = GoOboParser().parse_text(emit_go_obo(universe))
+        is_a = {
+            (r.entity, r.accession) for r in dataset.rows_for_target("IS_A")
+        }
+        assert is_a == set(universe.go.is_a_pairs())
+
+    def test_netaffx_round_trip_respects_gaps(self, universe):
+        dataset = NetAffxParser().parse_text(emit_netaffx(universe))
+        published = {
+            (r.entity, r.accession)
+            for r in dataset.rows_for_target("LocusLink")
+        }
+        expected = {
+            (p.probe_id, p.published_locus)
+            for p in universe.probes
+            if p.published_locus is not None
+        }
+        assert published == expected
+
+
+class TestExpressionStudy:
+    @pytest.fixture(scope="class")
+    def study(self, universe):
+        return generate_expression(universe)
+
+    def test_matrix_shape(self, universe, study):
+        assert study.values.shape == (len(universe.probes), study.n_samples)
+
+    def test_expressed_fraction_near_half(self, universe, study):
+        loci = {p.locus for p in universe.probes}
+        expressed_loci = {
+            p.locus
+            for p in universe.probes
+            if p.probe_id in study.expressed_probes
+        }
+        fraction = len(expressed_loci) / len(loci)
+        assert 0.35 <= fraction <= 0.65
+
+    def test_differential_probes_are_expressed(self, study):
+        assert study.differential_probes <= study.expressed_probes
+
+    def test_expressed_probes_have_higher_signal(self, study):
+        index = study.probe_index()
+        expressed_rows = [index[p] for p in study.expressed_probes]
+        silent_rows = [
+            i for i in range(len(study.probe_ids)) if i not in set(expressed_rows)
+        ]
+        assert (
+            study.values[expressed_rows].mean()
+            > study.values[silent_rows].mean() + 2.0
+        )
+
+    def test_differential_shift_between_species(self, study):
+        index = study.probe_index()
+        human = study.sample_indices("human")
+        chimp = study.sample_indices("chimp")
+        shifts = [
+            abs(
+                study.values[index[p], chimp].mean()
+                - study.values[index[p], human].mean()
+            )
+            for p in study.differential_probes
+        ]
+        assert min(shifts) > 1.0
+
+    def test_deterministic_for_seed(self, universe):
+        first = generate_expression(universe, seed=99)
+        second = generate_expression(universe, seed=99)
+        assert np.array_equal(first.values, second.values)
+        assert first.differential_loci == second.differential_loci
+
+    def test_planted_terms_annotated_in_universe(self, universe, study):
+        annotated = {t for g in universe.genes for t in g.go_terms}
+        taxonomy = Taxonomy(universe.go.is_a_pairs())
+        for term in study.planted_terms:
+            closure = {term} | (
+                taxonomy.descendants(term) if term in taxonomy else set()
+            )
+            assert closure & annotated
+
+
+class TestGoaEmission:
+    def test_goa_round_trip(self, universe):
+        from repro.datagen.emit import emit_goa
+        from repro.parsers.gaf import GafParser
+
+        dataset = GafParser().parse_text(emit_goa(universe))
+        entities = set(dataset.entities())
+        assert entities == {p.accession for p in universe.proteins}
+        go_pairs = {
+            (r.entity, r.accession) for r in dataset.rows_for_target("GO")
+        }
+        expected = {
+            (p.accession, t) for p in universe.proteins for t in p.go_terms
+        }
+        assert go_pairs == expected
+
+    def test_goa_mixes_evidence_codes(self, universe):
+        from repro.datagen.emit import emit_goa
+        from repro.parsers.gaf import GafParser
+
+        rows = GafParser().parse_text(emit_goa(universe)).rows
+        evidences = {r.evidence for r in rows if r.target == "GO"}
+        assert 1.0 in evidences      # IDA
+        assert 0.7 in evidences      # IEA
+
+    def test_goa_imports_as_similarity(self, loaded_genmapper):
+        from repro.gam.enums import RelType
+
+        mapping = loaded_genmapper.map("GOA", "GO")
+        assert mapping.rel_type is RelType.SIMILARITY
+        assert 0.0 < mapping.min_evidence() < 1.0

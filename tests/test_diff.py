@@ -1,0 +1,122 @@
+"""Tests for release diffing (repro.importer.diff)."""
+
+import pytest
+
+from repro.eav.model import EavRow
+from repro.eav.store import EavDataset
+from repro.gam.errors import ImportError_
+from repro.importer.diff import diff_against_store, diff_datasets
+
+
+def release(name, rows, label):
+    return EavDataset(name, rows, release=label)
+
+
+@pytest.fixture()
+def old():
+    return release(
+        "LocusLink",
+        [
+            EavRow("353", "Name", "adenine phosphoribosyltransferase",
+                   "adenine phosphoribosyltransferase"),
+            EavRow("353", "GO", "GO:0009116"),
+            EavRow("354", "Name", "glycoprotein Ib", "glycoprotein Ib"),
+            EavRow("354", "GO", "GO:0007155"),
+        ],
+        "2003-01",
+    )
+
+
+@pytest.fixture()
+def new():
+    return release(
+        "LocusLink",
+        [
+            EavRow("353", "Name", "adenine phosphoribosyltransferase",
+                   "adenine phosphoribosyltransferase"),
+            EavRow("353", "GO", "GO:0009116"),
+            EavRow("353", "GO", "GO:0016757"),       # added association
+            EavRow("354", "Name", "glycoprotein Ib beta",
+                   "glycoprotein Ib beta"),           # renamed
+            # 354's GO association removed upstream
+            EavRow("355", "Name", "new gene", "new gene"),  # added entity
+            EavRow("355", "GO", "GO:0007155"),
+        ],
+        "2003-10",
+    )
+
+
+class TestDiffDatasets:
+    def test_identical_releases_empty(self, old):
+        diff = diff_datasets(old, old)
+        assert diff.is_empty
+        assert "no changes" in diff.render()
+
+    def test_added_and_removed_entities(self, old, new):
+        diff = diff_datasets(old, new)
+        assert diff.added_entities == {"355"}
+        assert diff.removed_entities == set()
+
+    def test_removed_entity_detected(self, old, new):
+        reverse = diff_datasets(new, old)
+        assert reverse.removed_entities == {"355"}
+
+    def test_renames_detected(self, old, new):
+        diff = diff_datasets(old, new)
+        assert diff.renamed_entities == {
+            ("354", "glycoprotein Ib", "glycoprotein Ib beta"),
+        }
+
+    def test_association_changes_per_target(self, old, new):
+        diff = diff_datasets(old, new)
+        go = next(target for target in diff.targets if target.target == "GO")
+        assert ("353", "GO:0016757") in go.added
+        assert ("355", "GO:0007155") in go.added
+        assert ("354", "GO:0007155") in go.removed
+
+    def test_counts(self, old, new):
+        diff = diff_datasets(old, new)
+        assert diff.added_association_count() == 2
+        assert diff.removed_association_count() == 1
+
+    def test_release_labels_carried(self, old, new):
+        diff = diff_datasets(old, new)
+        assert diff.old_release == "2003-01"
+        assert diff.new_release == "2003-10"
+
+    def test_render_mentions_changes(self, old, new):
+        text = diff_datasets(old, new).render()
+        assert "+1 entities" in text
+        assert "GO: +2 / -1" in text
+        assert "glycoprotein Ib beta" in text
+
+    def test_different_sources_rejected(self, old):
+        other = release("GO", [], "x")
+        with pytest.raises(ImportError_, match="different sources"):
+            diff_datasets(old, other)
+
+
+class TestDiffAgainstStore:
+    def test_everything_added_when_source_unknown(self, genmapper, new):
+        diff = diff_against_store(genmapper.repository, new)
+        assert diff.added_entities == {"353", "354", "355"}
+        assert diff.removed_entities == set()
+
+    def test_no_changes_after_import(self, genmapper, old):
+        genmapper.integrate_dataset(old)
+        diff = diff_against_store(genmapper.repository, old)
+        assert not diff.added_entities
+        assert diff.added_association_count() == 0
+
+    def test_incremental_release_detected(self, genmapper, old, new):
+        genmapper.integrate_dataset(old)
+        diff = diff_against_store(genmapper.repository, new)
+        assert diff.added_entities == {"355"}
+        go = next(target for target in diff.targets if target.target == "GO")
+        assert ("353", "GO:0016757") in go.added
+
+    def test_import_after_diff_applies_additions(self, genmapper, old, new):
+        genmapper.integrate_dataset(old)
+        diff = diff_against_store(genmapper.repository, new)
+        report = genmapper.integrate_dataset(new)
+        assert report.new_objects == len(diff.added_entities)

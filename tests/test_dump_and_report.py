@@ -1,0 +1,177 @@
+"""Tests for the GAM dump/load format and the profiling report renderer."""
+
+import json
+
+import pytest
+
+from repro.core.genmapper import GenMapper
+from repro.gam.dump import dump_database, dump_records, load_database
+from repro.gam.errors import GamSchemaError
+
+
+class TestDumpRecords:
+    def test_header_first(self, paper_genmapper):
+        records = list(dump_records(paper_genmapper.repository))
+        assert records[0]["kind"] == "header"
+        assert records[0]["format"] == "gam-dump/1"
+
+    def test_record_kinds_cover_all_tables(self, paper_genmapper):
+        kinds = {r["kind"] for r in dump_records(paper_genmapper.repository)}
+        assert kinds == {"header", "source", "object", "source_rel"}
+
+    def test_associations_embedded_in_rels(self, paper_genmapper):
+        records = list(dump_records(paper_genmapper.repository))
+        rels = [r for r in records if r["kind"] == "source_rel"]
+        total = sum(len(r["associations"]) for r in rels)
+        assert total == paper_genmapper.db.counts()["object_rel"]
+
+
+class TestRoundTrip:
+    def test_dump_load_preserves_counts(self, paper_genmapper, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        dump_database(paper_genmapper.repository, path)
+        with GenMapper() as fresh:
+            load_database(fresh.repository, path)
+            assert fresh.db.counts() == paper_genmapper.db.counts()
+
+    def test_dump_load_preserves_knowledge(self, paper_genmapper, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        dump_database(paper_genmapper.repository, path)
+        with GenMapper() as fresh:
+            load_database(fresh.repository, path)
+            original = paper_genmapper.map("LocusLink", "GO")
+            restored = fresh.map("LocusLink", "GO")
+            assert restored.pair_set() == original.pair_set()
+            # Composition works identically on the restored database.
+            assert fresh.map("Unigene", "GO").pair_set() == (
+                paper_genmapper.map("Unigene", "GO").pair_set()
+            )
+
+    def test_dump_of_restored_db_is_equivalent(self, paper_genmapper, tmp_path):
+        first = tmp_path / "first.jsonl"
+        dump_database(paper_genmapper.repository, first)
+        with GenMapper() as fresh:
+            load_database(fresh.repository, first)
+            second = tmp_path / "second.jsonl"
+            dump_database(fresh.repository, second)
+        canonical_first = sorted(first.read_text().splitlines())
+        canonical_second = sorted(second.read_text().splitlines())
+        assert canonical_first == canonical_second
+
+    def test_load_is_idempotent(self, paper_genmapper, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        dump_database(paper_genmapper.repository, path)
+        with GenMapper() as fresh:
+            load_database(fresh.repository, path)
+            counts = fresh.db.counts()
+            load_database(fresh.repository, path)
+            assert fresh.db.counts() == counts
+
+    def test_load_merges_into_populated_db(self, paper_genmapper, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        dump_database(paper_genmapper.repository, path)
+        with GenMapper() as other:
+            from repro.eav.model import EavRow
+            from repro.eav.store import EavDataset
+
+            other.integrate_dataset(
+                EavDataset("Extra", [EavRow("e1", "GO", "GO:0009116")])
+            )
+            load_database(other.repository, path)
+            names = {source.name for source in other.sources()}
+            assert "Extra" in names and "LocusLink" in names
+            assert other.check_integrity().ok
+
+    def test_unicode_survives(self, genmapper, tmp_path):
+        from repro.eav.model import EavRow
+        from repro.eav.store import EavDataset
+
+        genmapper.integrate_dataset(
+            EavDataset("U", [EavRow("gène-α", "Name", "näme", "näme")])
+        )
+        path = tmp_path / "u.jsonl"
+        dump_database(genmapper.repository, path)
+        with GenMapper() as fresh:
+            load_database(fresh.repository, path)
+            assert "gène-α" in fresh.accessions("U")
+
+
+class TestLoadErrors:
+    def test_missing_header_rejected(self, genmapper, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "source", "name": "X"}) + "\n")
+        with pytest.raises(GamSchemaError, match="header"):
+            load_database(genmapper.repository, path)
+
+    def test_wrong_format_rejected(self, genmapper, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "format": "gam-dump/99"}) + "\n"
+        )
+        with pytest.raises(GamSchemaError, match="format"):
+            load_database(genmapper.repository, path)
+
+    def test_unknown_kind_rejected(self, genmapper, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "format": "gam-dump/1"}) + "\n"
+            + json.dumps({"kind": "mystery"}) + "\n"
+        )
+        with pytest.raises(GamSchemaError, match="mystery"):
+            load_database(genmapper.repository, path)
+
+
+class TestProfilingReportDocument:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        import tempfile
+
+        from repro.analysis.profiling import FunctionalProfiler
+        from repro.analysis.report import render_report
+        from repro.datagen.emit import write_universe
+        from repro.datagen.expression import generate_expression
+        from repro.datagen.universe import UniverseConfig, generate_universe
+        from repro.taxonomy.dag import Taxonomy
+
+        universe = generate_universe(
+            UniverseConfig(seed=77, n_genes=250, n_go_terms=80)
+        )
+        gm = GenMapper()
+        with tempfile.TemporaryDirectory() as directory:
+            write_universe(universe, directory)
+            gm.integrate_directory(directory)
+        study = generate_expression(universe, planted_odds=25.0)
+        profiler = FunctionalProfiler(gm)
+        report = profiler.run(study)
+        annotation = profiler.gene_annotation()
+        taxonomy = Taxonomy(universe.go.is_a_pairs())
+        names = {t.accession: t.name for t in universe.go.terms}
+        text = render_report(report, annotation, taxonomy, names, fdr=0.10)
+        md = render_report(
+            report, annotation, taxonomy, names, fdr=0.10, markdown=True
+        )
+        gm.close()
+        return report, text, md
+
+    def test_headline_numbers_present(self, rendered):
+        report, text, __ = rendered
+        assert str(report.n_probes) in text
+        assert str(len(report.expressed_probes)) in text
+
+    def test_sections_present(self, rendered):
+        __, text, __md = rendered
+        assert "Expression summary" in text
+        assert "Enriched terms" in text
+        assert "category" in text
+        assert "Conserved vs changed" in text
+
+    def test_term_names_displayed(self, rendered):
+        report, text, __ = rendered
+        significant = report.significant_terms(0.10)
+        if significant:
+            assert "(" in text  # at least one "accession (name)" rendering
+
+    def test_markdown_variant(self, rendered):
+        __, __t, md = rendered
+        assert md.startswith("# ")
+        assert "## Expression summary" in md

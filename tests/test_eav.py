@@ -1,0 +1,154 @@
+"""Tests for the EAV staging layer: model, dataset and TSV round trips."""
+
+import pytest
+
+from repro.eav.io import read_eav, write_eav
+from repro.eav.model import (
+    CONTAINS_TARGET,
+    IS_A_TARGET,
+    NAME_TARGET,
+    RESERVED_TARGETS,
+    EavRow,
+)
+from repro.eav.store import EavDataset
+from repro.gam.errors import ParseError
+
+
+class TestEavRow:
+    def test_tuple_round_trip_full(self):
+        row = EavRow("353", "GO", "GO:0009116", "nucleoside metabolism", 2.5, 0.8)
+        assert EavRow.from_tuple(row.as_tuple()) == row
+
+    def test_tuple_round_trip_minimal(self):
+        row = EavRow("353", "Location", "16q24")
+        assert EavRow.from_tuple(row.as_tuple()) == row
+
+    def test_from_tuple_accepts_four_columns(self):
+        row = EavRow.from_tuple(("353", "Hugo", "APRT", "a name"))
+        assert row.text == "a name"
+        assert row.evidence == 1.0
+
+    def test_from_tuple_empty_text_is_none(self):
+        row = EavRow.from_tuple(("353", "Location", "16q24", ""))
+        assert row.text is None
+
+    def test_reserved_targets(self):
+        assert NAME_TARGET in RESERVED_TARGETS
+        assert IS_A_TARGET in RESERVED_TARGETS
+        assert CONTAINS_TARGET in RESERVED_TARGETS
+        assert "GO" not in RESERVED_TARGETS
+
+
+class TestEavDataset:
+    @pytest.fixture()
+    def dataset(self):
+        return EavDataset(
+            "LocusLink",
+            [
+                EavRow("353", "Hugo", "APRT", "adenine phosphoribosyltransferase"),
+                EavRow("353", "Location", "16q24"),
+                EavRow("353", "GO", "GO:0009116", "nucleoside metabolism"),
+                EavRow("354", "Hugo", "GP1BB"),
+                EavRow("354", IS_A_TARGET, "353"),
+            ],
+            release="2003-10",
+        )
+
+    def test_len_and_iteration(self, dataset):
+        assert len(dataset) == 5
+        assert len(list(dataset)) == 5
+
+    def test_entities_in_first_seen_order(self, dataset):
+        assert dataset.entities() == ["353", "354"]
+
+    def test_targets_in_first_seen_order(self, dataset):
+        assert dataset.targets() == ["Hugo", "Location", "GO", IS_A_TARGET]
+
+    def test_annotation_targets_exclude_reserved(self, dataset):
+        assert dataset.annotation_targets() == ["Hugo", "Location", "GO"]
+
+    def test_rows_for_target(self, dataset):
+        rows = dataset.rows_for_target("Hugo")
+        assert [row.entity for row in rows] == ["353", "354"]
+
+    def test_rows_for_entity(self, dataset):
+        rows = dataset.rows_for_entity("353")
+        assert len(rows) == 3
+
+    def test_target_counts(self, dataset):
+        counts = dataset.target_counts()
+        assert counts["Hugo"] == 2
+        assert counts["Location"] == 1
+
+    def test_equality(self):
+        rows = [EavRow("1", "Hugo", "A")]
+        assert EavDataset("X", rows) == EavDataset("X", list(rows))
+        assert EavDataset("X", rows) != EavDataset("Y", rows)
+
+    def test_summary_mentions_counts(self, dataset):
+        summary = dataset.summary()
+        assert "entities=2" in summary
+        assert "rows=5" in summary
+
+
+class TestEavIo:
+    def test_round_trip(self, tmp_path):
+        dataset = EavDataset(
+            "LocusLink",
+            [
+                EavRow("353", "Hugo", "APRT", "adenine phosphoribosyltransferase"),
+                EavRow("353", "GO", "GO:0009116", None, None, 0.9),
+                EavRow("354", "Number", "2.5", None, 2.5),
+            ],
+            release="2003-10",
+        )
+        path = tmp_path / "ll.eav"
+        write_eav(dataset, path)
+        loaded = read_eav(path)
+        assert loaded == dataset
+
+    def test_header_carries_source_and_release(self, tmp_path):
+        dataset = EavDataset("GO", [EavRow("a", "Name", "x", "x")], release="r9")
+        path = tmp_path / "go.eav"
+        write_eav(dataset, path)
+        first_line = path.read_text().splitlines()[0]
+        assert "source=GO" in first_line
+        assert "release=r9" in first_line
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.eav"
+        path.write_text("353\tHugo\tAPRT\n")
+        with pytest.raises(ParseError, match="header"):
+            read_eav(path)
+
+    def test_missing_source_rejected(self, tmp_path):
+        path = tmp_path / "bad.eav"
+        path.write_text("#eav release=r1\n#cols\n")
+        with pytest.raises(ParseError, match="source"):
+            read_eav(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.eav"
+        path.write_text("#eav source=X\n#cols\n353\tHugo\n")
+        with pytest.raises(ParseError, match="columns"):
+            read_eav(path)
+
+    def test_bad_number_rejected(self, tmp_path):
+        path = tmp_path / "bad.eav"
+        path.write_text("#eav source=X\n#cols\n353\tHugo\tAPRT\t\tnot-a-number\n")
+        with pytest.raises(ParseError, match="numeric"):
+            read_eav(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "ok.eav"
+        path.write_text(
+            "#eav source=X\n#entity\ttarget\taccession\n\n# comment\n353\tHugo\tAPRT\n"
+        )
+        loaded = read_eav(path)
+        assert len(loaded) == 1
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        dataset = EavDataset("X", [EavRow("1", "Hugo", "A")])
+        path = tmp_path / "deep" / "dir" / "x.eav"
+        write_eav(dataset, path)
+        assert path.exists()

@@ -1,0 +1,100 @@
+"""Tests for path-search edge weighting: trust-aware path preference."""
+
+import networkx as nx
+import pytest
+
+from repro.gam.enums import RelType
+from repro.pathfinder.graph import EDGE_WEIGHTS
+from repro.pathfinder.search import path_cost, shortest_path
+
+
+def weighted_graph(edges):
+    """Build a graph from (a, b, rel_type) triples with standard weights."""
+    graph = nx.MultiGraph()
+    for node1, node2, rel_type in edges:
+        graph.add_edge(
+            node1, node2, rel_type=rel_type, weight=EDGE_WEIGHTS[rel_type]
+        )
+    return graph
+
+
+class TestWeightOrdering:
+    def test_fact_is_cheapest(self):
+        assert EDGE_WEIGHTS[RelType.FACT] < EDGE_WEIGHTS[RelType.SIMILARITY]
+        assert (
+            EDGE_WEIGHTS[RelType.SIMILARITY] < EDGE_WEIGHTS[RelType.COMPOSED]
+        )
+
+    def test_every_mapping_type_weighted(self):
+        from repro.gam.enums import MAPPING_TYPES
+
+        assert set(EDGE_WEIGHTS) == set(MAPPING_TYPES)
+
+
+class TestPathPreference:
+    def test_equal_length_prefers_fact_chain(self):
+        # A -Fact- B -Fact- C (cost 2.0) vs A -Similarity- X -Similarity- C
+        # (cost 2.5): the curated chain wins.
+        graph = weighted_graph(
+            [
+                ("A", "B", RelType.FACT),
+                ("B", "C", RelType.FACT),
+                ("A", "X", RelType.SIMILARITY),
+                ("X", "C", RelType.SIMILARITY),
+            ]
+        )
+        assert shortest_path(graph, "A", "C") == ("A", "B", "C")
+
+    def test_materialized_composed_beats_long_fact_chain(self):
+        # Direct Composed edge (1.5) vs two Fact hops (2.0).
+        graph = weighted_graph(
+            [
+                ("A", "C", RelType.COMPOSED),
+                ("A", "B", RelType.FACT),
+                ("B", "C", RelType.FACT),
+            ]
+        )
+        assert shortest_path(graph, "A", "C") == ("A", "C")
+
+    def test_single_fact_hop_beats_composed_shortcut(self):
+        graph = weighted_graph(
+            [
+                ("A", "C", RelType.COMPOSED),
+                ("A", "C", RelType.FACT),
+            ]
+        )
+        # Both are one hop; the cheaper parallel edge sets the cost.
+        assert path_cost(graph, ("A", "C")) == pytest.approx(
+            EDGE_WEIGHTS[RelType.FACT]
+        )
+
+    def test_similarity_bridge_used_when_only_option(self):
+        graph = weighted_graph(
+            [
+                ("A", "B", RelType.FACT),
+                ("B", "C", RelType.SIMILARITY),
+            ]
+        )
+        path = shortest_path(graph, "A", "C")
+        assert path == ("A", "B", "C")
+        assert path_cost(graph, path) == pytest.approx(1.0 + 1.25)
+
+
+class TestAgainstRealDatabase:
+    def test_materialization_shortens_paths(self, universe_dir):
+        from repro.core.genmapper import GenMapper
+
+        with GenMapper() as gm:
+            gm.integrate_directory(universe_dir)
+            before = gm.find_path("Unigene", "GO")
+            assert len(before) == 3  # via LocusLink
+            gm.compose(["Unigene", "LocusLink", "GO"], materialize=True)
+            after = gm.find_path("Unigene", "GO")
+            assert after == ("Unigene", "GO")
+
+    def test_goa_similarity_edge_present(self, loaded_genmapper):
+        graph = loaded_genmapper.source_graph()
+        data = graph.get_edge_data("GOA", "GO")
+        assert data is not None
+        types = {attrs["rel_type"] for attrs in data.values()}
+        assert RelType.SIMILARITY in types

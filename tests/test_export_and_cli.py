@@ -1,0 +1,176 @@
+"""Tests for the exporters and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.export.writers import (
+    render_mapping,
+    render_view,
+    write_mapping,
+    write_view,
+)
+from repro.gam.errors import ExportError
+from repro.operators.mapping import Mapping
+from repro.operators.views import AnnotationView
+from tests.conftest import GO_MINI_OBO, LOCUS_353_RECORD
+
+
+@pytest.fixture()
+def view():
+    return AnnotationView(
+        ("LocusLink", "Hugo"), (("353", "APRT"), ("354", None))
+    )
+
+
+@pytest.fixture()
+def mapping():
+    return Mapping.build("A", "B", [("a", "b", 0.5)])
+
+
+class TestViewExport:
+    def test_tsv(self, view):
+        assert render_view(view, "tsv").splitlines() == [
+            "LocusLink\tHugo", "353\tAPRT", "354\t",
+        ]
+
+    def test_csv(self, view):
+        assert render_view(view, "csv").splitlines() == [
+            "LocusLink,Hugo", "353,APRT", "354,",
+        ]
+
+    def test_json(self, view):
+        decoded = json.loads(render_view(view, "json"))
+        assert decoded["rows"][1] == ["354", None]
+
+    def test_html_escapes_and_structures(self):
+        tricky = AnnotationView(("S<1>", "T"), (("a&b", None),))
+        html_text = render_view(tricky, "html")
+        assert "S&lt;1&gt;" in html_text
+        assert "a&amp;b" in html_text
+        assert html_text.count("<tr>") == 2
+
+    def test_unknown_format_rejected(self, view):
+        with pytest.raises(ExportError, match="unknown view format"):
+            render_view(view, "xlsx")
+
+    def test_write_creates_directories(self, view, tmp_path):
+        path = write_view(view, tmp_path / "a" / "b" / "view.tsv")
+        assert path.exists()
+
+
+class TestMappingExport:
+    def test_tsv_includes_evidence(self, mapping):
+        lines = render_mapping(mapping, "tsv").splitlines()
+        assert lines[0] == "A\tB\tevidence"
+        assert lines[1] == "a\tb\t0.5"
+
+    def test_json_includes_rel_type(self, mapping):
+        decoded = json.loads(render_mapping(mapping, "json"))
+        assert decoded["rel_type"] == "Fact"
+        assert decoded["associations"][0]["evidence"] == 0.5
+
+    def test_unknown_format_rejected(self, mapping):
+        with pytest.raises(ExportError):
+            render_mapping(mapping, "xml")
+
+    def test_write_mapping(self, mapping, tmp_path):
+        path = write_mapping(mapping, tmp_path / "m.tsv")
+        assert path.read_text().startswith("A\tB")
+
+
+class TestCli:
+    @pytest.fixture()
+    def db_path(self, tmp_path):
+        """A database pre-loaded via the CLI import command."""
+        db = tmp_path / "gam.db"
+        ll = tmp_path / "ll.txt"
+        ll.write_text(LOCUS_353_RECORD)
+        go = tmp_path / "go.obo"
+        go.write_text(GO_MINI_OBO)
+        assert main(["--db", str(db), "import", str(ll),
+                     "--source", "LocusLink"]) == 0
+        assert main(["--db", str(db), "import", str(go), "--source", "GO"]) == 0
+        return db
+
+    def test_sources_lists_imports(self, db_path, capsys):
+        assert main(["--db", str(db_path), "sources"]) == 0
+        out = capsys.readouterr().out
+        assert "LocusLink" in out
+        assert "GO" in out
+
+    def test_stats_reports_counts(self, db_path, capsys):
+        assert main(["--db", str(db_path), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "objects" in out
+        assert "associations" in out
+
+    def test_query_renders_table(self, db_path, capsys):
+        code = main(
+            ["--db", str(db_path), "query",
+             "ANNOTATE LocusLink WITH Hugo AND GO"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "APRT" in out
+        assert "GO:0009116" in out
+
+    def test_query_writes_file(self, db_path, tmp_path, capsys):
+        out_file = tmp_path / "view.tsv"
+        code = main(
+            ["--db", str(db_path), "query", "ANNOTATE LocusLink WITH Hugo",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.read_text().startswith("LocusLink\tHugo")
+
+    def test_map_command(self, db_path, capsys):
+        assert main(["--db", str(db_path), "map", "LocusLink", "GO"]) == 0
+        out = capsys.readouterr().out
+        assert "353\tGO:0009116" in out
+
+    def test_path_command(self, db_path, capsys):
+        assert main(["--db", str(db_path), "path", "LocusLink", "GO"]) == 0
+        out = capsys.readouterr().out
+        assert "LocusLink -> GO" in out
+
+    def test_object_command(self, db_path, capsys):
+        assert main(["--db", str(db_path), "object", "LocusLink", "353"]) == 0
+        out = capsys.readouterr().out
+        assert "Hugo" in out
+        assert "APRT" in out
+
+    def test_subsume_command(self, db_path, capsys):
+        assert main(["--db", str(db_path), "subsume", "GO"]) == 0
+        out = capsys.readouterr().out
+        assert "3 associations" in out
+
+    def test_integrity_command(self, db_path, capsys):
+        assert main(["--db", str(db_path), "integrity"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_error_paths_return_nonzero(self, db_path, capsys):
+        assert main(["--db", str(db_path), "map", "LocusLink", "Nowhere"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compose_command(self, db_path, tmp_path, capsys):
+        ug = tmp_path / "ug.data"
+        ug.write_text(
+            "ID          Hs.28914\nLOCUSLINK   353\n//\n"
+        )
+        main(["--db", str(db_path), "import", str(ug), "--source", "Unigene"])
+        code = main(
+            ["--db", str(db_path), "compose", "Unigene", "LocusLink", "GO",
+             "--materialize"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "materialized" in out
+
+    def test_demo_command(self, tmp_path, capsys):
+        code = main(["--db", str(tmp_path / "demo.db"), "demo",
+                     "--genes", "20", "--go-terms", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "imported LocusLink" in out

@@ -1,0 +1,89 @@
+"""Tests for GamDatabase connection management."""
+
+import pytest
+
+from repro.gam.database import GamDatabase
+from repro.gam.errors import GamSchemaError
+
+
+class TestGamDatabase:
+    def test_in_memory_database_gets_schema(self):
+        with GamDatabase() as db:
+            assert db.counts() == {
+                "source": 0,
+                "object": 0,
+                "source_rel": 0,
+                "object_rel": 0,
+            }
+
+    def test_file_database_persists(self, tmp_path):
+        path = tmp_path / "gam.db"
+        with GamDatabase(path) as db:
+            db.execute(
+                "INSERT INTO source (name, content, structure)"
+                " VALUES ('GO', 'Other', 'Network')"
+            )
+            db.commit()
+        with GamDatabase(path, create=False) as db:
+            assert db.counts()["source"] == 1
+
+    def test_create_false_requires_existing_schema(self, tmp_path):
+        path = tmp_path / "empty.db"
+        path.touch()
+        with pytest.raises(GamSchemaError):
+            GamDatabase(path, create=False)
+
+    def test_transaction_commits_on_success(self):
+        with GamDatabase() as db:
+            with db.transaction():
+                db.execute(
+                    "INSERT INTO source (name, content, structure)"
+                    " VALUES ('A', 'Gene', 'Flat')"
+                )
+            assert db.counts()["source"] == 1
+
+    def test_transaction_rolls_back_on_error(self):
+        with GamDatabase() as db:
+            with pytest.raises(RuntimeError):
+                with db.transaction():
+                    db.execute(
+                        "INSERT INTO source (name, content, structure)"
+                        " VALUES ('A', 'Gene', 'Flat')"
+                    )
+                    raise RuntimeError("boom")
+            assert db.counts()["source"] == 0
+
+    def test_rows_are_name_addressable(self):
+        with GamDatabase() as db:
+            db.execute(
+                "INSERT INTO source (name, content, structure)"
+                " VALUES ('A', 'Gene', 'Flat')"
+            )
+            row = db.execute("SELECT * FROM source").fetchone()
+            assert row["name"] == "A"
+            assert row["content"] == "Gene"
+
+    def test_executemany_inserts_all_rows(self):
+        with GamDatabase() as db:
+            db.executemany(
+                "INSERT INTO source (name, content, structure) VALUES (?, ?, ?)",
+                [("A", "Gene", "Flat"), ("B", "Other", "Network")],
+            )
+            assert db.counts()["source"] == 2
+
+    def test_counts_track_every_table(self):
+        with GamDatabase() as db:
+            db.execute(
+                "INSERT INTO source (name, content, structure)"
+                " VALUES ('A', 'Gene', 'Flat')"
+            )
+            db.execute("INSERT INTO object (source_id, accession) VALUES (1, 'x')")
+            db.execute(
+                "INSERT INTO source_rel (source1_id, source2_id, type)"
+                " VALUES (1, 1, 'Is-a')"
+            )
+            counts = db.counts()
+            assert counts["source"] == 1
+            assert counts["object"] == 1
+            assert counts["source_rel"] == 1
+            assert counts["object_rel"] == 0

@@ -1,0 +1,100 @@
+"""Tests for the GAM enumerations (paper Figure 4)."""
+
+import pytest
+
+from repro.gam.enums import (
+    MAPPING_TYPES,
+    CombineMethod,
+    RelType,
+    SourceContent,
+    SourceStructure,
+)
+
+
+class TestSourceContent:
+    def test_members_match_figure_4(self):
+        assert {m.value for m in SourceContent} == {"Gene", "Protein", "Other"}
+
+    def test_parse_label(self):
+        assert SourceContent.parse("Gene") is SourceContent.GENE
+
+    def test_parse_is_case_insensitive(self):
+        assert SourceContent.parse("protein") is SourceContent.PROTEIN
+
+    def test_parse_accepts_member(self):
+        assert SourceContent.parse(SourceContent.OTHER) is SourceContent.OTHER
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="content"):
+            SourceContent.parse("Genome")
+
+
+class TestSourceStructure:
+    def test_members_match_figure_4(self):
+        assert {m.value for m in SourceStructure} == {"Flat", "Network"}
+
+    def test_parse_label(self):
+        assert SourceStructure.parse("network") is SourceStructure.NETWORK
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            SourceStructure.parse("Tree")
+
+
+class TestRelType:
+    def test_members_match_figure_4(self):
+        assert {m.value for m in RelType} == {
+            "Fact", "Similarity", "Contains", "Is-a", "Composed", "Subsumed",
+        }
+
+    def test_parse_is_a_variants(self):
+        assert RelType.parse("Is-a") is RelType.IS_A
+        assert RelType.parse("is_a") is RelType.IS_A
+        assert RelType.parse("IS_A") is RelType.IS_A
+
+    def test_annotation_family(self):
+        assert RelType.FACT.is_annotation
+        assert RelType.SIMILARITY.is_annotation
+        assert not RelType.IS_A.is_annotation
+
+    def test_structural_family(self):
+        assert RelType.CONTAINS.is_structural
+        assert RelType.IS_A.is_structural
+        assert not RelType.FACT.is_structural
+
+    def test_derived_family(self):
+        assert RelType.COMPOSED.is_derived
+        assert RelType.SUBSUMED.is_derived
+        assert not RelType.SIMILARITY.is_derived
+
+    def test_families_partition_the_types(self):
+        for rel_type in RelType:
+            flags = (
+                rel_type.is_annotation,
+                rel_type.is_structural,
+                rel_type.is_derived,
+            )
+            assert sum(flags) == 1
+
+    def test_mapping_types_exclude_structural(self):
+        assert RelType.CONTAINS not in MAPPING_TYPES
+        assert RelType.IS_A not in MAPPING_TYPES
+        assert RelType.FACT in MAPPING_TYPES
+        assert RelType.SUBSUMED in MAPPING_TYPES
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            RelType.parse("Equals")
+
+
+class TestCombineMethod:
+    def test_parse_lowercase(self):
+        assert CombineMethod.parse("and") is CombineMethod.AND
+        assert CombineMethod.parse("or") is CombineMethod.OR
+
+    def test_parse_member_passthrough(self):
+        assert CombineMethod.parse(CombineMethod.OR) is CombineMethod.OR
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            CombineMethod.parse("xor")

@@ -1,0 +1,121 @@
+"""Tests for GAM schema creation and validation."""
+
+import sqlite3
+
+import pytest
+
+from repro.gam import schema
+from repro.gam.errors import GamSchemaError
+
+
+@pytest.fixture()
+def connection():
+    conn = sqlite3.connect(":memory:")
+    yield conn
+    conn.close()
+
+
+class TestCreateSchema:
+    def test_creates_all_four_gam_tables(self, connection):
+        schema.create_schema(connection)
+        tables = {
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        assert set(schema.GAM_TABLES) <= tables
+
+    def test_is_idempotent(self, connection):
+        schema.create_schema(connection)
+        schema.create_schema(connection)
+        assert schema.schema_exists(connection)
+
+    def test_records_schema_version(self, connection):
+        schema.create_schema(connection)
+        row = connection.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        assert int(row[0]) == schema.SCHEMA_VERSION
+
+    def test_source_name_is_unique(self, connection):
+        schema.create_schema(connection)
+        connection.execute(
+            "INSERT INTO source (name, content, structure) VALUES ('GO', 'Other', 'Network')"
+        )
+        with pytest.raises(sqlite3.IntegrityError):
+            connection.execute(
+                "INSERT INTO source (name, content, structure)"
+                " VALUES ('GO', 'Other', 'Network')"
+            )
+
+    def test_content_enum_is_enforced(self, connection):
+        schema.create_schema(connection)
+        with pytest.raises(sqlite3.IntegrityError):
+            connection.execute(
+                "INSERT INTO source (name, content, structure)"
+                " VALUES ('X', 'Genome', 'Flat')"
+            )
+
+    def test_rel_type_enum_is_enforced(self, connection):
+        schema.create_schema(connection)
+        connection.execute(
+            "INSERT INTO source (name, content, structure) VALUES ('A', 'Gene', 'Flat')"
+        )
+        with pytest.raises(sqlite3.IntegrityError):
+            connection.execute(
+                "INSERT INTO source_rel (source1_id, source2_id, type)"
+                " VALUES (1, 1, 'Equals')"
+            )
+
+    def test_object_accession_unique_per_source(self, connection):
+        schema.create_schema(connection)
+        connection.execute(
+            "INSERT INTO source (name, content, structure) VALUES ('A', 'Gene', 'Flat')"
+        )
+        connection.execute(
+            "INSERT INTO object (source_id, accession) VALUES (1, '353')"
+        )
+        with pytest.raises(sqlite3.IntegrityError):
+            connection.execute(
+                "INSERT INTO object (source_id, accession) VALUES (1, '353')"
+            )
+
+    def test_same_accession_allowed_in_different_sources(self, connection):
+        schema.create_schema(connection)
+        connection.execute(
+            "INSERT INTO source (name, content, structure) VALUES ('A', 'Gene', 'Flat')"
+        )
+        connection.execute(
+            "INSERT INTO source (name, content, structure) VALUES ('B', 'Gene', 'Flat')"
+        )
+        connection.execute(
+            "INSERT INTO object (source_id, accession) VALUES (1, '353')"
+        )
+        connection.execute(
+            "INSERT INTO object (source_id, accession) VALUES (2, '353')"
+        )
+
+
+class TestValidateSchema:
+    def test_accepts_fresh_schema(self, connection):
+        schema.create_schema(connection)
+        schema.validate_schema(connection)
+
+    def test_rejects_empty_database(self, connection):
+        with pytest.raises(GamSchemaError, match="GAM tables"):
+            schema.validate_schema(connection)
+
+    def test_rejects_wrong_version(self, connection):
+        schema.create_schema(connection)
+        connection.execute(
+            "UPDATE meta SET value = '99' WHERE key = 'schema_version'"
+        )
+        with pytest.raises(GamSchemaError, match="version"):
+            schema.validate_schema(connection)
+
+    def test_rejects_missing_version_record(self, connection):
+        schema.create_schema(connection)
+        connection.execute("DELETE FROM meta WHERE key = 'schema_version'")
+        with pytest.raises(GamSchemaError, match="version"):
+            schema.validate_schema(connection)

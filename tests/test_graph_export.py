@@ -1,0 +1,125 @@
+"""Tests for source-graph export (DOT / GraphML / JSON) and the CLI."""
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.pathfinder.export import to_dot, to_json, write_graphml
+from repro.pathfinder.graph import build_source_graph
+
+
+@pytest.fixture()
+def graph(paper_genmapper):
+    return build_source_graph(paper_genmapper.repository)
+
+
+class TestDot:
+    def test_contains_all_sources(self, graph):
+        dot = to_dot(graph)
+        for name in graph.nodes:
+            assert f'"{name}"' in dot
+
+    def test_edges_labeled_with_type_and_size(self, graph):
+        dot = to_dot(graph)
+        assert "Fact (" in dot
+
+    def test_network_sources_are_boxes(self, graph):
+        dot = to_dot(graph)
+        assert '"GO" [shape=box' in dot
+        assert '"LocusLink" [shape=ellipse' in dot
+
+    def test_self_loops_omitted(self, paper_genmapper):
+        paper_genmapper.derive_subsumed("GO")
+        dot = to_dot(build_source_graph(paper_genmapper.repository))
+        assert '"GO" -- "GO"' not in dot
+
+    def test_quoting_of_hostile_names(self):
+        graph = nx.MultiGraph()
+        graph.add_node('we"ird')
+        dot = to_dot(graph)
+        assert '"we\\"ird"' in dot
+
+    def test_valid_structure(self, graph):
+        dot = to_dot(graph)
+        assert dot.startswith("graph ")
+        assert dot.rstrip().endswith("}")
+
+
+class TestGraphml:
+    def test_round_trip_via_networkx(self, graph, tmp_path):
+        path = write_graphml(graph, tmp_path / "sources.graphml")
+        loaded = nx.read_graphml(path)
+        assert set(loaded.nodes) == set(graph.nodes)
+        # Attributes preserved as strings.
+        assert loaded.nodes["GO"]["structure"] == "Network"
+
+    def test_edge_attributes_preserved(self, graph, tmp_path):
+        path = write_graphml(graph, tmp_path / "sources.graphml")
+        loaded = nx.read_graphml(path)
+        edge_types = {
+            data["rel_type"] for __, __2, data in loaded.edges(data=True)
+        }
+        assert "Fact" in edge_types
+
+
+class TestJson:
+    def test_shape(self, graph):
+        decoded = json.loads(to_json(graph))
+        assert {node["name"] for node in decoded["nodes"]} == set(graph.nodes)
+        assert all("rel_type" in edge for edge in decoded["edges"])
+
+    def test_edge_sizes_counted(self, graph):
+        decoded = json.loads(to_json(graph))
+        ll_go = [
+            edge
+            for edge in decoded["edges"]
+            if {edge["source"], edge["target"]} == {"LocusLink", "GO"}
+        ]
+        assert ll_go and ll_go[0]["size"] >= 1
+
+
+class TestCliGraph:
+    @pytest.fixture()
+    def db_path(self, tmp_path):
+        from repro.cli import main
+        from tests.conftest import LOCUS_353_RECORD
+
+        db = tmp_path / "gam.db"
+        ll = tmp_path / "ll.txt"
+        ll.write_text(LOCUS_353_RECORD)
+        main(["--db", str(db), "import", str(ll), "--source", "LocusLink"])
+        return db
+
+    def test_dot_to_stdout(self, db_path, capsys):
+        from repro.cli import main
+
+        assert main(["--db", str(db_path), "graph"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("graph ")
+        assert "LocusLink" in out
+
+    def test_json_to_file(self, db_path, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "graph.json"
+        code = main(["--db", str(db_path), "graph", "--format", "json",
+                     "--out", str(out_file)])
+        assert code == 0
+        decoded = json.loads(out_file.read_text())
+        assert decoded["nodes"]
+
+    def test_graphml_requires_out(self, db_path, capsys):
+        from repro.cli import main
+
+        assert main(["--db", str(db_path), "graph",
+                     "--format", "graphml"]) == 1
+
+    def test_graphml_to_file(self, db_path, tmp_path):
+        from repro.cli import main
+
+        out_file = tmp_path / "graph.graphml"
+        code = main(["--db", str(db_path), "graph", "--format", "graphml",
+                     "--out", str(out_file)])
+        assert code == 0
+        assert nx.read_graphml(out_file).number_of_nodes() > 0

@@ -1,0 +1,201 @@
+"""Tests for the generic EAV-to-GAM Import step (paper Section 4.1)."""
+
+import pytest
+
+from repro.eav.model import CONTAINS_TARGET, IS_A_TARGET, NAME_TARGET, EavRow
+from repro.eav.store import EavDataset
+from repro.gam.database import GamDatabase
+from repro.gam.enums import RelType, SourceStructure
+from repro.gam.errors import ImportError_
+from repro.gam.repository import GamRepository
+from repro.importer.importer import GamImporter
+
+
+@pytest.fixture()
+def repo():
+    db = GamDatabase()
+    yield GamRepository(db)
+    db.close()
+
+
+@pytest.fixture()
+def importer(repo):
+    return GamImporter(repo, clock=lambda: "2003-10-01 12:00:00")
+
+
+def locuslink_dataset():
+    return EavDataset(
+        "LocusLink",
+        [
+            EavRow("353", NAME_TARGET, "adenine phosphoribosyltransferase",
+                   "adenine phosphoribosyltransferase"),
+            EavRow("353", "Hugo", "APRT"),
+            EavRow("353", "GO", "GO:0009116", "nucleoside metabolism"),
+            EavRow("353", "Location", "16q24"),
+            EavRow("354", "Hugo", "GP1BB"),
+            EavRow("354", "GO", "GO:0007155"),
+        ],
+        release="2003-10",
+    )
+
+
+def go_dataset():
+    return EavDataset(
+        "GO",
+        [
+            EavRow("GO:0008150", NAME_TARGET, "biological process",
+                   "biological process"),
+            EavRow("GO:0009116", NAME_TARGET, "nucleoside metabolism",
+                   "nucleoside metabolism"),
+            EavRow("GO:0007155", NAME_TARGET, "cell adhesion", "cell adhesion"),
+            EavRow("GO:0009116", IS_A_TARGET, "GO:0008150"),
+            EavRow("GO:0007155", IS_A_TARGET, "GO:0008150"),
+            EavRow("GO.BiologicalProcess", CONTAINS_TARGET, "GO:0009116"),
+            EavRow("GO.BiologicalProcess", CONTAINS_TARGET, "GO:0007155"),
+        ],
+        release="2003-10",
+    )
+
+
+class TestBasicImport:
+    def test_entities_become_objects(self, repo, importer):
+        importer.import_dataset(locuslink_dataset(), content="Gene")
+        assert repo.accessions_of("LocusLink") == {"353", "354"}
+
+    def test_entity_names_stored_as_text(self, repo, importer):
+        importer.import_dataset(locuslink_dataset(), content="Gene")
+        obj = repo.get_object("LocusLink", "353")
+        assert obj.text == "adenine phosphoribosyltransferase"
+
+    def test_target_sources_created_with_catalog_metadata(self, repo, importer):
+        importer.import_dataset(locuslink_dataset(), content="Gene")
+        go = repo.get_source("GO")
+        assert go.structure is SourceStructure.NETWORK
+
+    def test_target_objects_created_with_text(self, repo, importer):
+        importer.import_dataset(locuslink_dataset(), content="Gene")
+        term = repo.get_object("GO", "GO:0009116")
+        assert term.text == "nucleoside metabolism"
+
+    def test_fact_mappings_created(self, repo, importer):
+        importer.import_dataset(locuslink_dataset(), content="Gene")
+        rels = repo.find_source_rels(repo.get_source("LocusLink"),
+                                     repo.get_source("GO"))
+        assert [rel.type for rel in rels] == [RelType.FACT]
+
+    def test_associations_stored(self, repo, importer):
+        report = importer.import_dataset(locuslink_dataset(), content="Gene")
+        assert report.new_associations["GO"] == 2
+        assert report.new_associations["Hugo"] == 2
+
+    def test_report_summary(self, repo, importer):
+        report = importer.import_dataset(locuslink_dataset(), content="Gene")
+        assert "LocusLink" in report.summary()
+        assert report.new_objects == 2
+        # 2 Hugo + 2 GO + 1 Location; the Name row is not an association.
+        assert report.total_associations == 5
+
+    def test_audit_clock_recorded(self, repo, importer):
+        importer.import_dataset(locuslink_dataset(), content="Gene")
+        assert repo.get_source("LocusLink").imported_at == "2003-10-01 12:00:00"
+
+    def test_unnamed_dataset_rejected(self, importer):
+        with pytest.raises(ImportError_, match="source name"):
+            importer.import_dataset(EavDataset(""))
+
+    def test_reduced_evidence_produces_similarity_mapping(self, repo, importer):
+        dataset = EavDataset(
+            "BlastDB",
+            [EavRow("q1", "Homology", "h1", evidence=0.65)],
+        )
+        importer.import_dataset(dataset)
+        rels = repo.find_source_rels(rel_type=RelType.SIMILARITY)
+        assert len(rels) == 1
+        rel = rels[0]
+        assert repo.associations_of(rel)[0].evidence == pytest.approx(0.65)
+
+
+class TestDuplicateElimination:
+    def test_reimport_is_idempotent(self, repo, importer):
+        importer.import_dataset(locuslink_dataset(), content="Gene")
+        report = importer.import_dataset(locuslink_dataset(), content="Gene")
+        assert report.new_objects == 0
+        assert report.total_associations == 0
+
+    def test_reimport_only_adds_new_objects(self, repo, importer):
+        importer.import_dataset(locuslink_dataset(), content="Gene")
+        extended = locuslink_dataset()
+        extended.append(EavRow("355", "Hugo", "NEW1"))
+        report = importer.import_dataset(extended, content="Gene")
+        assert report.new_objects == 1
+        assert report.new_associations["Hugo"] == 1
+
+    def test_reimport_relates_to_existing_targets(self, repo, importer):
+        # The paper's example: GO already integrated, re-importing
+        # LocusLink only relates the new loci with existing GO terms.
+        importer.import_dataset(go_dataset())
+        go_objects_before = repo.count_objects("GO")
+        importer.import_dataset(locuslink_dataset(), content="Gene")
+        assert repo.count_objects("GO") == go_objects_before
+        mapping_rels = repo.mappings_between("LocusLink", "GO")
+        assert len(mapping_rels) == 1
+
+
+class TestStructuralImport:
+    def test_is_a_becomes_intra_source_rel(self, repo, importer):
+        importer.import_dataset(go_dataset())
+        go = repo.get_source("GO")
+        rels = repo.find_source_rels(go, go, RelType.IS_A)
+        assert len(rels) == 1
+        assert repo.count_associations(rels[0]) == 2
+
+    def test_source_with_structure_forced_to_network(self, repo, importer):
+        importer.import_dataset(go_dataset(), structure="Flat")
+        assert repo.get_source("GO").structure is SourceStructure.NETWORK
+
+    def test_contains_creates_partition_source(self, repo, importer):
+        importer.import_dataset(go_dataset())
+        partition = repo.get_source("GO.BiologicalProcess")
+        assert partition.structure is SourceStructure.NETWORK
+        assert repo.accessions_of(partition) == {"GO:0009116", "GO:0007155"}
+
+    def test_contains_rel_links_source_to_partition(self, repo, importer):
+        importer.import_dataset(go_dataset())
+        rels = repo.find_source_rels(
+            repo.get_source("GO"),
+            repo.get_source("GO.BiologicalProcess"),
+            RelType.CONTAINS,
+        )
+        assert len(rels) == 1
+        assert repo.count_associations(rels[0]) == 2
+
+    def test_partition_name_is_not_an_object(self, repo, importer):
+        importer.import_dataset(go_dataset())
+        assert "GO.BiologicalProcess" not in repo.accessions_of("GO")
+
+    def test_is_a_parents_created_as_objects(self, repo, importer):
+        # EC-style data where parents never appear as entities.
+        dataset = EavDataset(
+            "Enzyme", [EavRow("1.1.1.1", IS_A_TARGET, "1.1.1")]
+        )
+        importer.import_dataset(dataset)
+        assert repo.accessions_of("Enzyme") == {"1.1.1.1", "1.1.1"}
+
+
+class TestSelfReference:
+    def test_self_citation_reuses_source(self, repo, importer):
+        dataset = EavDataset(
+            "LocusLink",
+            [
+                EavRow("353", "Hugo", "APRT"),
+                EavRow("353", "LocusLink", "354"),
+                EavRow("354", "Hugo", "GP1BB"),
+            ],
+        )
+        importer.import_dataset(dataset, content="Gene")
+        sources = [s.name for s in repo.list_sources()]
+        assert sources.count("LocusLink") == 1
+        rels = repo.find_source_rels(
+            repo.get_source("LocusLink"), repo.get_source("LocusLink")
+        )
+        assert [rel.type for rel in rels] == [RelType.FACT]

@@ -1,0 +1,170 @@
+"""End-to-end integration tests over the full synthetic universe.
+
+These tests exercise the complete Figure 2 flow — emit native files,
+parse, import, derive, query — and check the results against the
+universe's ground truth.
+"""
+
+import pytest
+
+from repro.gam.enums import RelType
+from repro.operators.simple import map_
+from repro.query.language import parse_query
+from repro.query.session import run_query
+
+
+class TestFullImport:
+    def test_all_manifest_sources_imported(self, loaded_genmapper):
+        names = {source.name for source in loaded_genmapper.sources()}
+        assert {
+            "LocusLink", "GO", "Unigene", "Enzyme", "OMIM", "Hugo",
+            "NetAffx", "SwissProt", "InterPro", "Ensembl",
+        } <= names
+
+    def test_partitions_created(self, loaded_genmapper):
+        names = {source.name for source in loaded_genmapper.sources()}
+        assert {
+            "GO.BiologicalProcess", "GO.MolecularFunction",
+            "GO.CellularComponent",
+        } <= names
+
+    def test_integrity_holds_after_full_import(self, loaded_genmapper):
+        assert loaded_genmapper.check_integrity().ok
+
+    def test_stats_count_every_table(self, loaded_genmapper):
+        stats = loaded_genmapper.stats()
+        assert stats["sources"] >= 15
+        assert stats["objects"] > 100
+        assert stats["associations"] > 500
+
+
+class TestMappingsMatchGroundTruth:
+    def test_locuslink_go_exact(self, loaded_genmapper, universe):
+        mapping = loaded_genmapper.map("LocusLink", "GO")
+        assert mapping.pair_set() == universe.true_locus_to_go()
+
+    def test_locuslink_unigene_exact(self, loaded_genmapper, universe):
+        mapping = loaded_genmapper.map("LocusLink", "Unigene")
+        assert mapping.pair_set() == universe.true_locus_to_unigene()
+
+    def test_composed_probe_to_go_precision(self, loaded_genmapper, universe):
+        # NetAffx -> GO exists as a direct Fact mapping; force the
+        # composed route through LocusLink and compare with ground truth.
+        composed = loaded_genmapper.compose(["NetAffx", "LocusLink", "GO"])
+        truth = universe.true_probe_to_go()
+        derived = composed.pair_set()
+        assert derived <= truth  # composition introduces no false pairs
+        published = {
+            probe.probe_id
+            for probe in universe.probes
+            if probe.published_locus is not None
+        }
+        recovered = {pair for pair in truth if pair[0] in published}
+        assert derived == recovered
+
+    def test_longer_path_through_unigene(self, loaded_genmapper, universe):
+        composed = loaded_genmapper.compose(
+            ["NetAffx", "Unigene", "LocusLink", "GO"]
+        )
+        assert composed.pair_set() <= universe.true_probe_to_go()
+        assert len(composed) > 0
+
+
+class TestDerivedRelationships:
+    def test_subsumed_matches_taxonomy_closure(self, loaded_genmapper, universe):
+        from repro.taxonomy.dag import Taxonomy
+
+        stored = loaded_genmapper.subsumed("GO")
+        taxonomy = Taxonomy(universe.go.is_a_pairs())
+        assert stored.pair_set() == set(taxonomy.subsumed_pairs())
+
+    def test_materialized_composed_equals_on_the_fly(self, universe_dir):
+        from repro.core.genmapper import GenMapper
+
+        with GenMapper() as gm:
+            gm.integrate_directory(universe_dir)
+            on_the_fly = gm.compose(
+                ["Unigene", "LocusLink", "GO"], materialize=False
+            )
+            gm.compose(["Unigene", "LocusLink", "GO"], materialize=True)
+            stored = map_(gm.repository, "Unigene", "GO")
+            assert stored.rel_type is RelType.COMPOSED
+            assert stored.pair_set() == on_the_fly.pair_set()
+
+
+class TestQueriesOverUniverse:
+    def test_figure_3_style_view(self, loaded_genmapper, universe):
+        genes = universe.genes[:5]
+        view = loaded_genmapper.generate_view(
+            "LocusLink",
+            ["Hugo", "GO", "Location", "OMIM"],
+            source_objects=[g.locus for g in genes],
+            combine="OR",
+        )
+        assert view.columns == ("LocusLink", "Hugo", "GO", "Location", "OMIM")
+        for gene in genes:
+            profile = view.annotation_profile(gene.locus)
+            assert profile["Hugo"] == [gene.symbol]
+            assert profile["GO"] == sorted(gene.go_terms)
+            assert profile["Location"] == [gene.location]
+            expected_omim = [gene.omim] if gene.omim else []
+            assert profile["OMIM"] == expected_omim
+
+    def test_motivating_query_semantics(self, loaded_genmapper, universe):
+        with_omim = [g for g in universe.genes if g.omim is not None]
+        without_omim = [g for g in universe.genes if g.omim is None]
+        assert with_omim and without_omim
+        query = (
+            "ANNOTATE LocusLink WITH GO AND NOT OMIM"
+        )
+        view = run_query(loaded_genmapper, parse_query(query))
+        result_loci = set(view.source_objects())
+        assert result_loci == {g.locus for g in without_omim}
+
+    def test_restricted_location_query(self, loaded_genmapper, universe):
+        gene = universe.genes[0]
+        query = (
+            f"ANNOTATE LocusLink WITH Location IN ({gene.location}) AND Hugo"
+        )
+        view = run_query(loaded_genmapper, parse_query(query))
+        expected = {
+            g.locus for g in universe.genes if g.location == gene.location
+        }
+        assert set(view.source_objects()) == expected
+
+    def test_cross_source_protein_query(self, loaded_genmapper, universe):
+        protein = universe.proteins[0]
+        view = loaded_genmapper.generate_view(
+            "SwissProt",
+            ["InterPro", "Hugo"],
+            source_objects=[protein.accession],
+            combine="OR",
+        )
+        profile = view.annotation_profile(protein.accession)
+        assert profile["InterPro"] == sorted(protein.interpro)
+        assert profile["Hugo"] == [protein.gene_symbol]
+
+    def test_enzyme_taxonomy_query(self, loaded_genmapper, universe):
+        enzymes = {g.ec for g in universe.genes if g.ec}
+        taxonomy = loaded_genmapper.taxonomy("Enzyme")
+        # Every EC number's top-level class is present in the hierarchy.
+        for ec in enzymes:
+            top = ec.split(".")[0]
+            assert top in taxonomy
+            assert ec in taxonomy.descendants(top)
+
+
+class TestReimportStability:
+    def test_double_import_changes_nothing(self, universe_dir):
+        from repro.core.genmapper import GenMapper
+
+        with GenMapper() as gm:
+            gm.integrate_directory(universe_dir)
+            before = gm.stats()
+            reports = gm.integrate_directory(universe_dir)
+            after = gm.stats()
+            assert before == after
+            assert all(report.new_objects == 0 for report in reports)
+            assert all(
+                report.total_associations == 0 for report in reports
+            )

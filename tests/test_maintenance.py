@@ -1,0 +1,122 @@
+"""Tests for GAM maintenance: cascade deletion, derived cleanup, pruning."""
+
+import pytest
+
+from repro.gam.enums import RelType
+from repro.gam.errors import UnknownSourceError
+from repro.gam.maintenance import (
+    delete_source,
+    drop_derived,
+    prune_orphan_objects,
+    vacuum,
+)
+
+
+class TestDeleteSource:
+    def test_cascade_removes_everything(self, paper_genmapper):
+        repo = paper_genmapper.repository
+        report = delete_source(repo, "OMIM")
+        assert report.objects == 1
+        assert report.source_rels == 1
+        assert report.associations == 1
+        with pytest.raises(UnknownSourceError):
+            repo.get_source("OMIM")
+
+    def test_other_sources_untouched(self, paper_genmapper):
+        repo = paper_genmapper.repository
+        go_count = repo.count_objects("GO")
+        delete_source(repo, "OMIM")
+        assert repo.count_objects("GO") == go_count
+        assert repo.count_objects("LocusLink") == 1
+
+    def test_deleting_mapping_hub_removes_both_directions(
+        self, paper_genmapper
+    ):
+        repo = paper_genmapper.repository
+        delete_source(repo, "LocusLink")
+        # Every relationship touching LocusLink is gone; GO's internal
+        # structure survives.
+        assert repo.find_source_rels(rel_type=RelType.IS_A)
+        for rel in repo.find_source_rels():
+            assert rel.source1_id != 1 or rel.source2_id != 1
+
+    def test_integrity_holds_after_delete(self, paper_genmapper):
+        delete_source(paper_genmapper.repository, "LocusLink")
+        assert paper_genmapper.check_integrity().ok
+
+    def test_summary(self, paper_genmapper):
+        report = delete_source(paper_genmapper.repository, "OMIM")
+        assert "OMIM" in report.summary()
+
+
+class TestDropDerived:
+    def test_removes_composed_and_subsumed(self, paper_genmapper):
+        paper_genmapper.compose(
+            ["Unigene", "LocusLink", "GO"], materialize=True
+        )
+        paper_genmapper.derive_subsumed("GO")
+        repo = paper_genmapper.repository
+        assert drop_derived(repo) == 2
+        assert not repo.find_source_rels(rel_type=RelType.COMPOSED)
+        assert not repo.find_source_rels(rel_type=RelType.SUBSUMED)
+
+    def test_keeps_imported_and_structural(self, paper_genmapper):
+        repo = paper_genmapper.repository
+        facts_before = len(repo.find_source_rels(rel_type=RelType.FACT))
+        paper_genmapper.derive_subsumed("GO")
+        drop_derived(repo)
+        assert len(repo.find_source_rels(rel_type=RelType.FACT)) == facts_before
+        assert repo.find_source_rels(rel_type=RelType.IS_A)
+
+    def test_noop_without_derived(self, paper_genmapper):
+        assert drop_derived(paper_genmapper.repository) == 0
+
+    def test_rederivable_after_drop(self, paper_genmapper):
+        first = paper_genmapper.derive_subsumed("GO")
+        drop_derived(paper_genmapper.repository)
+        second = paper_genmapper.derive_subsumed("GO")
+        assert first == second
+
+
+class TestPruneOrphans:
+    def test_prunes_unreferenced_annotation_values(self, paper_genmapper):
+        repo = paper_genmapper.repository
+        # Both LocusLink and Unigene reference the Hugo symbol APRT;
+        # deleting them strands Hugo's objects.
+        delete_source(repo, "LocusLink")
+        delete_source(repo, "Unigene")
+        hugo_before = repo.count_objects("Hugo")
+        assert hugo_before > 0
+        # Hugo lost its only relationships, so the conservative global
+        # rule keeps its objects; explicit per-source pruning removes them.
+        assert prune_orphan_objects(repo) == 0
+        pruned = prune_orphan_objects(repo, source="Hugo")
+        assert pruned == hugo_before
+        assert repo.count_objects("Hugo") == 0
+
+    def test_keeps_objects_of_unlinked_sources(self, genmapper):
+        # A freshly imported source with no relationships at all keeps
+        # its objects (they are not orphans, just not yet linked).
+        from repro.eav.model import EavRow
+        from repro.eav.store import EavDataset
+
+        genmapper.integrate_dataset(
+            EavDataset("Fresh", [EavRow("x", "Name", "an object", "an object")])
+        )
+        assert prune_orphan_objects(genmapper.repository) == 0
+        assert genmapper.repository.count_objects("Fresh") == 1
+
+    def test_keeps_referenced_objects(self, paper_genmapper):
+        repo = paper_genmapper.repository
+        before = repo.count_objects()
+        pruned = prune_orphan_objects(repo)
+        # The paper fixture has no orphans: every object participates.
+        assert pruned == 0
+        assert repo.count_objects() == before
+
+
+class TestVacuum:
+    def test_vacuum_runs(self, paper_genmapper):
+        delete_source(paper_genmapper.repository, "LocusLink")
+        vacuum(paper_genmapper.db)  # must not raise
+        assert paper_genmapper.check_integrity().ok

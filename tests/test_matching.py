@@ -1,0 +1,180 @@
+"""Tests for attribute matching (Similarity mapping computation)."""
+
+import pytest
+
+from repro.gam.enums import RelType
+from repro.gam.records import GamObject
+from repro.operators.matching import (
+    MatchConfig,
+    evaluate_matching,
+    exact_matcher,
+    match_attributes,
+    match_objects,
+    normalize,
+    normalized_matcher,
+    token_jaccard_matcher,
+    tokens,
+)
+
+
+def obj(accession, text=None, object_id=0, source_id=0):
+    return GamObject(
+        object_id=object_id, source_id=source_id, accession=accession, text=text
+    )
+
+
+class TestMatchers:
+    def test_exact(self):
+        assert exact_matcher("abc", "abc") == 1.0
+        assert exact_matcher("abc", "Abc") == 0.0
+
+    def test_normalize(self):
+        assert normalize("Adenine-Phosphoribosyl_Transferase!") == (
+            "adenine phosphoribosyl transferase"
+        )
+
+    def test_normalized_matcher(self):
+        assert normalized_matcher("Gene-X kinase", "gene x KINASE") == 1.0
+        assert normalized_matcher("gene x", "gene y") == 0.0
+
+    def test_tokens(self):
+        assert tokens("purine metabolism, purine") == {"purine", "metabolism"}
+
+    def test_jaccard_values(self):
+        assert token_jaccard_matcher("a b c", "a b c") == 1.0
+        assert token_jaccard_matcher("a b", "b c") == pytest.approx(1 / 3)
+        assert token_jaccard_matcher("a", "b") == 0.0
+
+    def test_jaccard_empty_strings(self):
+        assert token_jaccard_matcher("", "anything") == 0.0
+
+
+class TestMatchObjects:
+    def test_exact_name_match(self):
+        left = [obj("L1", "purine kinase")]
+        right = [obj("R1", "purine kinase"), obj("R2", "lipid kinase")]
+        mapping = match_objects("A", "B", left, right)
+        assert mapping.pair_set() == {("L1", "R1")}
+        assert mapping.rel_type is RelType.SIMILARITY
+
+    def test_evidence_is_score(self):
+        left = [obj("L1", "purine kinase activity")]
+        right = [obj("R1", "purine kinase")]
+        mapping = match_objects(
+            "A", "B", left, right, MatchConfig(threshold=0.5)
+        )
+        assert mapping.associations[0].evidence == pytest.approx(2 / 3)
+
+    def test_threshold_filters(self):
+        left = [obj("L1", "purine kinase")]
+        right = [obj("R1", "purine phosphatase")]
+        strict = match_objects("A", "B", left, right,
+                               MatchConfig(threshold=0.9))
+        loose = match_objects("A", "B", left, right,
+                              MatchConfig(threshold=0.3))
+        assert strict.is_empty()
+        assert not loose.is_empty()
+
+    def test_top_k_keeps_best(self):
+        left = [obj("L1", "purine kinase")]
+        right = [
+            obj("R1", "purine kinase"),          # score 1.0
+            obj("R2", "purine kinase activity"),  # score 2/3
+        ]
+        top1 = match_objects("A", "B", left, right,
+                             MatchConfig(threshold=0.5, top_k=1))
+        assert top1.pair_set() == {("L1", "R1")}
+        top2 = match_objects("A", "B", left, right,
+                             MatchConfig(threshold=0.5, top_k=2))
+        assert len(top2) == 2
+
+    def test_top_k_zero_keeps_all(self):
+        left = [obj("L1", "x y")]
+        right = [obj(f"R{i}", "x y") for i in range(5)]
+        mapping = match_objects("A", "B", left, right,
+                                MatchConfig(top_k=0))
+        assert len(mapping) == 5
+
+    def test_objects_without_text_skipped(self):
+        left = [obj("L1", None)]
+        right = [obj("R1", "anything")]
+        assert match_objects("A", "B", left, right).is_empty()
+
+    def test_accession_attribute(self):
+        left = [obj("shared-id", "name a")]
+        right = [obj("shared-id", "completely different")]
+        mapping = match_objects(
+            "A", "B", left, right,
+            MatchConfig(matcher=exact_matcher, attribute="accession"),
+        )
+        assert mapping.pair_set() == {("shared-id", "shared-id")}
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ValueError, match="attribute"):
+            match_objects(
+                "A", "B", [obj("L1", "x")], [obj("R1", "x")],
+                MatchConfig(attribute="number"),
+            )
+
+    def test_blocking_equals_exhaustive(self):
+        """The token-index optimization must not change the result."""
+        names = ["purine kinase", "lipid transport", "purine transport",
+                 "heme oxidation", "kinase regulator"]
+        left = [obj(f"L{i}", name) for i, name in enumerate(names)]
+        right = [obj(f"R{i}", name) for i, name in enumerate(reversed(names))]
+        blocked = match_objects("A", "B", left, right,
+                                MatchConfig(threshold=0.4, top_k=0))
+        exhaustive_pairs = set()
+        for l in left:
+            for r in right:
+                if token_jaccard_matcher(l.text, r.text) >= 0.4:
+                    exhaustive_pairs.add((l.accession, r.accession))
+        assert blocked.pair_set() == exhaustive_pairs
+
+
+class TestMatchAttributes:
+    def test_matches_stored_sources(self, paper_genmapper):
+        # LocusLink 353 and UniGene Hs.28914 share the exact name
+        # "adenine phosphoribosyltransferase".
+        mapping = match_attributes(
+            paper_genmapper.repository, "LocusLink", "Unigene",
+            MatchConfig(matcher=normalized_matcher, threshold=1.0),
+        )
+        assert ("353", "Hs.28914") in mapping
+
+    def test_result_materializable(self, paper_genmapper):
+        from repro.derived.composed import materialize_mapping
+        from repro.operators.simple import map_
+
+        mapping = match_attributes(
+            paper_genmapper.repository, "LocusLink", "Unigene",
+            MatchConfig(matcher=normalized_matcher, threshold=1.0),
+        )
+        materialize_mapping(
+            paper_genmapper.repository, mapping, RelType.SIMILARITY
+        )
+        stored = map_(paper_genmapper.repository, "LocusLink", "Unigene")
+        assert ("353", "Hs.28914") in stored
+
+
+class TestEvaluation:
+    def test_perfect_match(self):
+        from repro.operators.mapping import Mapping
+
+        mapping = Mapping.build("A", "B", [("a", "b")])
+        scores = evaluate_matching(mapping, [("a", "b")])
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_partial_match(self):
+        from repro.operators.mapping import Mapping
+
+        mapping = Mapping.build("A", "B", [("a", "b"), ("a", "c")])
+        scores = evaluate_matching(mapping, [("a", "b"), ("x", "y")])
+        assert scores["precision"] == pytest.approx(0.5)
+        assert scores["recall"] == pytest.approx(0.5)
+
+    def test_empty_mapping(self):
+        from repro.operators.mapping import Mapping
+
+        scores = evaluate_matching(Mapping.build("A", "B", []), [("a", "b")])
+        assert scores["f1"] == 0.0

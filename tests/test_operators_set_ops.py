@@ -1,0 +1,80 @@
+"""Tests for the mapping set algebra (union / intersection / difference)."""
+
+import pytest
+
+from repro.gam.enums import RelType
+from repro.operators.mapping import Mapping
+from repro.operators.set_ops import difference, intersection, union
+
+
+@pytest.fixture()
+def curated():
+    return Mapping.build(
+        "A", "B", [("a1", "b1", 1.0), ("a2", "b2", 1.0)], RelType.FACT
+    )
+
+
+@pytest.fixture()
+def computed():
+    return Mapping.build(
+        "A", "B", [("a1", "b1", 0.6), ("a3", "b3", 0.7)], RelType.SIMILARITY
+    )
+
+
+class TestUnion:
+    def test_contains_all_pairs(self, curated, computed):
+        merged = union(curated, computed)
+        assert merged.pair_set() == {("a1", "b1"), ("a2", "b2"), ("a3", "b3")}
+
+    def test_takes_maximum_evidence(self, curated, computed):
+        merged = union(curated, computed)
+        evidence = {
+            (a.source_accession, a.target_accession): a.evidence for a in merged
+        }
+        assert evidence[("a1", "b1")] == pytest.approx(1.0)
+        assert evidence[("a3", "b3")] == pytest.approx(0.7)
+
+    def test_mixed_types_marked_composed(self, curated, computed):
+        assert union(curated, computed).rel_type is RelType.COMPOSED
+
+    def test_same_types_preserved(self, curated):
+        assert union(curated, curated).rel_type is RelType.FACT
+
+    def test_is_commutative(self, curated, computed):
+        assert union(curated, computed).pair_set() == union(
+            computed, curated
+        ).pair_set()
+
+
+class TestIntersection:
+    def test_keeps_shared_pairs_only(self, curated, computed):
+        consensus = intersection(curated, computed)
+        assert consensus.pair_set() == {("a1", "b1")}
+
+    def test_takes_minimum_evidence(self, curated, computed):
+        consensus = intersection(curated, computed)
+        assert consensus.associations[0].evidence == pytest.approx(0.6)
+
+    def test_empty_when_disjoint(self, curated):
+        other = Mapping.build("A", "B", [("x", "y")])
+        assert intersection(curated, other).is_empty()
+
+
+class TestDifference:
+    def test_removes_right_pairs(self, curated, computed):
+        remaining = difference(curated, computed)
+        assert remaining.pair_set() == {("a2", "b2")}
+
+    def test_keeps_left_type(self, curated, computed):
+        assert difference(curated, computed).rel_type is RelType.FACT
+
+    def test_difference_with_self_is_empty(self, curated):
+        assert difference(curated, curated).is_empty()
+
+
+class TestEndpointChecks:
+    def test_mismatched_endpoints_rejected(self, curated):
+        other = Mapping.build("A", "C", [("a1", "c1")])
+        for operation in (union, intersection, difference):
+            with pytest.raises(ValueError, match="different sources"):
+                operation(curated, other)

@@ -1,0 +1,108 @@
+"""Tests for the GAF (GO annotation file) parser."""
+
+import pytest
+
+from repro.eav.model import NAME_TARGET
+from repro.gam.enums import RelType
+from repro.gam.errors import ParseError
+from repro.parsers.gaf import EVIDENCE_VALUES, GafParser
+
+
+def gaf_row(object_id="S001", symbol="APRT", qualifier="", go="GO:0009116",
+            evidence="IDA", name="adenine phosphoribosyltransferase"):
+    columns = [
+        "SGD", object_id, symbol, qualifier, go, "PMID:1", evidence, "",
+        "P", name, "APRT1", "gene", "taxon:9606", "20031001", "SGD",
+    ]
+    return "\t".join(columns)
+
+
+HEADER = "!gaf-version: 1.0\n"
+
+
+class TestGafParser:
+    def test_basic_annotation(self):
+        rows = GafParser().parse_text(HEADER + gaf_row() + "\n").rows
+        go = [r for r in rows if r.target == "GO"]
+        assert len(go) == 1
+        assert go[0].entity == "S001"
+        assert go[0].accession == "GO:0009116"
+        assert go[0].evidence == 1.0
+
+    def test_symbol_and_name_extracted(self):
+        rows = GafParser().parse_text(HEADER + gaf_row() + "\n").rows
+        targets = {r.target for r in rows}
+        assert "Hugo" in targets
+        assert NAME_TARGET in targets
+
+    def test_comment_lines_skipped(self):
+        dataset = GafParser().parse_text(
+            "!comment\n!another\n" + gaf_row() + "\n"
+        )
+        assert len(dataset.entities()) == 1
+
+    def test_not_qualifier_skipped(self):
+        text = HEADER + gaf_row(qualifier="NOT") + "\n"
+        rows = GafParser().parse_text(text).rows
+        assert all(r.target != "GO" for r in rows)
+
+    def test_compound_not_qualifier_skipped(self):
+        text = HEADER + gaf_row(qualifier="NOT|contributes_to") + "\n"
+        rows = GafParser().parse_text(text).rows
+        assert all(r.target != "GO" for r in rows)
+
+    def test_positive_qualifier_kept(self):
+        text = HEADER + gaf_row(qualifier="contributes_to") + "\n"
+        rows = GafParser().parse_text(text).rows
+        assert any(r.target == "GO" for r in rows)
+
+    @pytest.mark.parametrize("code,expected", sorted(EVIDENCE_VALUES.items()))
+    def test_evidence_codes_mapped(self, code, expected):
+        text = HEADER + gaf_row(evidence=code) + "\n"
+        go = [r for r in GafParser().parse_text(text).rows if r.target == "GO"]
+        assert go[0].evidence == pytest.approx(expected)
+
+    def test_unknown_evidence_defaults_to_iea_level(self):
+        text = HEADER + gaf_row(evidence="XXX") + "\n"
+        go = [r for r in GafParser().parse_text(text).rows if r.target == "GO"]
+        assert go[0].evidence == pytest.approx(0.7)
+
+    def test_name_emitted_once_per_object(self):
+        text = HEADER + gaf_row() + "\n" + gaf_row(go="GO:0007155") + "\n"
+        rows = GafParser().parse_text(text).rows
+        names = [r for r in rows if r.target == NAME_TARGET]
+        assert len(names) == 1
+
+    def test_short_row_rejected(self):
+        with pytest.raises(ParseError, match="columns"):
+            GafParser().parse_text("A\tB\tC\n")
+
+    def test_bad_go_id_rejected(self):
+        with pytest.raises(ParseError, match="GO id"):
+            GafParser().parse_text(HEADER + gaf_row(go="0009116") + "\n")
+
+
+class TestGafImport:
+    def test_iea_annotations_become_similarity_mapping(self, genmapper):
+        text = HEADER + gaf_row(evidence="IEA") + "\n"
+        genmapper.integrate_text(text, "GOA")
+        mapping = genmapper.map("GOA", "GO")
+        assert mapping.rel_type is RelType.SIMILARITY
+        assert mapping.associations[0].evidence == pytest.approx(0.7)
+
+    def test_experimental_annotations_stay_facts(self, genmapper):
+        text = HEADER + gaf_row(evidence="IDA") + "\n"
+        genmapper.integrate_text(text, "GOA")
+        mapping = genmapper.map("GOA", "GO")
+        assert mapping.rel_type is RelType.FACT
+
+    def test_evidence_filter_on_imported_gaf(self, genmapper):
+        text = (
+            HEADER
+            + gaf_row(object_id="S001", evidence="IDA") + "\n"
+            + gaf_row(object_id="S002", go="GO:0007155", evidence="IEA") + "\n"
+        )
+        genmapper.integrate_text(text, "GOA")
+        mapping = genmapper.map("GOA", "GO")
+        trusted = mapping.filter_evidence(0.9)
+        assert trusted.domain() == {"S001"}

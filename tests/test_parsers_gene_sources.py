@@ -1,0 +1,232 @@
+"""Tests for the gene-oriented source parsers.
+
+The LocusLink tests reproduce paper Table 1 exactly: parsing the locus 353
+record yields the (entity, target, accession, text) rows the paper shows.
+"""
+
+import pytest
+
+from repro.eav.model import NAME_TARGET, EavRow
+from repro.gam.errors import ParseError
+from repro.parsers.ensembl import EnsemblParser
+from repro.parsers.hugo import HugoParser
+from repro.parsers.locuslink import LocusLinkParser
+from repro.parsers.netaffx import NetAffxParser
+from repro.parsers.unigene import UnigeneParser
+from tests.conftest import LOCUS_353_RECORD
+
+
+class TestLocusLinkParser:
+    @pytest.fixture()
+    def rows(self):
+        return LocusLinkParser().parse_text(LOCUS_353_RECORD).rows
+
+    def test_reproduces_table_1_hugo_row(self, rows):
+        assert (
+            EavRow("353", "Hugo", "APRT") in rows
+        )
+
+    def test_reproduces_table_1_location_row(self, rows):
+        assert EavRow("353", "Location", "16q24") in rows
+
+    def test_reproduces_table_1_enzyme_row(self, rows):
+        assert EavRow("353", "Enzyme", "2.4.2.7") in rows
+
+    def test_reproduces_table_1_go_row(self, rows):
+        assert (
+            EavRow("353", "GO", "GO:0009116", "nucleoside metabolism") in rows
+        )
+
+    def test_name_row_carries_text(self, rows):
+        name_rows = [r for r in rows if r.target == NAME_TARGET]
+        assert name_rows == [
+            EavRow(
+                "353",
+                NAME_TARGET,
+                "adenine phosphoribosyltransferase",
+                "adenine phosphoribosyltransferase",
+            )
+        ]
+
+    def test_all_figure_1_targets_present(self, rows):
+        targets = {r.target for r in rows}
+        assert {"Hugo", "Location", "Enzyme", "GO", "OMIM", "Unigene",
+                "Chromosome", "Alias"} <= targets
+
+    def test_multiple_records(self):
+        text = ">>1\nOFFICIAL_SYMBOL: A\n>>2\nOFFICIAL_SYMBOL: B\n"
+        dataset = LocusLinkParser().parse_text(text)
+        assert dataset.entities() == ["1", "2"]
+
+    def test_unknown_key_becomes_target(self):
+        text = ">>1\nPHENOTYPE: dwarfism\n"
+        rows = LocusLinkParser().parse_text(text).rows
+        assert rows == [EavRow("1", "Phenotype", "dwarfism")]
+
+    def test_go_line_with_evidence_code_keeps_name_only(self):
+        text = ">>1\nGO: GO:0009116|nucleoside metabolism|IEA\n"
+        rows = LocusLinkParser().parse_text(text).rows
+        assert rows[0].text == "nucleoside metabolism"
+
+    def test_empty_values_skipped(self):
+        text = ">>1\nOMIM: \nOFFICIAL_SYMBOL: A\n"
+        rows = LocusLinkParser().parse_text(text).rows
+        assert len(rows) == 1
+
+    def test_annotation_before_record_rejected(self):
+        with pytest.raises(ParseError, match="before any"):
+            LocusLinkParser().parse_text("OFFICIAL_SYMBOL: A\n")
+
+    def test_empty_locus_rejected(self):
+        with pytest.raises(ParseError, match="empty locus"):
+            LocusLinkParser().parse_text(">>\nOFFICIAL_SYMBOL: A\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ParseError, match="KEY"):
+            LocusLinkParser().parse_text(">>1\njust some text\n")
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n>>1\nOFFICIAL_SYMBOL: A\n"
+        assert len(LocusLinkParser().parse_text(text)) == 1
+
+
+class TestUnigeneParser:
+    TEXT = (
+        "ID          Hs.28914\n"
+        "TITLE       adenine phosphoribosyltransferase\n"
+        "GENE        APRT\n"
+        "LOCUSLINK   353\n"
+        "CHROMOSOME  16\n"
+        "EXPRESS     brain; liver\n"
+        "//\n"
+        "ID          Hs.2\n"
+        "GENE        XYZ\n"
+        "//\n"
+    )
+
+    def test_clusters_parsed(self):
+        dataset = UnigeneParser().parse_text(self.TEXT)
+        assert dataset.entities() == ["Hs.28914", "Hs.2"]
+
+    def test_locuslink_cross_reference(self):
+        rows = UnigeneParser().parse_text(self.TEXT).rows
+        assert EavRow("Hs.28914", "LocusLink", "353") in rows
+
+    def test_tissues_split_on_semicolons(self):
+        rows = UnigeneParser().parse_text(self.TEXT).rows
+        tissues = [r.accession for r in rows if r.target == "Tissue"]
+        assert tissues == ["brain", "liver"]
+
+    def test_title_becomes_name(self):
+        rows = UnigeneParser().parse_text(self.TEXT).rows
+        names = [r for r in rows if r.target == NAME_TARGET]
+        assert names[0].accession == "adenine phosphoribosyltransferase"
+
+    def test_unknown_keys_skipped(self):
+        text = "ID  Hs.1\nSCOUNT  12\nGENE  A\n//\n"
+        rows = UnigeneParser().parse_text(text).rows
+        assert {r.target for r in rows} == {"Hugo"}
+
+    def test_field_before_id_rejected(self):
+        with pytest.raises(ParseError, match="before any ID"):
+            UnigeneParser().parse_text("GENE  APRT\n")
+
+
+class TestHugoParser:
+    TEXT = (
+        "symbol\tname\tlocuslink\tomim\n"
+        "APRT\tadenine phosphoribosyltransferase\t353\t102600\n"
+        "GP1BB\tglycoprotein Ib\t354\t\n"
+    )
+
+    def test_symbols_become_entities(self):
+        dataset = HugoParser().parse_text(self.TEXT)
+        assert dataset.entities() == ["APRT", "GP1BB"]
+
+    def test_cross_references(self):
+        rows = HugoParser().parse_text(self.TEXT).rows
+        assert EavRow("APRT", "LocusLink", "353") in rows
+        assert EavRow("APRT", "OMIM", "102600") in rows
+
+    def test_empty_cells_skipped(self):
+        rows = HugoParser().parse_text(self.TEXT).rows
+        omims = [r for r in rows if r.target == "OMIM"]
+        assert len(omims) == 1
+
+    def test_multi_valued_cells(self):
+        text = "symbol\tlocuslink\nA\t1|2\n"
+        rows = HugoParser().parse_text(text).rows
+        assert {r.accession for r in rows} == {"1", "2"}
+
+    def test_header_without_symbol_rejected(self):
+        with pytest.raises(ParseError, match="symbol"):
+            HugoParser().parse_text("name\tlocuslink\nx\t1\n")
+
+    def test_row_without_symbol_rejected(self):
+        with pytest.raises(ParseError, match="symbol"):
+            HugoParser().parse_text("symbol\tname\n\tx\n")
+
+
+class TestNetAffxParser:
+    TEXT = (
+        '"Probe Set ID","Gene Symbol","UniGene ID","LocusLink",'
+        '"Gene Ontology Biological Process"\n'
+        '"1000_at","APRT","Hs.28914","353",'
+        '"GO:0009116 // nucleoside metabolism /// GO:0006139 // metabolism"\n'
+        '"1001_at","---","---","---","---"\n'
+    )
+
+    def test_probe_entities(self):
+        dataset = NetAffxParser().parse_text(self.TEXT)
+        assert dataset.entities() == ["1000_at"]
+
+    def test_go_terms_split_on_triple_slash(self):
+        rows = NetAffxParser().parse_text(self.TEXT).rows
+        go = [r for r in rows if r.target == "GO"]
+        assert {r.accession for r in go} == {"GO:0009116", "GO:0006139"}
+
+    def test_go_description_captured(self):
+        rows = NetAffxParser().parse_text(self.TEXT).rows
+        go = {r.accession: r.text for r in rows if r.target == "GO"}
+        assert go["GO:0009116"] == "nucleoside metabolism"
+
+    def test_dashes_mean_missing(self):
+        rows = NetAffxParser().parse_text(self.TEXT).rows
+        assert all(r.entity != "1001_at" for r in rows)
+
+    def test_cross_references(self):
+        rows = NetAffxParser().parse_text(self.TEXT).rows
+        assert EavRow("1000_at", "Unigene", "Hs.28914") in rows
+        assert EavRow("1000_at", "LocusLink", "353") in rows
+
+    def test_missing_probe_column_rejected(self):
+        with pytest.raises(ParseError, match="Probe Set ID"):
+            NetAffxParser().parse_text('"Gene Symbol"\n"APRT"\n')
+
+
+class TestEnsemblParser:
+    TEXT = (
+        "gene_id\tname\tchromosome\tband\tlocuslink\n"
+        "ENSG00000198931\tAPRT\t16\tq24.3\t353\n"
+        "ENSG00000000002\t\t\t\t\n"
+    )
+
+    def test_gene_entities(self):
+        dataset = EnsemblParser().parse_text(self.TEXT)
+        assert "ENSG00000198931" in dataset.entities()
+
+    def test_location_joins_chromosome_and_band(self):
+        rows = EnsemblParser().parse_text(self.TEXT).rows
+        assert EavRow("ENSG00000198931", "Location", "16q24.3") in rows
+
+    def test_symbol_doubles_as_hugo(self):
+        rows = EnsemblParser().parse_text(self.TEXT).rows
+        assert EavRow("ENSG00000198931", "Hugo", "APRT") in rows
+
+    def test_empty_optional_cells_no_rows(self):
+        rows = EnsemblParser().parse_text(self.TEXT).rows
+        assert all(r.entity != "ENSG00000000002" for r in rows)
+
+    def test_header_required(self):
+        with pytest.raises(ParseError, match="gene_id"):
+            EnsemblParser().parse_text("id\tname\nx\ty\n")

@@ -1,0 +1,246 @@
+"""Tests for ontology/protein/disease parsers, the generic TSV parser and
+the parser registry."""
+
+import pytest
+
+from repro.eav.model import CONTAINS_TARGET, IS_A_TARGET, NAME_TARGET, EavRow
+from repro.gam.enums import SourceContent, SourceStructure
+from repro.gam.errors import ParseError
+from repro.parsers.base import get_parser, has_parser, registered_parsers
+from repro.parsers.enzyme import EnzymeParser
+from repro.parsers.generic_tsv import GenericTsvParser
+from repro.parsers.go_obo import GoOboParser
+from repro.parsers.interpro import InterProParser
+from repro.parsers.omim import OmimParser
+from repro.parsers.swissprot import SwissProtParser
+from tests.conftest import GO_MINI_OBO
+
+
+class TestGoOboParser:
+    def test_names_parsed(self):
+        rows = GoOboParser().parse_text(GO_MINI_OBO).rows
+        assert (
+            EavRow(
+                "GO:0009116",
+                NAME_TARGET,
+                "nucleoside metabolism",
+                "nucleoside metabolism",
+            )
+            in rows
+        )
+
+    def test_is_a_edges_parsed(self):
+        rows = GoOboParser().parse_text(GO_MINI_OBO).rows
+        assert EavRow("GO:0009116", IS_A_TARGET, "GO:0009117") in rows
+        assert EavRow("GO:0009117", IS_A_TARGET, "GO:0008150") in rows
+
+    def test_namespace_becomes_contains_partition(self):
+        rows = GoOboParser().parse_text(GO_MINI_OBO).rows
+        assert (
+            EavRow("GO.BiologicalProcess", CONTAINS_TARGET, "GO:0009116") in rows
+        )
+
+    def test_obsolete_terms_dropped(self):
+        text = "[Term]\nid: GO:1\nname: dead\nis_obsolete: true\n"
+        assert len(GoOboParser().parse_text(text)) == 0
+
+    def test_non_term_stanzas_ignored(self):
+        text = "[Typedef]\nid: part_of\nname: part of\n" + GO_MINI_OBO
+        rows = GoOboParser().parse_text(text).rows
+        assert all(row.entity != "part_of" for row in rows)
+
+    def test_is_a_comment_stripped(self):
+        text = "[Term]\nid: GO:2\nis_a: GO:1 ! the parent\n"
+        rows = GoOboParser().parse_text(text).rows
+        assert rows == [EavRow("GO:2", IS_A_TARGET, "GO:1")]
+
+    def test_xref_becomes_annotation(self):
+        text = "[Term]\nid: GO:2\nxref: Enzyme:2.4.2.7\n"
+        rows = GoOboParser().parse_text(text).rows
+        assert EavRow("GO:2", "Enzyme", "2.4.2.7") in rows
+
+    def test_declares_network_structure(self):
+        assert GoOboParser.structure is SourceStructure.NETWORK
+
+
+class TestEnzymeParser:
+    TEXT = "ID   2.4.2.7\nDE   Adenine phosphoribosyltransferase.\n//\n"
+
+    def test_name_parsed_without_trailing_dot(self):
+        rows = EnzymeParser().parse_text(self.TEXT).rows
+        names = [r for r in rows if r.target == NAME_TARGET]
+        assert names[0].accession == "Adenine phosphoribosyltransferase"
+
+    def test_hierarchy_synthesized_from_ec_number(self):
+        rows = EnzymeParser().parse_text(self.TEXT).rows
+        is_a = {(r.entity, r.accession) for r in rows if r.target == IS_A_TARGET}
+        assert ("2.4.2.7", "2.4.2") in is_a
+        assert ("2.4.2", "2.4") in is_a
+        assert ("2.4", "2") in is_a
+
+    def test_shared_classes_emitted_once(self):
+        text = "ID   2.4.2.7\n//\nID   2.4.2.8\n//\n"
+        rows = EnzymeParser().parse_text(text).rows
+        parents = [r for r in rows if (r.entity, r.accession) == ("2.4.2", "2.4")]
+        assert len(parents) == 1
+
+    def test_comment_lines_skipped(self):
+        text = "CC   a comment\nID   1.1.1.1\n//\n"
+        rows = EnzymeParser().parse_text(text).rows
+        assert any(r.entity == "1.1.1.1" for r in rows)
+
+
+class TestOmimParser:
+    TEXT = (
+        "*RECORD*\n*FIELD* NO\n102600\n*FIELD* TI\n"
+        "#102600 APRT DEFICIENCY\n*FIELD* CS\nsome clinical text\n"
+        "*RECORD*\n*FIELD* NO\n141900\n*FIELD* TI\nHEMOGLOBIN\n"
+    )
+
+    def test_entries_and_titles(self):
+        rows = OmimParser().parse_text(self.TEXT).rows
+        assert EavRow("102600", NAME_TARGET, "102600 APRT DEFICIENCY",
+                      "102600 APRT DEFICIENCY") in rows
+        assert any(r.entity == "141900" for r in rows)
+
+    def test_clinical_fields_ignored(self):
+        rows = OmimParser().parse_text(self.TEXT).rows
+        assert all("clinical" not in r.accession for r in rows)
+
+    def test_only_first_title_line_used(self):
+        text = "*RECORD*\n*FIELD* NO\n1\n*FIELD* TI\nTITLE ONE\nmore title text\n"
+        rows = OmimParser().parse_text(text).rows
+        assert len(rows) == 1
+        assert rows[0].accession == "TITLE ONE"
+
+
+class TestSwissProtParser:
+    TEXT = (
+        "ID   APRT_HUMAN\n"
+        "AC   P07741; Q9BZX1;\n"
+        "DE   Adenine phosphoribosyltransferase.\n"
+        "GN   APRT\n"
+        "DR   InterPro; IPR000312; Phosphoribosyltransferase.\n"
+        "DR   GO; GO:0009116; nucleoside metabolism.\n"
+        "DR   Enzyme; 2.4.2.7; -.\n"
+        "//\n"
+    )
+
+    def test_primary_accession_is_entity(self):
+        dataset = SwissProtParser().parse_text(self.TEXT)
+        assert dataset.entities() == ["P07741"]
+
+    def test_dr_lines_become_annotations(self):
+        rows = SwissProtParser().parse_text(self.TEXT).rows
+        assert EavRow("P07741", "InterPro", "IPR000312",
+                      "Phosphoribosyltransferase") in rows
+        assert EavRow("P07741", "Enzyme", "2.4.2.7") in rows
+
+    def test_gene_symbol_becomes_hugo(self):
+        rows = SwissProtParser().parse_text(self.TEXT).rows
+        assert EavRow("P07741", "Hugo", "APRT") in rows
+
+    def test_de_line_becomes_name(self):
+        rows = SwissProtParser().parse_text(self.TEXT).rows
+        names = [r for r in rows if r.target == NAME_TARGET]
+        assert names[0].accession == "Adenine phosphoribosyltransferase"
+
+    def test_fields_before_ac_are_buffered(self):
+        # DE precedes AC here; the row must still attach to the accession.
+        text = "DE   Some protein.\nAC   P1;\n//\n"
+        rows = SwissProtParser().parse_text(text).rows
+        assert rows == [EavRow("P1", NAME_TARGET, "Some protein", "Some protein")]
+
+    def test_malformed_dr_rejected(self):
+        with pytest.raises(ParseError, match="DR"):
+            SwissProtParser().parse_text("AC   P1;\nDR   InterPro\n//\n")
+
+    def test_declares_protein_content(self):
+        assert SwissProtParser.content is SourceContent.PROTEIN
+
+
+class TestInterProParser:
+    TEXT = (
+        "accession\tname\tparent\tgo\n"
+        "IPR000312\tPRTase family\t\tGO:0009116|GO:0016757\n"
+        "IPR000999\tPRTase subfamily\tIPR000312\t\n"
+    )
+
+    def test_hierarchy_parsed(self):
+        rows = InterProParser().parse_text(self.TEXT).rows
+        assert EavRow("IPR000999", IS_A_TARGET, "IPR000312") in rows
+
+    def test_go_cross_references_split(self):
+        rows = InterProParser().parse_text(self.TEXT).rows
+        go = {r.accession for r in rows if r.target == "GO"}
+        assert go == {"GO:0009116", "GO:0016757"}
+
+    def test_missing_accession_column_rejected(self):
+        with pytest.raises(ParseError, match="accession"):
+            InterProParser().parse_text("name\tparent\nx\ty\n")
+
+
+class TestGenericTsvParser:
+    TEXT = (
+        "#source: VendorX\n"
+        "#content: Gene\n"
+        "id\tName\tGO\tLocusLink\n"
+        "p1\tprobe one\tGO:1|GO:2\t353\n"
+        "p2\tprobe two\t\t354\n"
+    )
+
+    def test_directives_configure_parser(self):
+        parser = GenericTsvParser()
+        dataset = parser.parse_text(self.TEXT)
+        assert dataset.source_name == "VendorX"
+        assert parser.content is SourceContent.GENE
+
+    def test_multi_values_split(self):
+        rows = GenericTsvParser().parse_text(self.TEXT).rows
+        go = [r for r in rows if r.target == "GO"]
+        assert {r.accession for r in go} == {"GO:1", "GO:2"}
+
+    def test_caret_separates_text(self):
+        text = "id\tGO\np1\tGO:1^some term\n"
+        rows = GenericTsvParser("X").parse_text(text).rows
+        assert rows[0].text == "some term"
+
+    def test_number_column_parsed(self):
+        text = "id\tNumber\np1\t2.5\n"
+        rows = GenericTsvParser("X").parse_text(text).rows
+        assert rows[0].number == pytest.approx(2.5)
+
+    def test_bad_number_rejected(self):
+        text = "id\tNumber\np1\tabc\n"
+        with pytest.raises(ParseError, match="non-numeric"):
+            GenericTsvParser("X").parse_text(text)
+
+    def test_single_column_header_rejected(self):
+        with pytest.raises(ParseError, match="at least one target"):
+            GenericTsvParser("X").parse_text("id\np1\n")
+
+    def test_constructor_configuration(self):
+        parser = GenericTsvParser("MySource", content="Protein",
+                                  structure="Network")
+        assert parser.source_name == "MySource"
+        assert parser.content is SourceContent.PROTEIN
+        assert parser.structure is SourceStructure.NETWORK
+
+
+class TestRegistry:
+    def test_all_builtin_parsers_registered(self):
+        names = registered_parsers()
+        for expected in ("LocusLink", "GO", "Unigene", "Enzyme", "OMIM",
+                         "Hugo", "NetAffx", "SwissProt", "InterPro", "Ensembl"):
+            assert expected in names
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_parser("locuslink").source_name == "LocusLink"
+
+    def test_has_parser(self):
+        assert has_parser("GO")
+        assert not has_parser("NotASource")
+
+    def test_unknown_parser_raises_with_known_list(self):
+        with pytest.raises(ParseError, match="known:"):
+            get_parser("NotASource")

@@ -1,0 +1,190 @@
+"""Property-based tests for the extension modules: cardinality, rollup,
+classification, noise, matching and the dump format."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.noise import degrade_evidence, drop, rewire
+from repro.derived.subsumed import rollup_mapping
+from repro.operators.mapping import Mapping
+from repro.operators.matching import token_jaccard_matcher, tokens
+from repro.taxonomy.dag import Taxonomy
+from tests.test_properties import accessions, dag_edges, pairs
+
+
+def mapping_from(pair_list, source="S", target="T"):
+    return Mapping.build(source, target, pair_list)
+
+
+class TestCardinalityProperties:
+    @given(pairs)
+    def test_cardinality_is_valid_class(self, pair_list):
+        assert mapping_from(pair_list).cardinality() in (
+            "1:1", "1:n", "n:1", "n:m",
+        )
+
+    @given(pairs)
+    def test_inverse_mirrors_cardinality(self, pair_list):
+        mapping = mapping_from(pair_list)
+        mirror = {"1:1": "1:1", "1:n": "n:1", "n:1": "1:n", "n:m": "n:m"}
+        assert mapping.invert().cardinality() == mirror[mapping.cardinality()]
+
+    @given(pairs, st.sets(accessions, max_size=4))
+    def test_restriction_never_widens_cardinality(self, pair_list, objects):
+        order = {"1:1": 0, "1:n": 1, "n:1": 1, "n:m": 2}
+        mapping = mapping_from(pair_list)
+        restricted = mapping.restrict_domain(objects)
+        assert order[restricted.cardinality()] <= order[mapping.cardinality()]
+
+
+class TestRollupProperties:
+    @given(dag_edges(), pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_rollup_is_idempotent(self, edges, pair_list):
+        taxonomy = Taxonomy(edges)
+        # Restrict targets to taxonomy terms so rollup has work to do.
+        terms = sorted(taxonomy.terms)
+        if not terms:
+            return
+        annotation = Mapping.build(
+            "G", "T",
+            [(p[0], terms[hash(p[1]) % len(terms)]) for p in pair_list],
+        )
+        once = rollup_mapping(annotation, taxonomy)
+        twice = rollup_mapping(once, taxonomy)
+        assert once.pair_set() == twice.pair_set()
+
+    @given(dag_edges(), pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_rollup_superset_of_direct(self, edges, pair_list):
+        taxonomy = Taxonomy(edges)
+        annotation = mapping_from(pair_list, "G", "T")
+        rolled = rollup_mapping(annotation, taxonomy)
+        assert annotation.pair_set() <= rolled.pair_set()
+
+    @given(dag_edges(), pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_rollup_preserves_domain(self, edges, pair_list):
+        taxonomy = Taxonomy(edges)
+        annotation = mapping_from(pair_list, "G", "T")
+        rolled = rollup_mapping(annotation, taxonomy)
+        assert rolled.domain() == annotation.domain()
+
+
+class TestNoiseProperties:
+    rates = st.floats(min_value=0.0, max_value=1.0)
+
+    @given(pairs, rates, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_drop_is_subset(self, pair_list, rate, seed):
+        mapping = mapping_from(pair_list)
+        dropped = drop(mapping, rate, np.random.default_rng(seed))
+        assert dropped.pair_set() <= mapping.pair_set()
+
+    @given(pairs, rates, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_degrade_keeps_pairs(self, pair_list, rate, seed):
+        mapping = mapping_from(pair_list)
+        degraded = degrade_evidence(mapping, rate, np.random.default_rng(seed))
+        assert degraded.pair_set() == mapping.pair_set()
+
+    @given(pairs, rates, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_rewire_corruption_record_is_accurate(self, pair_list, rate, seed):
+        mapping = mapping_from(pair_list)
+        noisy, corrupted = rewire(mapping, rate, np.random.default_rng(seed))
+        # Every recorded corruption is in the noisy mapping and absent
+        # from the truth; every other noisy pair is a true pair.
+        assert corrupted <= noisy.pair_set()
+        assert not corrupted & mapping.pair_set()
+        assert noisy.pair_set() - corrupted <= mapping.pair_set()
+
+
+class TestMatcherProperties:
+    texts = st.text(alphabet="abc xyz", min_size=0, max_size=20)
+
+    @given(texts, texts)
+    def test_jaccard_symmetric(self, left, right):
+        assert token_jaccard_matcher(left, right) == (
+            token_jaccard_matcher(right, left)
+        )
+
+    @given(texts)
+    def test_jaccard_reflexive_when_tokens_exist(self, text):
+        if tokens(text):
+            assert token_jaccard_matcher(text, text) == 1.0
+
+    @given(texts, texts)
+    def test_jaccard_bounded(self, left, right):
+        assert 0.0 <= token_jaccard_matcher(left, right) <= 1.0
+
+
+class TestDumpProperties:
+    @given(
+        st.lists(
+            st.tuples(accessions, accessions,
+                      st.floats(min_value=0.0, max_value=1.0)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_any_mapping(self, tmp_path_factory, pair_list):
+        from repro.core.genmapper import GenMapper
+        from repro.eav.model import EavRow
+        from repro.eav.store import EavDataset
+        from repro.gam.dump import dump_database, load_database
+
+        rows = [EavRow(a, "Target", b, evidence=e) for a, b, e in pair_list]
+        with GenMapper() as gm:
+            gm.integrate_dataset(EavDataset("PropSource", rows))
+            path = tmp_path_factory.mktemp("dump") / "d.jsonl"
+            dump_database(gm.repository, path)
+            original = gm.map("PropSource", "Target").pair_set()
+        with GenMapper() as fresh:
+            load_database(fresh.repository, path)
+            assert fresh.map("PropSource", "Target").pair_set() == original
+
+
+class TestSqlEngineProperties:
+    specs = st.tuples(
+        st.lists(
+            st.tuples(accessions, accessions), min_size=0, max_size=12
+        ),  # Hugo pairs
+        st.lists(
+            st.tuples(accessions, accessions), min_size=0, max_size=12
+        ),  # GO pairs
+        st.sampled_from(["AND", "OR"]),
+        st.booleans(),  # negate GO?
+    )
+
+    @given(specs)
+    @settings(max_examples=30, deadline=None)
+    def test_sql_engine_matches_memory_engine(self, spec):
+        from repro.core.genmapper import GenMapper
+        from repro.eav.model import EavRow
+        from repro.eav.store import EavDataset
+        from repro.operators.generate_view import TargetSpec
+
+        hugo_pairs, go_pairs, combine, negate_go = spec
+        rows = [EavRow(a, "Hugo", b) for a, b in hugo_pairs]
+        rows += [EavRow(a, "GO", b) for a, b in go_pairs]
+        with GenMapper() as gm:
+            gm.integrate_dataset(EavDataset("S", rows))
+            if not rows:
+                return
+            targets = ["Hugo", TargetSpec.of("GO", negated=negate_go)]
+            try:
+                memory = gm.generate_view(
+                    "S", targets, combine=combine, engine="memory"
+                )
+                sql = gm.generate_view(
+                    "S", targets, combine=combine, engine="sql"
+                )
+            except Exception as exc:
+                from repro.gam.errors import GenMapperError
+
+                assert isinstance(exc, GenMapperError)
+                return
+            assert set(sql.rows) == set(memory.rows)

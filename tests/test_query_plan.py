@@ -1,0 +1,112 @@
+"""Tests for the query planner (EXPLAIN)."""
+
+import pytest
+
+from repro.query.language import parse_query
+from repro.query.plan import plan_query
+from repro.query.session import run_query
+
+
+class TestPlanQuery:
+    def test_stored_mapping_planned_as_stored(self, paper_genmapper):
+        spec = parse_query("ANNOTATE LocusLink WITH GO")
+        plan = plan_query(paper_genmapper, spec)
+        assert plan.executable
+        target = plan.targets[0]
+        assert target.kind == "stored"
+        assert target.path == ("LocusLink", "GO")
+
+    def test_missing_mapping_planned_as_composed(self, paper_genmapper):
+        spec = parse_query("ANNOTATE Unigene WITH GO")
+        plan = plan_query(paper_genmapper, spec)
+        target = plan.targets[0]
+        assert target.kind == "composed"
+        assert target.path == ("Unigene", "LocusLink", "GO")
+
+    def test_explicit_via_respected(self, paper_genmapper):
+        spec = parse_query("ANNOTATE Unigene WITH GO VIA LocusLink")
+        plan = plan_query(paper_genmapper, spec)
+        assert plan.targets[0].path == ("Unigene", "LocusLink", "GO")
+        assert plan.targets[0].kind == "composed"
+
+    def test_unreachable_target(self, paper_genmapper):
+        spec = parse_query("ANNOTATE LocusLink WITH GO.BiologicalProcess")
+        plan = plan_query(paper_genmapper, spec)
+        assert not plan.executable
+        assert plan.targets[0].kind == "unreachable"
+
+    def test_invalid_via_is_unreachable(self, paper_genmapper):
+        spec = parse_query("ANNOTATE LocusLink WITH GO VIA OMIM")
+        plan = plan_query(paper_genmapper, spec)
+        assert plan.targets[0].kind == "unreachable"
+
+    def test_estimate_uses_stored_counts(self, loaded_genmapper):
+        spec = parse_query("ANNOTATE LocusLink WITH GO")
+        plan = plan_query(loaded_genmapper, spec)
+        mapping = loaded_genmapper.map("LocusLink", "GO")
+        assert plan.targets[0].estimated_associations == len(mapping)
+
+    def test_negation_carried(self, paper_genmapper):
+        spec = parse_query("ANNOTATE LocusLink WITH NOT OMIM")
+        plan = plan_query(paper_genmapper, spec)
+        assert plan.targets[0].negated
+        assert "NOT OMIM" in plan.render()
+
+    def test_scope_rendered(self, paper_genmapper):
+        spec = parse_query("ANNOTATE LocusLink OBJECTS 353 WITH GO")
+        plan = plan_query(paper_genmapper, spec)
+        assert plan.source_objects == 1
+        assert "1 uploaded objects" in plan.render()
+
+    def test_entire_source_rendered(self, paper_genmapper):
+        spec = parse_query("ANNOTATE LocusLink WITH GO")
+        plan = plan_query(paper_genmapper, spec)
+        assert plan.source_objects is None
+        assert "entire source" in plan.render()
+
+    def test_unexecutable_plan_flagged_in_render(self, paper_genmapper):
+        spec = parse_query("ANNOTATE LocusLink WITH GO.BiologicalProcess")
+        text = plan_query(paper_genmapper, spec).render()
+        assert "not executable" in text
+
+    def test_plan_matches_execution(self, loaded_genmapper):
+        """An executable plan's paths agree with what run_query resolves."""
+        spec = parse_query("ANNOTATE NetAffx WITH GO AND OMIM")
+        plan = plan_query(loaded_genmapper, spec)
+        assert plan.executable
+        view = run_query(loaded_genmapper, spec)
+        assert view.columns == ("NetAffx", "GO", "OMIM")
+
+
+class TestCliExplain:
+    def test_explain_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from tests.conftest import GO_MINI_OBO, LOCUS_353_RECORD
+
+        db = tmp_path / "gam.db"
+        ll = tmp_path / "ll.txt"
+        ll.write_text(LOCUS_353_RECORD)
+        go = tmp_path / "go.obo"
+        go.write_text(GO_MINI_OBO)
+        main(["--db", str(db), "import", str(ll), "--source", "LocusLink"])
+        main(["--db", str(db), "import", str(go), "--source", "GO"])
+        capsys.readouterr()
+        code = main(["--db", str(db), "explain",
+                     "ANNOTATE LocusLink WITH GO AND NOT OMIM"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stored via LocusLink -> GO" in out
+        assert "NOT OMIM" in out
+
+    def test_explain_unreachable_returns_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+        from tests.conftest import LOCUS_353_RECORD
+
+        db = tmp_path / "gam.db"
+        ll = tmp_path / "ll.txt"
+        ll.write_text(LOCUS_353_RECORD)
+        main(["--db", str(db), "import", str(ll), "--source", "LocusLink"])
+        capsys.readouterr()
+        code = main(["--db", str(db), "explain",
+                     "ANNOTATE LocusLink WITH Nowhere"])
+        assert code == 1

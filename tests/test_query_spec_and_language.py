@@ -1,0 +1,136 @@
+"""Tests for query specifications and the ANNOTATE query language."""
+
+import pytest
+
+from repro.gam.enums import CombineMethod
+from repro.gam.errors import QuerySpecError
+from repro.query.language import parse_query
+from repro.query.spec import QuerySpec, QueryTarget
+
+
+class TestQuerySpec:
+    def test_build_with_plain_names(self):
+        spec = QuerySpec.build("LocusLink", ["Hugo", "GO"])
+        assert [target.name for target in spec.targets] == ["Hugo", "GO"]
+        assert spec.combine is CombineMethod.AND
+
+    def test_requires_source(self):
+        with pytest.raises(QuerySpecError, match="source"):
+            QuerySpec(source="", accessions=None,
+                      targets=(QueryTarget("GO"),))
+
+    def test_requires_targets(self):
+        with pytest.raises(QuerySpecError, match="target"):
+            QuerySpec.build("LocusLink", [])
+
+    def test_rejects_duplicate_targets(self):
+        with pytest.raises(QuerySpecError, match="duplicate"):
+            QuerySpec.build("LocusLink", ["GO", "GO"])
+
+    def test_rejects_source_as_target(self):
+        with pytest.raises(QuerySpecError, match="cannot also be"):
+            QuerySpec.build("GO", ["GO"])
+
+    def test_target_spec_conversion(self):
+        target = QueryTarget(
+            "GO", accessions=frozenset({"GO:1"}), negated=True,
+            via=("LocusLink",),
+        )
+        spec = target.to_target_spec()
+        assert spec.name == "GO"
+        assert spec.restrict == frozenset({"GO:1"})
+        assert spec.negated is True
+        assert spec.via == ("LocusLink",)
+
+    def test_describe_readable(self):
+        spec = QuerySpec.build(
+            "LocusLink",
+            [
+                QueryTarget("GO", frozenset({"GO:1"})),
+                QueryTarget("OMIM", negated=True),
+            ],
+            accessions=["353"],
+            combine="AND",
+        )
+        text = spec.describe()
+        assert "ANNOTATE LocusLink" in text
+        assert "NOT OMIM" in text
+        assert "GO IN (GO:1)" in text
+
+
+class TestQueryLanguage:
+    def test_minimal_query(self):
+        spec = parse_query("ANNOTATE LocusLink WITH Hugo")
+        assert spec.source == "LocusLink"
+        assert spec.accessions is None
+        assert spec.targets[0].name == "Hugo"
+
+    def test_objects_list(self):
+        spec = parse_query("ANNOTATE LocusLink OBJECTS 353, 354 WITH Hugo")
+        assert spec.accessions == frozenset({"353", "354"})
+
+    def test_paper_motivating_query(self):
+        # "Given a set of LocusLink genes, identify those located at given
+        # cytogenetic positions, annotated with given GO functions, but not
+        # associated with given OMIM diseases."
+        spec = parse_query(
+            "ANNOTATE LocusLink OBJECTS 353 "
+            "WITH Location IN (16q24) "
+            "AND GO IN (GO:0009116) "
+            "AND NOT OMIM IN (102600)"
+        )
+        assert spec.combine is CombineMethod.AND
+        assert len(spec.targets) == 3
+        omim = spec.targets[2]
+        assert omim.negated
+        assert omim.accessions == frozenset({"102600"})
+
+    def test_or_combination(self):
+        spec = parse_query("ANNOTATE X WITH A OR B")
+        assert spec.combine is CombineMethod.OR
+
+    def test_mixed_connectors_rejected(self):
+        with pytest.raises(QuerySpecError, match="mix"):
+            parse_query("ANNOTATE X WITH A AND B OR C")
+
+    def test_via_path(self):
+        spec = parse_query("ANNOTATE NetAffx WITH GO VIA Unigene -> LocusLink")
+        assert spec.targets[0].via == ("Unigene", "LocusLink")
+
+    def test_keywords_case_insensitive(self):
+        spec = parse_query("annotate X with not A in (v1, v2)")
+        assert spec.targets[0].negated
+        assert spec.targets[0].accessions == frozenset({"v1", "v2"})
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QuerySpecError, match="empty"):
+            parse_query("   ")
+
+    def test_missing_with_rejected(self):
+        with pytest.raises(QuerySpecError, match="WITH"):
+            parse_query("ANNOTATE X Hugo")
+
+    def test_empty_in_list_rejected(self):
+        with pytest.raises(QuerySpecError, match="empty IN"):
+            parse_query("ANNOTATE X WITH A IN ()")
+
+    def test_empty_objects_rejected(self):
+        with pytest.raises(QuerySpecError, match="OBJECTS"):
+            parse_query("ANNOTATE X OBJECTS WITH A")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(QuerySpecError, match="trailing"):
+            parse_query("ANNOTATE X WITH A ) junk")
+
+    def test_keyword_as_name_rejected(self):
+        with pytest.raises(QuerySpecError, match="name"):
+            parse_query("ANNOTATE WITH WITH A")
+
+    def test_round_trip_with_describe(self):
+        spec = parse_query(
+            "ANNOTATE LocusLink OBJECTS 353 WITH Hugo AND NOT OMIM"
+        )
+        reparsed = parse_query(spec.describe().replace("[1 objects]",
+                                                       "OBJECTS 353"))
+        assert reparsed.source == spec.source
+        assert [t.name for t in reparsed.targets] == ["Hugo", "OMIM"]

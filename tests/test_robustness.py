@@ -1,0 +1,192 @@
+"""Robustness and failure-injection tests.
+
+Parsers are fuzzed with arbitrary text: they must either parse or raise
+:class:`ParseError` — never any other exception.  The importer and
+facade are exercised with hostile inputs (unicode accessions, enormous
+values, empty data, staged round trips).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.genmapper import GenMapper
+from repro.eav.model import EavRow
+from repro.eav.store import EavDataset
+from repro.gam.errors import GenMapperError, ParseError
+from repro.parsers.base import get_parser, registered_parsers
+
+fuzz_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=300
+)
+
+
+@pytest.mark.parametrize("source_name", registered_parsers())
+class TestParserFuzzing:
+    @given(text=fuzz_text)
+    @settings(max_examples=30, deadline=None)
+    def test_parse_never_raises_unexpected(self, source_name, text):
+        parser = get_parser(source_name)
+        try:
+            parser.parse_text(text)
+        except ParseError:
+            pass  # the contract: malformed input -> ParseError
+
+    def test_empty_input_yields_empty_dataset(self, source_name):
+        parser = get_parser(source_name)
+        try:
+            dataset = parser.parse_text("")
+        except ParseError:
+            return
+        assert len(dataset) == 0
+
+
+class TestHostileImports:
+    def test_unicode_accessions_round_trip(self, genmapper):
+        dataset = EavDataset(
+            "Unicode",
+            [
+                EavRow("gène-α", "Name", "ünïcode näme", "ünïcode näme"),
+                EavRow("gène-α", "GO", "GO:0000001"),
+                EavRow("基因", "GO", "GO:0000002"),
+            ],
+        )
+        report = genmapper.integrate_dataset(dataset)
+        assert report.new_objects == 2
+        assert genmapper.accessions("Unicode") == {"gène-α", "基因"}
+        view = genmapper.generate_view("Unicode", ["GO"], combine="OR")
+        assert len(view) == 2
+
+    def test_accessions_with_sql_metacharacters(self, genmapper):
+        nasty = "x'; DROP TABLE object; --"
+        dataset = EavDataset(
+            "Nasty", [EavRow(nasty, "GO", 'GO:1"quoted"')]
+        )
+        genmapper.integrate_dataset(dataset)
+        assert nasty in genmapper.accessions("Nasty")
+        assert genmapper.db.counts()["object"] > 0  # table survived
+
+    def test_very_long_values(self, genmapper):
+        long_text = "x" * 100_000
+        dataset = EavDataset(
+            "Long", [EavRow("a", "Name", long_text, long_text)]
+        )
+        genmapper.integrate_dataset(dataset)
+        obj = genmapper.repository.get_object("Long", "a")
+        assert obj.text == long_text
+
+    def test_empty_dataset_imports_cleanly(self, genmapper):
+        report = genmapper.integrate_dataset(EavDataset("Empty"))
+        assert report.new_objects == 0
+        assert genmapper.repository.count_objects("Empty") == 0
+
+    def test_interleaved_imports_keep_integrity(self, genmapper):
+        for i in range(5):
+            rows = [
+                EavRow(f"o{i}_{j}", "Shared", f"s{j % 3}")
+                for j in range(10)
+            ]
+            genmapper.integrate_dataset(EavDataset(f"Source{i}", rows))
+        assert genmapper.check_integrity().ok
+        assert len(genmapper.sources()) == 6  # 5 sources + Shared
+
+
+class TestStagedWorkflow:
+    def test_stage_then_import_equals_direct(self, universe_dir, tmp_path):
+        direct = GenMapper()
+        direct.integrate_directory(universe_dir)
+
+        staged = GenMapper()
+        staging_dir = tmp_path / "staging"
+        staged.pipeline.stage_directory(universe_dir, staging_dir)
+        staged.pipeline.import_staged_directory(staging_dir)
+
+        assert staged.stats() == direct.stats()
+        # Classification survives staging.
+        assert (
+            staged.source("LocusLink").content
+            == direct.source("LocusLink").content
+        )
+        assert (
+            staged.source("GO").structure == direct.source("GO").structure
+        )
+        direct.close()
+        staged.close()
+
+    def test_staged_manifest_references_eav_files(self, universe_dir, tmp_path):
+        from repro.importer.pipeline import read_manifest
+
+        gm = GenMapper()
+        staging_dir = tmp_path / "staging"
+        staged = gm.pipeline.stage_directory(universe_dir, staging_dir)
+        assert all(path.suffix == ".eav" for path in staged)
+        entries = read_manifest(staging_dir / "manifest.tsv")
+        assert all(entry.file.endswith(".eav") for entry in entries)
+        gm.close()
+
+    def test_cli_parse_single_file(self, tmp_path, capsys):
+        from repro.cli import main
+        from tests.conftest import LOCUS_353_RECORD
+
+        native = tmp_path / "ll.txt"
+        native.write_text(LOCUS_353_RECORD)
+        out = tmp_path / "ll.eav"
+        code = main(["parse", str(native), "--source", "LocusLink",
+                     "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        # The staged file imports equivalently.
+        db = tmp_path / "gam.db"
+        assert main(["--db", str(db), "import", str(out)]) == 0
+
+    def test_cli_parse_directory(self, universe_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "staged"
+        code = main(["parse", str(universe_dir), "--out", str(out_dir)])
+        assert code == 0
+        assert "staged 11 sources" in capsys.readouterr().out
+
+
+class TestFacadeConveniences:
+    def test_match_and_materialize(self, paper_genmapper):
+        mapping = paper_genmapper.match(
+            "LocusLink", "Unigene", threshold=1.0, materialize=True
+        )
+        assert ("353", "Hs.28914") in mapping
+        stored = paper_genmapper.map("LocusLink", "Unigene")
+        assert not stored.is_empty()
+
+    def test_diff_release(self, paper_genmapper):
+        from repro.parsers.base import get_parser
+        from tests.conftest import LOCUS_353_RECORD
+
+        parser = get_parser("LocusLink")
+        dataset = parser.parse_text(
+            LOCUS_353_RECORD + ">>999\nOFFICIAL_SYMBOL: NEW\n"
+        )
+        diff = paper_genmapper.diff_release(dataset)
+        assert diff.added_entities == {"999"}
+
+    def test_delete_source_with_prune(self, paper_genmapper):
+        report = paper_genmapper.delete_source("OMIM", prune=True)
+        assert report.objects == 1
+        assert paper_genmapper.check_integrity().ok
+
+    def test_coverage(self, paper_genmapper):
+        entries = paper_genmapper.coverage("LocusLink")
+        assert any(entry.target == "GO" for entry in entries)
+
+    def test_statistics(self, paper_genmapper):
+        stats = paper_genmapper.statistics()
+        assert stats.total_objects == paper_genmapper.db.counts()["object"]
+
+
+class TestErrorSurface:
+    def test_all_library_errors_share_base(self, genmapper):
+        with pytest.raises(GenMapperError):
+            genmapper.map("Nope", "AlsoNope")
+        with pytest.raises(GenMapperError):
+            genmapper.source("Nope")
+        with pytest.raises(GenMapperError):
+            genmapper.load_path("never-saved")

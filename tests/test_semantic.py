@@ -1,0 +1,165 @@
+"""Tests for semantic similarity over taxonomies (repro.taxonomy.semantic)."""
+
+import math
+
+import pytest
+
+from repro.operators.mapping import Mapping
+from repro.taxonomy.dag import Taxonomy
+from repro.taxonomy.semantic import SemanticIndex
+
+
+@pytest.fixture()
+def taxonomy():
+    r"""            root
+                  /      \
+             metabolism  signaling
+              /     \
+          purine   lipid
+    """
+    return Taxonomy(
+        [
+            ("metabolism", "root"),
+            ("signaling", "root"),
+            ("purine", "metabolism"),
+            ("lipid", "metabolism"),
+        ]
+    )
+
+
+@pytest.fixture()
+def annotation():
+    """8 genes: 2x purine, 2x lipid, 4x signaling."""
+    pairs = (
+        [("g1", "purine"), ("g2", "purine")]
+        + [("g3", "lipid"), ("g4", "lipid")]
+        + [(f"g{i}", "signaling") for i in range(5, 9)]
+    )
+    return Mapping.build("Gene", "GO", pairs)
+
+
+@pytest.fixture()
+def index(taxonomy, annotation):
+    return SemanticIndex(taxonomy, annotation)
+
+
+class TestInformationContent:
+    def test_corpus_size(self, index):
+        assert index.corpus_size == 8
+
+    def test_rollup_counts(self, index):
+        assert index.annotation_count("purine") == 2
+        assert index.annotation_count("metabolism") == 4
+        assert index.annotation_count("root") == 8
+
+    def test_root_carries_no_information(self, index):
+        assert index.information_content("root") == 0.0
+
+    def test_specific_terms_more_informative(self, index):
+        assert index.information_content("purine") > index.information_content(
+            "metabolism"
+        )
+
+    def test_exact_values(self, index):
+        assert index.information_content("purine") == pytest.approx(
+            -math.log2(2 / 8)
+        )
+        assert index.information_content("metabolism") == pytest.approx(
+            -math.log2(4 / 8)
+        )
+
+    def test_unannotated_term_zero(self, index):
+        assert index.information_content("never-seen") == 0.0
+
+
+class TestTermSimilarity:
+    def test_mica_of_siblings(self, index):
+        assert index.most_informative_common_ancestor(
+            "purine", "lipid"
+        ) == "metabolism"
+
+    def test_mica_includes_self(self, index):
+        assert index.most_informative_common_ancestor(
+            "purine", "purine"
+        ) == "purine"
+
+    def test_mica_across_branches_is_root(self, index):
+        assert index.most_informative_common_ancestor(
+            "purine", "signaling"
+        ) == "root"
+
+    def test_unknown_term_has_no_mica(self, index):
+        assert index.most_informative_common_ancestor("purine", "zzz") is None
+
+    def test_resnik_siblings_share_parent_ic(self, index):
+        assert index.resnik("purine", "lipid") == pytest.approx(
+            index.information_content("metabolism")
+        )
+
+    def test_resnik_across_branches_zero(self, index):
+        # Their only common ancestor is the root, which has IC 0.
+        assert index.resnik("purine", "signaling") == 0.0
+
+    def test_lin_identity_is_one(self, index):
+        assert index.lin("purine", "purine") == pytest.approx(1.0)
+
+    def test_lin_bounded(self, index):
+        for t1 in ("purine", "lipid", "signaling", "metabolism"):
+            for t2 in ("purine", "lipid", "signaling", "metabolism"):
+                assert 0.0 <= index.lin(t1, t2) <= 1.0
+
+    def test_lin_symmetric(self, index):
+        assert index.lin("purine", "lipid") == pytest.approx(
+            index.lin("lipid", "purine")
+        )
+
+
+class TestGeneSimilarity:
+    def test_same_term_genes_score_one(self, index):
+        assert index.gene_similarity("g1", "g2") == pytest.approx(1.0)
+
+    def test_sibling_term_genes_score_between(self, index):
+        score = index.gene_similarity("g1", "g3")  # purine vs lipid
+        assert 0.0 < score < 1.0
+
+    def test_cross_branch_genes_score_zero(self, index):
+        assert index.gene_similarity("g1", "g5") == 0.0
+
+    def test_symmetric(self, index):
+        assert index.gene_similarity("g1", "g3") == pytest.approx(
+            index.gene_similarity("g3", "g1")
+        )
+
+    def test_unannotated_gene_zero(self, index):
+        assert index.gene_similarity("g1", "ghost") == 0.0
+
+    def test_most_similar_genes_ranking(self, index):
+        ranking = index.most_similar_genes("g1", k=3)
+        assert ranking[0] == ("g2", pytest.approx(1.0))
+        names = [name for name, __ in ranking]
+        assert "g3" in names or "g4" in names
+
+    def test_most_similar_respects_candidates(self, index):
+        ranking = index.most_similar_genes("g1", candidates=["g5", "g6"], k=5)
+        assert {name for name, __ in ranking} == {"g5", "g6"}
+
+
+class TestOverUniverse:
+    def test_index_builds_over_generated_go(self, loaded_genmapper):
+        taxonomy = loaded_genmapper.taxonomy("GO")
+        annotation = loaded_genmapper.map("LocusLink", "GO")
+        index = SemanticIndex(taxonomy, annotation)
+        assert index.corpus_size == len(annotation.domain())
+        some_term = next(iter(annotation.range()))
+        assert index.information_content(some_term) > 0.0
+
+    def test_genes_sharing_terms_are_similar(self, loaded_genmapper, universe):
+        taxonomy = loaded_genmapper.taxonomy("GO")
+        annotation = loaded_genmapper.map("LocusLink", "GO")
+        index = SemanticIndex(taxonomy, annotation)
+        by_term: dict[str, list[str]] = {}
+        for gene in universe.genes:
+            for term in gene.go_terms:
+                by_term.setdefault(term, []).append(gene.locus)
+        shared = next(genes for genes in by_term.values() if len(genes) >= 2)
+        assert index.gene_similarity(shared[0], shared[1]) > 0.0

@@ -1,0 +1,189 @@
+"""Tests for database statistics, mapping cardinality, and batch queries."""
+
+import pytest
+
+from repro.cli import main
+from repro.gam.statistics import collect_statistics
+from repro.operators.mapping import Mapping
+from repro.query.batch import parse_batch, render_results, run_batch
+from tests.conftest import GO_MINI_OBO, LOCUS_353_RECORD
+
+
+class TestMappingCardinality:
+    def test_one_to_one(self):
+        mapping = Mapping.build("A", "B", [("a1", "b1"), ("a2", "b2")])
+        assert mapping.cardinality() == "1:1"
+
+    def test_one_to_n(self):
+        mapping = Mapping.build("A", "B", [("a1", "b1"), ("a1", "b2")])
+        assert mapping.cardinality() == "1:n"
+
+    def test_n_to_one(self):
+        mapping = Mapping.build("A", "B", [("a1", "b1"), ("a2", "b1")])
+        assert mapping.cardinality() == "n:1"
+
+    def test_n_to_m(self):
+        mapping = Mapping.build(
+            "A", "B", [("a1", "b1"), ("a1", "b2"), ("a2", "b1")]
+        )
+        assert mapping.cardinality() == "n:m"
+
+    def test_empty_is_one_to_one(self):
+        assert Mapping.build("A", "B", []).cardinality() == "1:1"
+
+
+class TestDatabaseStatistics:
+    @pytest.fixture()
+    def stats(self, loaded_genmapper):
+        return collect_statistics(loaded_genmapper.repository)
+
+    def test_totals_match_db_counts(self, stats, loaded_genmapper):
+        counts = loaded_genmapper.db.counts()
+        assert stats.total_objects == counts["object"]
+        assert stats.total_associations == counts["object_rel"]
+
+    def test_per_source_objects(self, stats, loaded_genmapper):
+        by_name = {s.name: s for s in stats.sources}
+        assert by_name["LocusLink"].objects == (
+            loaded_genmapper.repository.count_objects("LocusLink")
+        )
+
+    def test_rel_type_census(self, stats):
+        assert stats.rel_type_census["Fact"] > 0
+        assert stats.rel_type_census["Is-a"] >= 1
+        assert stats.rel_type_census["Contains"] >= 3
+
+    def test_hub_sources_ranked(self, stats):
+        hubs = stats.hub_sources(k=3)
+        assert len(hubs) == 3
+        assert hubs[0].mappings >= hubs[1].mappings >= hubs[2].mappings
+        assert hubs[0].name == "LocusLink"  # the universe's hub source
+
+    def test_mapping_cardinality_census(self, stats, loaded_genmapper):
+        census = stats.cardinality_census()
+        assert sum(census.values()) == len(stats.mappings)
+        # LocusLink -> GO is many-to-many (genes share terms, genes have
+        # several terms).
+        ll_go = next(
+            m for m in stats.mappings
+            if (m.source, m.target) == ("LocusLink", "GO")
+        )
+        assert ll_go.cardinality == "n:m"
+
+    def test_sql_cardinality_matches_in_memory(self, stats, loaded_genmapper):
+        for stat in stats.mappings:
+            if stat.rel_type not in ("Fact", "Similarity"):
+                continue
+            mapping = loaded_genmapper.map(stat.source, stat.target)
+            assert mapping.cardinality() == stat.cardinality, (
+                stat.source, stat.target,
+            )
+
+    def test_render(self, stats):
+        text = stats.render(max_rows=5)
+        assert "sources" in text
+        assert "relationship types:" in text
+        assert "mapping cardinalities:" in text
+        assert "more sources" in text
+
+
+class TestBatchParsing:
+    BATCH = """\
+# a comment
+# name: go_profiles
+ANNOTATE LocusLink WITH Hugo AND GO
+
+ANNOTATE LocusLink WITH NOT OMIM
+"""
+
+    def test_named_and_numbered_entries(self):
+        entries = parse_batch(self.BATCH)
+        assert [entry.name for entry in entries] == [
+            "go_profiles", "query_002",
+        ]
+
+    def test_specs_parsed(self):
+        entries = parse_batch(self.BATCH)
+        assert entries[0].spec.source == "LocusLink"
+        assert entries[1].spec.targets[0].negated
+
+    def test_empty_batch(self):
+        assert parse_batch("# only comments\n") == []
+
+
+class TestBatchExecution:
+    def test_runs_all_queries(self, paper_genmapper, tmp_path):
+        entries = parse_batch(
+            "# name: hugo\nANNOTATE LocusLink WITH Hugo\n"
+            "# name: go\nANNOTATE LocusLink WITH GO\n"
+        )
+        results = run_batch(paper_genmapper, entries, output_dir=tmp_path)
+        assert all(result.ok for result in results)
+        assert (tmp_path / "hugo.tsv").exists()
+        assert (tmp_path / "go.tsv").exists()
+
+    def test_failures_captured_not_raised(self, paper_genmapper):
+        entries = parse_batch("ANNOTATE LocusLink WITH Nowhere\n")
+        results = run_batch(paper_genmapper, entries)
+        assert len(results) == 1
+        assert not results[0].ok
+        assert "Nowhere" in results[0].error
+
+    def test_stop_on_error(self, paper_genmapper):
+        entries = parse_batch(
+            "ANNOTATE LocusLink WITH Nowhere\n"
+            "ANNOTATE LocusLink WITH Hugo\n"
+        )
+        results = run_batch(paper_genmapper, entries, stop_on_error=True)
+        assert len(results) == 1
+
+    def test_no_output_dir_keeps_results_in_memory(self, paper_genmapper):
+        entries = parse_batch("ANNOTATE LocusLink WITH Hugo\n")
+        results = run_batch(paper_genmapper, entries)
+        assert results[0].rows == 1
+        assert results[0].output is None
+
+    def test_render_results(self, paper_genmapper):
+        entries = parse_batch(
+            "ANNOTATE LocusLink WITH Hugo\nANNOTATE LocusLink WITH Nowhere\n"
+        )
+        text = render_results(run_batch(paper_genmapper, entries))
+        assert "ok    query_001" in text
+        assert "FAIL  query_002" in text
+        assert "1/2 queries succeeded" in text
+
+
+class TestCliStatsAndBatch:
+    @pytest.fixture()
+    def db_path(self, tmp_path):
+        db = tmp_path / "gam.db"
+        ll = tmp_path / "ll.txt"
+        ll.write_text(LOCUS_353_RECORD)
+        go = tmp_path / "go.obo"
+        go.write_text(GO_MINI_OBO)
+        main(["--db", str(db), "import", str(ll), "--source", "LocusLink"])
+        main(["--db", str(db), "import", str(go), "--source", "GO"])
+        return db
+
+    def test_stats_detailed(self, db_path, capsys):
+        capsys.readouterr()
+        assert main(["--db", str(db_path), "stats", "--detailed"]) == 0
+        out = capsys.readouterr().out
+        assert "relationship types:" in out
+        assert "LocusLink" in out
+
+    def test_batch_command(self, db_path, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("# name: hugo\nANNOTATE LocusLink WITH Hugo\n")
+        out_dir = tmp_path / "results"
+        capsys.readouterr()
+        code = main(["--db", str(db_path), "batch", str(batch),
+                     "--out", str(out_dir)])
+        assert code == 0
+        assert (out_dir / "hugo.tsv").exists()
+        assert "1/1 queries succeeded" in capsys.readouterr().out
+
+    def test_batch_failure_exit_code(self, db_path, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("ANNOTATE LocusLink WITH Nowhere\n")
+        assert main(["--db", str(db_path), "batch", str(batch)]) == 1

@@ -1,0 +1,123 @@
+"""Tests for the IS_A taxonomy DAG."""
+
+import pytest
+
+from repro.gam.errors import GamIntegrityError
+from repro.taxonomy.dag import Taxonomy
+
+
+@pytest.fixture()
+def diamond():
+    r"""A DAG with a diamond::
+
+            root
+            /  \
+           a    b
+            \  /
+             c
+             |
+             d
+    """
+    return Taxonomy(
+        [
+            ("a", "root"),
+            ("b", "root"),
+            ("c", "a"),
+            ("c", "b"),
+            ("d", "c"),
+        ]
+    )
+
+
+class TestBasics:
+    def test_terms(self, diamond):
+        assert diamond.terms == {"root", "a", "b", "c", "d"}
+        assert len(diamond) == 5
+
+    def test_contains(self, diamond):
+        assert "c" in diamond
+        assert "zzz" not in diamond
+
+    def test_parents_and_children(self, diamond):
+        assert diamond.parents("c") == {"a", "b"}
+        assert diamond.children("root") == {"a", "b"}
+
+    def test_roots_and_leaves(self, diamond):
+        assert diamond.roots() == {"root"}
+        assert diamond.leaves() == {"d"}
+
+    def test_unknown_term_raises(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.parents("zzz")
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(GamIntegrityError, match="own parent"):
+            Taxonomy([("a", "a")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GamIntegrityError, match="cycle"):
+            Taxonomy([("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_topological_iteration_parents_first(self, diamond):
+        order = list(diamond)
+        assert order.index("root") < order.index("a")
+        assert order.index("a") < order.index("c")
+        assert order.index("c") < order.index("d")
+
+
+class TestClosures:
+    def test_ancestors(self, diamond):
+        assert diamond.ancestors("d") == {"c", "a", "b", "root"}
+
+    def test_ancestors_include_self(self, diamond):
+        assert "d" in diamond.ancestors("d", include_self=True)
+
+    def test_descendants(self, diamond):
+        assert diamond.descendants("a") == {"c", "d"}
+
+    def test_descendants_of_leaf_empty(self, diamond):
+        assert diamond.descendants("d") == set()
+
+    def test_subsumed_pairs_are_transitive_closure(self, diamond):
+        pairs = set(diamond.subsumed_pairs())
+        assert ("root", "d") in pairs
+        assert ("a", "d") in pairs
+        assert ("c", "d") in pairs
+        assert ("d", "root") not in pairs
+
+    def test_subsumed_pairs_count(self, diamond):
+        # root subsumes a,b,c,d; a and b subsume c,d; c subsumes d.
+        assert len(set(diamond.subsumed_pairs())) == 4 + 2 + 2 + 1
+
+    def test_subsumed_matches_descendants(self, diamond):
+        pairs = set(diamond.subsumed_pairs())
+        for term in diamond.terms:
+            expected = {(term, d) for d in diamond.descendants(term)}
+            actual = {p for p in pairs if p[0] == term}
+            assert actual == expected
+
+
+class TestMetrics:
+    def test_depths(self, diamond):
+        assert diamond.depth("root") == 0
+        assert diamond.depth("a") == 1
+        assert diamond.depth("c") == 2
+        assert diamond.depth("d") == 3
+
+    def test_max_depth(self, diamond):
+        assert diamond.max_depth() == 3
+
+    def test_level(self, diamond):
+        assert diamond.level(1) == {"a", "b"}
+
+    def test_empty_taxonomy(self):
+        taxonomy = Taxonomy([])
+        assert len(taxonomy) == 0
+        assert taxonomy.max_depth() == 0
+
+    def test_from_mapping(self):
+        from repro.operators.mapping import Mapping
+
+        mapping = Mapping.build("GO", "GO", [("child", "parent")])
+        taxonomy = Taxonomy.from_mapping(mapping)
+        assert taxonomy.parents("child") == {"parent"}

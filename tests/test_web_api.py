@@ -1,0 +1,208 @@
+"""Tests for the WSGI JSON API (repro.web)."""
+
+import io
+import json
+
+import pytest
+
+from repro.web.app import create_app
+
+
+def call(app, method, path, query="", body=None):
+    """Invoke a WSGI app directly; returns (status_code, decoded_json)."""
+    raw = json.dumps(body).encode() if body is not None else b""
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "CONTENT_LENGTH": str(len(raw)),
+        "wsgi.input": io.BytesIO(raw),
+    }
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = int(status.split()[0])
+        captured["headers"] = dict(headers)
+
+    chunks = app(environ, start_response)
+    payload = json.loads(b"".join(chunks).decode("utf-8"))
+    return captured["status"], payload
+
+
+@pytest.fixture()
+def app(paper_genmapper):
+    return create_app(paper_genmapper)
+
+
+class TestSourcesEndpoints:
+    def test_list_sources(self, app):
+        status, payload = call(app, "GET", "/sources")
+        assert status == 200
+        names = {source["name"] for source in payload["sources"]}
+        assert {"LocusLink", "GO", "Unigene"} <= names
+
+    def test_source_detail_includes_coverage(self, app):
+        status, payload = call(app, "GET", "/sources/LocusLink")
+        assert status == 200
+        assert payload["objects"] == 1
+        targets = {entry["target"] for entry in payload["coverage"]}
+        assert "GO" in targets
+
+    def test_unknown_source_is_400(self, app):
+        status, payload = call(app, "GET", "/sources/Nope")
+        assert status == 400
+        assert "unknown source" in payload["error"]
+
+    def test_objects_pagination(self, app):
+        status, payload = call(
+            app, "GET", "/sources/GO/objects", query="limit=2&offset=1"
+        )
+        assert status == 200
+        assert payload["total"] == 3
+        assert len(payload["objects"]) == 2
+
+
+class TestObjectEndpoint:
+    def test_object_info(self, app):
+        status, payload = call(app, "GET", "/objects/LocusLink/353")
+        assert status == 200
+        partners = {a["partner"] for a in payload["annotations"]}
+        assert {"Hugo", "GO", "OMIM"} <= partners
+
+    def test_unknown_object_is_400(self, app):
+        status, payload = call(app, "GET", "/objects/LocusLink/999")
+        assert status == 400
+        assert "unknown object" in payload["error"]
+
+
+class TestMapAndPaths:
+    def test_map_stored(self, app):
+        status, payload = call(
+            app, "GET", "/map", query="source=LocusLink&target=GO"
+        )
+        assert status == 200
+        assert payload["rel_type"] == "Fact"
+        assert ["353", "GO:0009116", 1.0] in payload["associations"]
+
+    def test_map_composes_automatically(self, app):
+        status, payload = call(
+            app, "GET", "/map", query="source=Unigene&target=GO"
+        )
+        assert status == 200
+        assert payload["rel_type"] == "Composed"
+
+    def test_missing_parameter_is_400(self, app):
+        status, payload = call(app, "GET", "/map", query="source=GO")
+        assert status == 400
+        assert "target" in payload["error"]
+
+    def test_paths(self, app):
+        status, payload = call(
+            app, "GET", "/paths", query="source=Unigene&target=GO&k=2"
+        )
+        assert status == 200
+        assert ["Unigene", "LocusLink", "GO"] in payload["paths"]
+
+
+class TestQueryEndpoints:
+    def test_query_with_language_body(self, app):
+        status, payload = call(
+            app, "POST", "/query",
+            body={"query": "ANNOTATE LocusLink WITH Hugo AND GO"},
+        )
+        assert status == 200
+        assert payload["columns"] == ["LocusLink", "Hugo", "GO"]
+        assert ["353", "APRT", "GO:0009116"] in payload["rows"]
+
+    def test_query_with_structured_body(self, app):
+        status, payload = call(
+            app, "POST", "/query",
+            body={
+                "source": "LocusLink",
+                "accessions": ["353"],
+                "targets": [
+                    {"name": "GO"},
+                    {"name": "OMIM", "negated": True},
+                ],
+                "combine": "AND",
+            },
+        )
+        assert status == 200
+        assert payload["row_count"] == 0  # 353 has an OMIM annotation
+
+    def test_explain_endpoint(self, app):
+        status, payload = call(
+            app, "POST", "/query/explain",
+            body={"query": "ANNOTATE Unigene WITH GO"},
+        )
+        assert status == 200
+        assert payload["executable"] is True
+        assert payload["targets"][0]["kind"] == "composed"
+        assert payload["targets"][0]["path"] == ["Unigene", "LocusLink", "GO"]
+
+    def test_empty_body_is_400(self, app):
+        status, payload = call(app, "POST", "/query")
+        assert status == 400
+        assert "body" in payload["error"]
+
+    def test_invalid_json_is_400(self, app, paper_genmapper):
+        raw = b"{not json"
+        environ = {
+            "REQUEST_METHOD": "POST",
+            "PATH_INFO": "/query",
+            "QUERY_STRING": "",
+            "CONTENT_LENGTH": str(len(raw)),
+            "wsgi.input": io.BytesIO(raw),
+        }
+        captured = {}
+        app_ = create_app(paper_genmapper)
+        chunks = app_(environ, lambda s, h: captured.setdefault("status", s))
+        assert captured["status"].startswith("400")
+        assert b"invalid JSON" in b"".join(chunks)
+
+    def test_malformed_spec_is_400(self, app):
+        status, payload = call(
+            app, "POST", "/query", body={"source": "LocusLink"}
+        )
+        assert status == 400
+        assert "malformed" in payload["error"]
+
+    def test_bad_query_language_is_400(self, app):
+        status, payload = call(
+            app, "POST", "/query", body={"query": "SELECT * FROM genes"}
+        )
+        assert status == 400
+
+
+class TestStatsAndErrors:
+    def test_stats(self, app):
+        status, payload = call(app, "GET", "/stats")
+        assert status == 200
+        assert payload["sources"] > 0
+        assert payload["associations"] > 0
+
+    def test_unknown_route_is_404(self, app):
+        status, payload = call(app, "GET", "/nope")
+        assert status == 404
+
+    def test_unknown_method_is_405(self, app):
+        status, __ = call(app, "DELETE", "/sources")
+        assert status == 405
+
+    def test_content_type_json(self, paper_genmapper):
+        app_ = create_app(paper_genmapper)
+        captured = {}
+
+        def start_response(status, headers):
+            captured["headers"] = dict(headers)
+
+        environ = {
+            "REQUEST_METHOD": "GET",
+            "PATH_INFO": "/stats",
+            "QUERY_STRING": "",
+            "wsgi.input": io.BytesIO(b""),
+        }
+        list(app_(environ, start_response))
+        assert captured["headers"]["Content-Type"].startswith(
+            "application/json"
+        )
