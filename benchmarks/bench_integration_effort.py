@@ -34,9 +34,11 @@ def vendor_dataset(n_probes=200):
 
 
 def count_tables(db):
+    # sqlite_stat* are SQLite's internal ANALYZE bookkeeping, not schema.
     return len(
         db.execute(
             "SELECT name FROM sqlite_master WHERE type = 'table'"
+            " AND name NOT LIKE 'sqlite_%'"
         ).fetchall()
     )
 

@@ -15,6 +15,7 @@ from repro.core.genmapper import GenMapper
 from repro.datagen.emit import write_universe
 from repro.datagen.expression import generate_expression
 from repro.datagen.universe import UniverseConfig, generate_universe
+from repro.obs import get_registry, get_tracer
 
 #: Genes in the standard benchmark universe.
 BENCH_GENES = 600
@@ -39,11 +40,30 @@ def bench_universe_dir(bench_universe, tmp_path_factory):
 
 @pytest.fixture(scope="session")
 def bench_genmapper(bench_universe_dir):
-    """A GenMapper loaded with the standard benchmark universe."""
+    """A GenMapper loaded with the standard benchmark universe.
+
+    The one-time integration is traced through the observability layer
+    (replacing the old ad-hoc ``util.Timer`` approach), so ``obs_registry``
+    exposes parse/import stage latencies for benches to report via
+    ``extra_info``.  Tracing is switched off again before yielding — the
+    measured bench bodies must run uninstrumented.
+    """
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable()
     gm = GenMapper()
-    gm.integrate_directory(bench_universe_dir)
+    try:
+        gm.integrate_directory(bench_universe_dir)
+    finally:
+        tracer.enabled = was_enabled
     yield gm
     gm.close()
+
+
+@pytest.fixture(scope="session")
+def obs_registry():
+    """The default metrics registry (stage timings, import counters)."""
+    return get_registry()
 
 
 @pytest.fixture(scope="session")

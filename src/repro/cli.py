@@ -10,6 +10,10 @@ Mirrors the interactive workflow of paper Section 5.1 for the terminal::
     python -m repro.cli map NetAffx GO --db /tmp/gam.db
     python -m repro.cli path NetAffx GO --db /tmp/gam.db
     python -m repro.cli object LocusLink 353 --db /tmp/gam.db
+
+Any command accepts ``--profile`` (print a span tree of where the time
+went, to stderr) and ``--trace-out FILE`` (write the spans as JSONL); see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -36,6 +40,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--db",
         default=":memory:",
         help="path of the GAM database (default: in-memory)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the command and print the span tree to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the recorded spans as JSONL (implies --profile)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -172,12 +186,31 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    profiling = args.profile or bool(args.trace_out)
+    tracer = None
+    if profiling:
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        tracer.clear()
+        tracer.enable()
     try:
         with GenMapper(args.db) as genmapper:
-            return _dispatch(genmapper, args)
+            if tracer is None:
+                return _dispatch(genmapper, args)
+            with tracer.span(f"cli.{args.command}", db=args.db):
+                return _dispatch(genmapper, args)
     except GenMapperError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if tracer is not None:
+            tracer.disable()
+            print("\n# trace\n" + tracer.render_tree(), file=sys.stderr)
+            if args.trace_out:
+                written = tracer.export_jsonl(args.trace_out)
+                print(f"# wrote {written} spans to {args.trace_out}",
+                      file=sys.stderr)
 
 
 def _dispatch(genmapper: GenMapper, args: argparse.Namespace) -> int:

@@ -242,19 +242,28 @@ def _generate_probes(
         for __ in range(n_probes):
             probe_id = f"{counter}_at"
             counter += 1
+            published_locus = (
+                gene.locus if rng.random() < config.probe_locus_coverage else None
+            )
+            # The vendor derives all cross-references from its locus
+            # assignment, so annotation gaps are *nested*: a probe without
+            # a published locus publishes no UniGene cluster either.  This
+            # is what makes composing through a longer mapping path lose
+            # recall at every hop (bench_compose) instead of recovering
+            # objects the shorter path misses.  The coverage draw keeps
+            # its original position in the rng stream so the rest of the
+            # universe is identical across this change.
+            unigene_published = gene.unigene is not None and (
+                rng.random() < config.probe_unigene_coverage
+            )
             probes.append(
                 ProbeRecord(
                     probe_id=probe_id,
                     locus=gene.locus,
-                    published_locus=(
-                        gene.locus
-                        if rng.random() < config.probe_locus_coverage
-                        else None
-                    ),
+                    published_locus=published_locus,
                     published_unigene=(
                         gene.unigene
-                        if gene.unigene is not None
-                        and rng.random() < config.probe_unigene_coverage
+                        if unigene_published and published_locus is not None
                         else None
                     ),
                     published_symbol=gene.symbol,

@@ -36,6 +36,7 @@ from repro.gam.enums import RelType, SourceContent, SourceStructure
 from repro.gam.errors import ImportError_
 from repro.gam.records import Source
 from repro.gam.repository import GamRepository
+from repro.obs import get_tracer
 from repro.parsers.targets import target_info
 
 
@@ -87,7 +88,10 @@ class GamImporter:
         if not dataset.source_name:
             raise ImportError_("dataset has no source name")
         repo = self.repository
-        with repo.db.transaction():
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline.import", source=dataset.source_name, rows=len(dataset)
+        ) as import_span, repo.db.transaction():
             source = repo.add_source(
                 dataset.source_name,
                 content=content,
@@ -95,19 +99,32 @@ class GamImporter:
                 release=dataset.release,
                 imported_at=self._clock(),
             )
-            new_objects = self._import_entities(source, dataset)
+            with tracer.span("pipeline.import.entities") as span:
+                new_objects = self._import_entities(source, dataset)
+                # The entity/association dedup of Section 4.1 happens
+                # inside add_objects/add_associations: the difference
+                # between offered and inserted rows is the duplicate work.
+                span.tag(inserted=new_objects)
             new_associations: dict[str, int] = {}
             new_target_objects: dict[str, int] = {}
             skipped = 0
-            skipped += self._import_structure(source, dataset, new_associations)
+            with tracer.span("pipeline.import.structure"):
+                skipped += self._import_structure(source, dataset, new_associations)
             for target in dataset.annotation_targets():
                 if target == CONTAINS_TARGET:
                     continue
-                inserted_objs, inserted_assocs = self._import_target(
-                    source, dataset, target
-                )
+                with tracer.span("pipeline.import.target", target=target) as span:
+                    inserted_objs, inserted_assocs = self._import_target(
+                        source, dataset, target
+                    )
+                    span.tag(objects=inserted_objs, associations=inserted_assocs)
                 new_target_objects[target] = inserted_objs
                 new_associations[target] = inserted_assocs
+            import_span.tag(
+                new_objects=new_objects,
+                new_associations=sum(new_associations.values()),
+                skipped=skipped,
+            )
         return ImportReport(
             source=source,
             new_objects=new_objects,

@@ -23,6 +23,7 @@ from repro.eav.store import EavDataset
 from repro.gam.errors import ImportError_, ParseError
 from repro.gam.repository import GamRepository
 from repro.importer.importer import GamImporter, ImportReport
+from repro.obs import get_registry, get_tracer
 from repro.parsers.base import SourceParser, get_parser
 
 
@@ -62,10 +63,20 @@ class IntegrationPipeline:
                     f"cannot integrate {path}: give source_name or a parser"
                 )
             parser = get_parser(source_name)
-        dataset = parser.parse(path, release=release)
-        return self.importer.import_dataset(
-            dataset, content=parser.content, structure=parser.structure
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline.integrate_file",
+            source=source_name or type(parser).__name__,
+            file=path.name,
+        ):
+            with tracer.span("pipeline.parse", file=path.name) as span:
+                dataset = parser.parse(path, release=release)
+                span.tag(rows=len(dataset))
+            report = self.importer.import_dataset(
+                dataset, content=parser.content, structure=parser.structure
+            )
+        _record_import(report)
+        return report
 
     def integrate_eav_file(self, path: str | Path) -> ImportReport:
         """Import a staged ``.eav`` file written by :func:`repro.eav.write_eav`.
@@ -74,25 +85,32 @@ class IntegrationPipeline:
         classification (content/structure) is reused so staging loses no
         metadata versus the direct parse-and-import path.
         """
-        dataset = read_eav(path)
-        from repro.parsers.base import has_parser
+        with get_tracer().span("pipeline.integrate_eav_file", file=Path(path).name):
+            dataset = read_eav(path)
+            from repro.parsers.base import has_parser
 
-        if has_parser(dataset.source_name):
-            parser = get_parser(dataset.source_name)
-            return self.importer.import_dataset(
-                dataset, content=parser.content, structure=parser.structure
-            )
-        return self.importer.import_dataset(dataset)
+            if has_parser(dataset.source_name):
+                parser = get_parser(dataset.source_name)
+                report = self.importer.import_dataset(
+                    dataset, content=parser.content, structure=parser.structure
+                )
+            else:
+                report = self.importer.import_dataset(dataset)
+        _record_import(report)
+        return report
 
     def integrate_dataset(
         self, dataset: EavDataset, parser: SourceParser | None = None
     ) -> ImportReport:
         """Import an in-memory dataset (mainly for tests and examples)."""
         if parser is None:
-            return self.importer.import_dataset(dataset)
-        return self.importer.import_dataset(
-            dataset, content=parser.content, structure=parser.structure
-        )
+            report = self.importer.import_dataset(dataset)
+        else:
+            report = self.importer.import_dataset(
+                dataset, content=parser.content, structure=parser.structure
+            )
+        _record_import(report)
+        return report
 
     def integrate_directory(
         self, directory: str | Path, manifest_name: str = "manifest.tsv"
@@ -102,18 +120,24 @@ class IntegrationPipeline:
         manifest_path = directory / manifest_name
         entries = read_manifest(manifest_path)
         reports = []
-        for entry in entries:
-            file_path = directory / entry.file
-            if not file_path.exists():
-                raise ImportError_(f"manifest references missing file: {file_path}")
-            reports.append(
-                self.integrate_file(
-                    file_path, source_name=entry.source, release=entry.release
+        with get_tracer().span(
+            "pipeline.integrate_directory", directory=directory.name, sources=len(entries)
+        ):
+            for entry in entries:
+                file_path = directory / entry.file
+                if not file_path.exists():
+                    raise ImportError_(
+                        f"manifest references missing file: {file_path}"
+                    )
+                reports.append(
+                    self.integrate_file(
+                        file_path, source_name=entry.source, release=entry.release
+                    )
                 )
-            )
-        # Refresh optimizer statistics once after the bulk load so SQL-
-        # compiled views get index-driven join orders.
-        self.repository.db.analyze()
+            # Refresh optimizer statistics once after the bulk load so SQL-
+            # compiled views get index-driven join orders.
+            with get_tracer().span("pipeline.analyze"):
+                self.repository.db.analyze()
         return reports
 
 
@@ -161,6 +185,18 @@ class IntegrationPipeline:
             reports.append(self.integrate_eav_file(staging_dir / entry.file))
         self.repository.db.analyze()
         return reports
+
+
+def _record_import(report: ImportReport) -> None:
+    """Feed one import's outcome into the default metrics registry."""
+    registry = get_registry()
+    registry.counter("pipeline_imports_total", source=report.source.name).inc()
+    registry.counter("pipeline_objects_imported_total").inc(report.new_objects)
+    registry.counter("pipeline_associations_imported_total").inc(
+        report.total_associations
+    )
+    if report.skipped_rows:
+        registry.counter("pipeline_rows_skipped_total").inc(report.skipped_rows)
 
 
 def read_manifest(path: str | Path) -> list[ManifestEntry]:

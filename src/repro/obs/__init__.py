@@ -1,0 +1,32 @@
+"""Observability: tracing spans, metrics, and WSGI instrumentation.
+
+The subsystem every performance claim in this repo reports through — see
+``docs/observability.md`` for the API guide and endpoint reference.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.middleware import ObservabilityMiddleware, route_template
+from repro.obs.trace import Span, Tracer, get_tracer, set_tracer, traced
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityMiddleware",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "route_template",
+    "set_tracer",
+    "traced",
+]

@@ -1,0 +1,270 @@
+"""Counters, gauges and fixed-bucket histograms (the observability layer's
+"how much / how fast" half).
+
+A :class:`MetricsRegistry` hands out named, optionally labelled metric
+instances and renders point-in-time :meth:`~MetricsRegistry.snapshot`
+dictionaries of plain data — the snapshot shares no mutable state with the
+live metrics, so readers (the ``GET /metrics`` endpoint, tests, benchmark
+reporters) can never perturb or race the writers.
+
+Histograms use fixed bucket boundaries (default: latency buckets from
+0.5 ms to 10 s) and estimate p50/p95/p99 by linear interpolation inside
+the bucket containing the requested rank — the standard Prometheus-style
+scheme, chosen over exact quantiles so ``observe`` stays O(#buckets) with
+bounded memory no matter how many requests a server has seen.
+
+All mutating operations are thread-safe; each metric carries its own lock
+so contention stays per-metric, not registry-wide.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+#: Default histogram boundaries (seconds): spans sub-millisecond operator
+#: calls up to multi-second bulk imports.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _label_key(name: str, labels: dict[str, str]) -> str:
+    """Canonical ``name{k=v,...}`` identity of one labelled metric."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (in-flight requests, cache size)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile summaries.
+
+    ``buckets`` are upper bounds; one implicit overflow bucket catches
+    everything above the last boundary.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = self._bucket_index(value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def _bucket_index(self, value: float) -> int:
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                return index
+        return len(self.buckets)
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the covering bucket; the overflow
+        bucket is capped by the observed maximum, so estimates never
+        exceed a value actually seen.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self.counts):
+                if bucket_count == 0:
+                    continue
+                lower = self.buckets[index - 1] if index > 0 else (
+                    min(self.min or 0.0, self.buckets[0])
+                )
+                upper = (
+                    self.buckets[index]
+                    if index < len(self.buckets)
+                    else (self.max if self.max is not None else lower)
+                )
+                if cumulative + bucket_count >= rank:
+                    fraction = (rank - cumulative) / bucket_count
+                    return min(lower + (upper - lower) * fraction, upper)
+                cumulative += bucket_count
+            return self.max if self.max is not None else 0.0
+
+    def summary(self) -> dict:
+        """Plain-data digest: count, sum, min/max/mean, p50/p95/p99."""
+        with self._lock:
+            count, total = self.count, self.total
+            low, high = self.min, self.max
+        if count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p95": None, "p99": None}
+        return {
+            "count": count,
+            "sum": round(total, 9),
+            "min": round(low, 9),
+            "max": round(high, 9),
+            "mean": round(total / count, 9),
+            "p50": round(self.percentile(0.50), 9),
+            "p95": round(self.percentile(0.95), 9),
+            "p99": round(self.percentile(0.99), 9),
+        }
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create access and data snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create -----------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = _label_key(name, labels)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = _label_key(name, labels)
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = _label_key(name, labels)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(buckets)
+        return metric
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every metric as plain dicts/floats.
+
+        The result is fully detached: mutating it (or the registry
+        afterwards) affects neither side.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {key: metric.value for key, metric in sorted(counters.items())},
+            "gauges": {key: metric.value for key, metric in sorted(gauges.items())},
+            "histograms": {
+                key: metric.summary() for key, metric in sorted(histograms.items())
+            },
+        }
+
+    def stage_timings(self, prefix: str = "span.") -> dict[str, dict]:
+        """Summaries of the span-duration histograms (see ``trace.py``).
+
+        Keys are span names with the ``prefix`` stripped — the shape the
+        ``/query/explain`` endpoint reports as observed stage timings.
+        """
+        with self._lock:
+            histograms = {
+                key: metric
+                for key, metric in self._histograms.items()
+                if key.startswith(prefix)
+            }
+        return {
+            key[len(prefix):]: metric.summary()
+            for key, metric in sorted(histograms.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and benchmark isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide default registry used by all instrumentation.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default metrics registry."""
+    return _DEFAULT_REGISTRY

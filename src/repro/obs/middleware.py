@@ -1,0 +1,130 @@
+"""WSGI observability middleware: request IDs, latency, status counters.
+
+Wraps any WSGI app (see :func:`repro.web.app.create_app`) and, for every
+request:
+
+* assigns a request ID — honouring an incoming ``X-Request-ID`` header so
+  IDs propagate across services — exposed to handlers via
+  ``environ["repro.request_id"]`` and echoed in the response headers;
+* records ``http_requests_total{method,route,status}`` counters and a
+  ``http_request_seconds{route}`` latency histogram, labelling by *route
+  template* (``/sources/{name}``, not ``/sources/GO``) to keep metric
+  cardinality bounded;
+* tracks ``http_requests_in_flight`` as a gauge;
+* opens an ``http.request`` span when the tracer is enabled, so a traced
+  server shows handler work nested under the request.
+
+Errors raised by the wrapped app are counted under status 500 and
+re-raised for the server to handle.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from collections.abc import Callable, Iterable
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, get_tracer
+
+#: Histogram buckets for HTTP latency (seconds).
+HTTP_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+
+def route_template(method: str, path: str) -> str:
+    """Collapse a concrete path to its route template.
+
+    Bounded-cardinality labels: ``/sources/GO/objects`` becomes
+    ``/sources/{name}/objects``; unknown paths collapse to ``/{unknown}``
+    so misbehaving clients cannot explode the metric space.
+    """
+    segments = [segment for segment in path.split("/") if segment]
+    if not segments:
+        return "/"
+    head = segments[0]
+    if head == "sources":
+        if len(segments) == 1:
+            return "/sources"
+        if len(segments) == 2:
+            return "/sources/{name}"
+        if len(segments) == 3 and segments[2] == "objects":
+            return "/sources/{name}/objects"
+    elif head == "objects" and len(segments) == 3:
+        return "/objects/{source}/{accession}"
+    elif head in ("map", "paths", "stats", "metrics", "health") and len(segments) == 1:
+        return f"/{head}"
+    elif head == "query":
+        if len(segments) == 1:
+            return "/query"
+        if len(segments) == 2 and segments[1] == "explain":
+            return "/query/explain"
+    return "/{unknown}"
+
+
+class ObservabilityMiddleware:
+    """WSGI wrapper adding request IDs, metrics and an optional span."""
+
+    def __init__(
+        self,
+        app: Callable,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.app = app
+        self._registry = registry
+        self._tracer = tracer
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
+        registry = self.registry
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        route = route_template(method, environ.get("PATH_INFO", "/"))
+        request_id = environ.get("HTTP_X_REQUEST_ID") or uuid.uuid4().hex[:16]
+        environ["repro.request_id"] = request_id
+
+        status_code = {"value": "500"}
+
+        def observed_start_response(status: str, headers: list, exc_info=None):
+            status_code["value"] = status.split(" ", 1)[0]
+            headers = list(headers)
+            headers.append(("X-Request-ID", request_id))
+            return start_response(status, headers, *(
+                (exc_info,) if exc_info is not None else ()
+            ))
+
+        in_flight = registry.gauge("http_requests_in_flight")
+        in_flight.inc()
+        started = time.perf_counter()
+        tracer = self.tracer
+        span_context = (
+            tracer.span("http.request", method=method, route=route, request_id=request_id)
+            if tracer.enabled
+            else None
+        )
+        try:
+            if span_context is not None:
+                with span_context as span:
+                    response = self.app(environ, observed_start_response)
+                    span.tag(status=status_code["value"])
+            else:
+                response = self.app(environ, observed_start_response)
+            return response
+        finally:
+            elapsed = time.perf_counter() - started
+            in_flight.dec()
+            registry.counter(
+                "http_requests_total",
+                method=method,
+                route=route,
+                status=status_code["value"],
+            ).inc()
+            registry.histogram(
+                "http_request_seconds", buckets=HTTP_BUCKETS, route=route
+            ).observe(elapsed)

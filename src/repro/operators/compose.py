@@ -23,6 +23,7 @@ from repro.gam.enums import RelType
 from repro.gam.errors import UnknownMappingError
 from repro.gam.records import Source
 from repro.gam.repository import GamRepository
+from repro.obs import get_tracer
 from repro.operators.mapping import Mapping
 from repro.operators.simple import map_
 
@@ -103,13 +104,19 @@ def compose(
     """
     if len(path) < 2:
         raise ValueError("a mapping path needs at least two sources")
-    legs = []
-    for step_source, step_target in zip(path, path[1:]):
-        legs.append(map_(repository, step_source, step_target))
-    composed = compose_mappings(legs, combiner)
-    if len(path) == 2:
-        # A single leg is the stored mapping itself, not a derived one.
-        return legs[0]
+    with get_tracer().span(
+        "operator.compose",
+        path=" -> ".join(str(step) for step in path),
+        hops=len(path) - 1,
+    ) as span:
+        legs = []
+        for step_source, step_target in zip(path, path[1:]):
+            legs.append(map_(repository, step_source, step_target))
+        composed = compose_mappings(legs, combiner)
+        if len(path) == 2:
+            # A single leg is the stored mapping itself, not a derived one.
+            composed = legs[0]
+        span.tag(associations=len(composed))
     return composed
 
 

@@ -31,6 +31,7 @@ from collections.abc import Callable, Iterable, Sequence
 
 from repro.gam.enums import CombineMethod
 from repro.gam.errors import ViewGenerationError
+from repro.obs import get_tracer
 from repro.operators.mapping import Mapping
 from repro.operators.views import AnnotationView
 
@@ -99,12 +100,25 @@ def generate_view(
             )
         seen_names.add(spec.name)
 
-    # V = s: start with all given source objects.
-    view_rows: list[tuple] = [(obj,) for obj in relevant]
-    for spec in targets:
-        mapping = resolver(source, spec)
-        sub_mapping = _sub_mapping(mapping, relevant, spec)
-        view_rows = _join(view_rows, sub_mapping, combine)
+    tracer = get_tracer()
+    with tracer.span(
+        "operator.generate_view",
+        source=source,
+        targets=len(targets),
+        objects=len(relevant),
+        combine=combine.value,
+    ) as view_span:
+        # V = s: start with all given source objects.
+        view_rows: list[tuple] = [(obj,) for obj in relevant]
+        for spec in targets:
+            with tracer.span(
+                "operator.generate_view.target", target=spec.name
+            ) as span:
+                mapping = resolver(source, spec)
+                sub_mapping = _sub_mapping(mapping, relevant, spec)
+                view_rows = _join(view_rows, sub_mapping, combine)
+                span.tag(rows=len(view_rows))
+        view_span.tag(rows=len(view_rows))
     columns = (source, *(spec.name for spec in targets))
     return AnnotationView(columns, tuple(view_rows))
 

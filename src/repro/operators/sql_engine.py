@@ -22,6 +22,7 @@ from repro.gam.enums import CombineMethod
 from repro.gam.errors import UnknownMappingError, ViewGenerationError
 from repro.gam.records import SourceRel
 from repro.gam.repository import GamRepository
+from repro.obs import get_tracer
 from repro.operators.generate_view import TargetSpec
 from repro.operators.views import AnnotationView
 
@@ -53,10 +54,17 @@ class SqlViewEngine:
         (source first); targets without an entry use their ``via`` hints
         or must have a stored direct mapping.
         """
-        sql, parameters, columns = self.compile(
-            source, source_objects, targets, combine, paths
-        )
-        rows = self.repository.db.execute(sql, tuple(parameters)).fetchall()
+        tracer = get_tracer()
+        with tracer.span(
+            "operator.sql_view", source=source, targets=len(targets)
+        ) as view_span:
+            with tracer.span("operator.sql_view.compile"):
+                sql, parameters, columns = self.compile(
+                    source, source_objects, targets, combine, paths
+                )
+            with tracer.span("operator.sql_view.execute"):
+                rows = self.repository.db.execute(sql, tuple(parameters)).fetchall()
+            view_span.tag(rows=len(rows))
         return AnnotationView(
             columns, tuple(sorted(tuple(row) for row in rows))
         )

@@ -19,6 +19,7 @@ from collections.abc import Iterator, Sequence
 import networkx as nx
 
 from repro.gam.errors import PathNotFoundError
+from repro.obs import traced
 
 #: A mapping path: the ordered source names it traverses.
 MappingPath = tuple[str, ...]
@@ -30,6 +31,7 @@ def _require_nodes(graph: nx.MultiGraph, names: Sequence[str]) -> None:
         raise PathNotFoundError(missing[0], "<graph>")
 
 
+@traced("pathfinder.shortest_path")
 def shortest_path(
     graph: nx.MultiGraph, source: str, target: str
 ) -> MappingPath:
@@ -47,6 +49,7 @@ def shortest_path(
     return tuple(path)
 
 
+@traced("pathfinder.shortest_path_via")
 def shortest_path_via(
     graph: nx.MultiGraph, source: str, target: str, via: str
 ) -> MappingPath:
@@ -64,6 +67,7 @@ def shortest_path_via(
     return first + second[1:]
 
 
+@traced("pathfinder.k_shortest_paths")
 def k_shortest_paths(
     graph: nx.MultiGraph, source: str, target: str, k: int = 5
 ) -> list[MappingPath]:

@@ -20,6 +20,7 @@ from repro.core.genmapper import GenMapper
 from repro.gam.enums import CombineMethod, RelType
 from repro.gam.errors import QuerySpecError, UnknownSourceError
 from repro.gam.records import Association
+from repro.obs import get_registry, get_tracer
 from repro.operators.views import AnnotationView
 from repro.pathfinder.search import MappingPath
 from repro.query.spec import QuerySpec, QueryTarget
@@ -216,10 +217,19 @@ def run_query(
     genmapper: GenMapper, spec: QuerySpec, engine: str = "memory"
 ) -> AnnotationView:
     """Execute a query specification on a GenMapper instance."""
-    return genmapper.generate_view(
-        spec.source,
-        targets=[target.to_target_spec() for target in spec.targets],
-        source_objects=spec.accessions,
-        combine=spec.combine,
+    with get_tracer().span(
+        "query.run",
+        source=spec.source,
+        targets=len(spec.targets),
         engine=engine,
-    )
+    ) as span:
+        view = genmapper.generate_view(
+            spec.source,
+            targets=[target.to_target_spec() for target in spec.targets],
+            source_objects=spec.accessions,
+            combine=spec.combine,
+            engine=engine,
+        )
+        span.tag(rows=len(view))
+    get_registry().counter("queries_total", engine=engine).inc()
+    return view

@@ -1,12 +1,28 @@
-"""A tiny wall-clock timer used by benchmarks and the CLI."""
+"""Deprecated wall-clock timer — a thin shim over :mod:`repro.obs` spans.
+
+``Timer`` predates the observability layer; new code should open a span on
+the default tracer instead::
+
+    from repro.obs import get_tracer
+
+    with get_tracer().span("my.stage") as span:
+        ...
+
+The shim keeps the old ``elapsed`` contract for existing callers and, when
+the default tracer is enabled, additionally records a ``util.timer`` span
+so legacy timings show up in traces too.
+"""
 
 from __future__ import annotations
 
 import time
+import warnings
+
+from repro.obs import get_tracer
 
 
 class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+    """Context manager measuring elapsed wall-clock seconds (deprecated).
 
     >>> with Timer() as timer:
     ...     __ = sum(range(1000))
@@ -14,11 +30,20 @@ class Timer:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "util.timer") -> None:
+        warnings.warn(
+            "repro.util.Timer is deprecated; use repro.obs.get_tracer().span()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.name = name
         self.elapsed = 0.0
         self._start: float | None = None
+        self._span_context = None
 
     def __enter__(self) -> "Timer":
+        self._span_context = get_tracer().span(self.name)
+        self._span_context.__enter__()
         self._start = time.perf_counter()
         return self
 
@@ -26,3 +51,9 @@ class Timer:
         if self._start is not None:
             self.elapsed = time.perf_counter() - self._start
             self._start = None
+        if self._span_context is not None:
+            if len(exc_info) == 3:
+                self._span_context.__exit__(*exc_info)
+            else:
+                self._span_context.__exit__(None, None, None)
+            self._span_context = None

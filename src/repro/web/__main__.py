@@ -21,7 +21,17 @@ def main(argv: list[str] | None = None) -> int:
         "--demo", action="store_true",
         help="populate an in-memory database with a synthetic universe",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="enable tracing spans (adds observed_stage_timings to"
+        " /query/explain and span.* histograms to /metrics)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace:
+        from repro.obs import get_tracer
+
+        get_tracer().enable()
 
     genmapper = GenMapper(args.db)
     if args.demo:

@@ -16,9 +16,17 @@ Endpoint                              Returns
 ``POST /query``                       run a query; body is either
                                       ``{"query": "ANNOTATE ..."}`` or a
                                       structured spec (source/targets/...)
-``POST /query/explain``               the query plan, without executing
+``POST /query/explain``               the query plan, without executing;
+                                      includes observed stage timings when
+                                      tracing is enabled
 ``GET /stats``                        deployment statistics (Section 5)
+``GET /metrics``                      live counters/gauges/histograms
+``GET /health``                       liveness probe (status + source count)
 ====================================  =========================================
+
+Every response carries an ``X-Request-ID`` header (honouring the one a
+client sends) and every request is measured into the metrics registry by
+:class:`repro.obs.ObservabilityMiddleware` — see ``docs/observability.md``.
 
 Use :func:`create_app` to get the WSGI callable and serve it with any WSGI
 server (``python -m repro.web`` runs ``wsgiref.simple_server``); tests
@@ -34,6 +42,9 @@ from urllib.parse import parse_qs
 from repro.core.genmapper import GenMapper
 from repro.gam.enums import CombineMethod
 from repro.gam.errors import GenMapperError
+from repro.obs import MetricsRegistry, ObservabilityMiddleware, Tracer
+from repro.obs import get_registry as _default_registry
+from repro.obs import get_tracer as _default_tracer
 from repro.query.language import parse_query
 from repro.query.plan import plan_query
 from repro.query.session import run_query
@@ -57,12 +68,22 @@ class ApiError(Exception):
         self.status = status
 
 
-def create_app(genmapper: GenMapper) -> Callable:
-    """Build the WSGI application bound to one GenMapper instance."""
+def create_app(
+    genmapper: GenMapper,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Callable:
+    """Build the WSGI application bound to one GenMapper instance.
+
+    The returned callable is wrapped in
+    :class:`~repro.obs.ObservabilityMiddleware`, so every request gets a
+    request ID and is measured into ``registry`` (the process default
+    unless one is passed — tests inject private instances).
+    """
 
     def app(environ: dict, start_response: StartResponse) -> Iterable[bytes]:
         try:
-            status, payload = _route(genmapper, environ)
+            status, payload = _route(genmapper, environ, registry, tracer)
         except ApiError as exc:
             status, payload = exc.status, {"error": str(exc)}
         except GenMapperError as exc:
@@ -77,19 +98,34 @@ def create_app(genmapper: GenMapper) -> Callable:
         )
         return [body]
 
-    return app
+    return ObservabilityMiddleware(app, registry=registry, tracer=tracer)
 
 
-def _route(genmapper: GenMapper, environ: dict) -> tuple[int, object]:
+def _route(
+    genmapper: GenMapper,
+    environ: dict,
+    registry: MetricsRegistry | None,
+    tracer: Tracer | None,
+) -> tuple[int, object]:
     method = environ.get("REQUEST_METHOD", "GET").upper()
     path = environ.get("PATH_INFO", "/").rstrip("/") or "/"
     query = parse_qs(environ.get("QUERY_STRING", ""))
     segments = [segment for segment in path.split("/") if segment]
+    registry = registry if registry is not None else _default_registry()
+    tracer = tracer if tracer is not None else _default_tracer()
 
     if method == "GET":
+        if segments == ["metrics"]:
+            return 200, registry.snapshot()
+        if segments == ["health"]:
+            return 200, {
+                "status": "ok",
+                "sources": len(genmapper.sources()),
+                "request_id": environ.get("repro.request_id"),
+            }
         return _route_get(genmapper, segments, query)
     if method == "POST":
-        return _route_post(genmapper, segments, environ)
+        return _route_post(genmapper, segments, environ, registry, tracer)
     raise ApiError(405, f"method {method} not allowed")
 
 
@@ -171,14 +207,18 @@ def _route_get(
 
 
 def _route_post(
-    genmapper: GenMapper, segments: list[str], environ: dict
+    genmapper: GenMapper,
+    segments: list[str],
+    environ: dict,
+    registry: MetricsRegistry,
+    tracer: Tracer,
 ) -> tuple[int, object]:
     if segments not in (["query"], ["query", "explain"]):
         raise ApiError(404, f"no such resource: /{'/'.join(segments)}")
     spec = _parse_body_spec(environ)
     if segments == ["query", "explain"]:
         plan = plan_query(genmapper, spec)
-        return 200, {
+        payload = {
             "source": plan.source,
             "combine": plan.combine,
             "executable": plan.executable,
@@ -193,6 +233,17 @@ def _route_post(
                 for target in plan.targets
             ],
         }
+        if tracer.enabled:
+            # Observed per-stage latency summaries (seconds) collected by
+            # the span instrumentation since tracing was enabled — the
+            # empirical counterpart of the estimates above.  Spans land in
+            # the tracer's registry (the process default unless the tracer
+            # was built with its own), so read them from there.
+            stage_registry = (
+                tracer.registry if tracer.registry is not None else registry
+            )
+            payload["observed_stage_timings"] = stage_registry.stage_timings()
+        return 200, payload
     view = run_query(genmapper, spec)
     return 200, {
         "columns": list(view.columns),

@@ -1,0 +1,161 @@
+"""Tests for the web observability surface: /metrics, /health, request IDs,
+middleware accounting, and explain stage timings."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer, set_tracer
+from repro.web.app import create_app
+
+
+def call(app, method, path, query="", body=None, headers=None):
+    """Invoke a WSGI app directly; returns (status, headers, decoded json)."""
+    raw = json.dumps(body).encode() if body is not None else b""
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "CONTENT_LENGTH": str(len(raw)),
+        "wsgi.input": io.BytesIO(raw),
+    }
+    if headers:
+        environ.update(headers)
+    captured = {}
+
+    def start_response(status, response_headers, exc_info=None):
+        captured["status"] = int(status.split()[0])
+        captured["headers"] = dict(response_headers)
+
+    chunks = app(environ, start_response)
+    payload = json.loads(b"".join(chunks).decode("utf-8"))
+    return captured["status"], captured["headers"], payload
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def app(paper_genmapper, registry):
+    """App with an isolated registry and a disabled (isolated) tracer."""
+    return create_app(
+        paper_genmapper,
+        registry=registry,
+        tracer=Tracer(enabled=False, registry=registry),
+    )
+
+
+class TestHealthEndpoint:
+    def test_health_reports_ok_and_sources(self, app):
+        status, headers, payload = call(app, "GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["sources"] > 0
+        assert payload["request_id"] == headers["X-Request-ID"]
+
+
+class TestMetricsEndpoint:
+    def test_metrics_empty_before_traffic(self, paper_genmapper):
+        registry = MetricsRegistry()
+        app = create_app(
+            paper_genmapper,
+            registry=registry,
+            tracer=Tracer(enabled=False, registry=registry),
+        )
+        __, __, payload = call(app, "GET", "/metrics")
+        # The /metrics request itself is only accounted after it responds.
+        assert payload["counters"] == {}
+
+    def test_metrics_reflect_live_traffic(self, app):
+        call(app, "GET", "/sources")
+        call(app, "GET", "/sources")
+        call(app, "GET", "/sources/GO")
+        call(app, "GET", "/nope")
+        __, __, payload = call(app, "GET", "/metrics")
+        counters = payload["counters"]
+        assert counters["http_requests_total{method=GET,route=/sources,status=200}"] == 2.0
+        assert counters["http_requests_total{method=GET,route=/sources/{name},status=200}"] == 1.0
+        assert counters["http_requests_total{method=GET,route=/{unknown},status=404}"] == 1.0
+        histograms = payload["histograms"]
+        assert histograms["http_request_seconds{route=/sources}"]["count"] == 2
+        assert histograms["http_request_seconds{route=/sources}"]["p95"] is not None
+
+    def test_error_statuses_are_counted(self, app, registry):
+        call(app, "GET", "/sources/NoSuchSource")
+        counters = registry.snapshot()["counters"]
+        assert (
+            counters["http_requests_total{method=GET,route=/sources/{name},status=400}"]
+            == 1.0
+        )
+
+    def test_in_flight_gauge_returns_to_zero(self, app, registry):
+        call(app, "GET", "/sources")
+        assert registry.snapshot()["gauges"]["http_requests_in_flight"] == 0.0
+
+
+class TestRequestIds:
+    def test_every_response_carries_a_request_id(self, app):
+        __, first_headers, __ = call(app, "GET", "/stats")
+        __, second_headers, __ = call(app, "GET", "/stats")
+        assert first_headers["X-Request-ID"]
+        assert second_headers["X-Request-ID"]
+        assert first_headers["X-Request-ID"] != second_headers["X-Request-ID"]
+
+    def test_incoming_request_id_propagates(self, app):
+        __, headers, __ = call(
+            app, "GET", "/stats", headers={"HTTP_X_REQUEST_ID": "trace-me-42"}
+        )
+        assert headers["X-Request-ID"] == "trace-me-42"
+
+    def test_request_id_present_on_errors_too(self, app):
+        status, headers, __ = call(app, "GET", "/no/such/thing")
+        assert status == 404
+        assert headers["X-Request-ID"]
+
+
+class TestExplainStageTimings:
+    BODY = {"query": "ANNOTATE LocusLink WITH GO"}
+
+    def test_no_timings_without_tracing(self, app):
+        status, __, payload = call(app, "POST", "/query/explain", body=self.BODY)
+        assert status == 200
+        assert "observed_stage_timings" not in payload
+
+    def test_timings_present_when_trace_active(self, paper_genmapper):
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=True, registry=registry)
+        app = create_app(paper_genmapper, registry=registry, tracer=tracer)
+        previous = set_tracer(tracer)
+        try:
+            call(app, "POST", "/query", body=self.BODY)
+            status, __, payload = call(
+                app, "POST", "/query/explain", body=self.BODY
+            )
+        finally:
+            set_tracer(previous)
+        assert status == 200
+        timings = payload["observed_stage_timings"]
+        assert timings["query.run"]["count"] == 1
+        assert timings["operator.generate_view"]["count"] == 1
+        assert timings["http.request"]["count"] >= 1
+        assert timings["query.run"]["p95"] is not None
+
+    def test_traced_request_records_span_tree(self, paper_genmapper):
+        registry = MetricsRegistry()
+        tracer = Tracer(enabled=True, registry=registry)
+        app = create_app(paper_genmapper, registry=registry, tracer=tracer)
+        previous = set_tracer(tracer)
+        try:
+            call(app, "POST", "/query", body=self.BODY)
+        finally:
+            set_tracer(previous)
+        (root,) = [r for r in tracer.finished if r.name == "http.request"]
+        assert root.tags["route"] == "/query"
+        assert root.tags["status"] == "200"
+        child_names = {span.name for __, span in root.walk()}
+        assert "query.run" in child_names
