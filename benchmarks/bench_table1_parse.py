@@ -7,7 +7,6 @@ small portion of source-specific code" whose output is a uniform EAV
 format; the assertions pin the exact Table 1 rows.
 """
 
-import pytest
 
 from repro.datagen.emit import emit_locuslink
 from repro.eav.model import EavRow

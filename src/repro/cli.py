@@ -88,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--format", default="tsv",
                      choices=("tsv", "csv", "json", "html"))
     cmd.add_argument("--stop-on-error", action="store_true")
+    cmd.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run up to N batch queries concurrently (default: 1)",
+    )
 
     cmd = commands.add_parser("query", help="run an ANNOTATE ... WITH ... query")
     cmd.add_argument("text", help="query in the ANNOTATE language")
@@ -179,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmd.add_argument("--host", default="127.0.0.1")
     cmd.add_argument("--port", type=int, default=8350)
+    cmd.add_argument(
+        "--pool-size", type=int, default=None, metavar="N",
+        help="max pooled database connections (see docs/storage.md)",
+    )
     return parser
 
 
@@ -195,7 +203,8 @@ def main(argv: list[str] | None = None) -> int:
         tracer.clear()
         tracer.enable()
     try:
-        with GenMapper(args.db) as genmapper:
+        pool_size = getattr(args, "pool_size", None)
+        with GenMapper(args.db, pool_size=pool_size) as genmapper:
             if tracer is None:
                 return _dispatch(genmapper, args)
             with tracer.span(f"cli.{args.command}", db=args.db):
@@ -494,12 +503,11 @@ def _cmd_graph(genmapper: GenMapper, args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(genmapper: GenMapper, args: argparse.Namespace) -> int:
-    from wsgiref.simple_server import make_server
-
     from repro.web.app import create_app
+    from repro.web.server import make_threading_server
 
     app = create_app(genmapper)
-    with make_server(args.host, args.port, app) as server:
+    with make_threading_server(args.host, args.port, app) as server:
         print(f"GenMapper API on http://{args.host}:{args.port}/sources")
         try:
             server.serve_forever()
@@ -518,6 +526,7 @@ def _cmd_batch(genmapper: GenMapper, args: argparse.Namespace) -> int:
         output_dir=args.out,
         fmt=args.format,
         stop_on_error=args.stop_on_error,
+        workers=args.workers,
     )
     print(render_results(results))
     return 0 if all(result.ok for result in results) else 1

@@ -59,8 +59,10 @@ TargetLike = "str | TargetSpec | tuple"
 class GenMapper:
     """Flexible integration of annotation data over one GAM database."""
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
-        self.db = GamDatabase(path)
+    def __init__(
+        self, path: str | Path = ":memory:", pool_size: int | None = None
+    ) -> None:
+        self.db = GamDatabase(path, pool_size=pool_size)
         self.repository = GamRepository(self.db)
         self.pipeline = IntegrationPipeline(self.repository)
         self.paths = PathRegistry(self.db)

@@ -68,7 +68,7 @@ def derive_subsumed(
         inserted = repository.add_associations(
             rel,
             [
-                (assoc.source_accession, assoc.target_accession)
+                (assoc.source_accession, assoc.target_accession, assoc.evidence)
                 for assoc in mapping
             ],
         )

@@ -2,18 +2,46 @@
 
 The paper hosts the GAM model in MySQL; this reproduction uses the stdlib
 ``sqlite3`` module (see DESIGN.md, substitutions).  :class:`GamDatabase`
-owns the connection, applies performance pragmas suited to bulk import, and
-offers an explicit transaction context manager.
+owns a :class:`~repro.gam.pool.ConnectionPool` that hands each thread its
+own connection, applies performance pragmas suited to the workload (WAL
+journaling on disk so readers never block behind the writer), serializes
+writers behind a process-wide lock, and offers a reentrant savepoint-based
+transaction context manager.
+
+Concurrency model (see ``docs/storage.md`` for the full discussion):
+
+* every thread reads on its own pooled connection; on-disk databases run
+  in WAL mode, so readers see consistent snapshots and never block;
+* all writes funnel through one reentrant lock (``_write_lock``), so two
+  threads can never interleave statements inside each other's
+  transactions — the bug the seed's single shared connection had;
+* connections run in autocommit mode; :meth:`transaction` issues an
+  explicit ``BEGIN IMMEDIATE`` and nested calls create savepoints, so an
+  inner block rolls back *only its own work* instead of sweeping up (or
+  committing) the outer scope.
 """
 
 from __future__ import annotations
 
 import contextlib
 import sqlite3
+import threading
 from collections.abc import Iterator
 from pathlib import Path
 
 from repro.gam import schema as gam_schema
+from repro.gam.pool import DEFAULT_POOL_SIZE, ConnectionPool, is_memory_path
+
+#: Statements that mutate the database and therefore take the writer lock.
+_WRITE_STATEMENTS = frozenset(
+    {"INSERT", "UPDATE", "DELETE", "REPLACE", "CREATE", "DROP", "ALTER",
+     "VACUUM", "REINDEX", "ANALYZE"}
+)
+
+
+def _is_write_statement(sql: str) -> bool:
+    head = sql.split(None, 1)
+    return bool(head) and head[0].upper() in _WRITE_STATEMENTS
 
 
 class GamDatabase:
@@ -27,27 +55,49 @@ class GamDatabase:
     create:
         When True (default), create the GAM schema if it is missing.
         When False, the schema must already exist and is validated.
+    pool_size:
+        Maximum number of pooled connections (on-disk databases only;
+        in-memory databases always use a single shared connection).
     """
 
-    def __init__(self, path: str | Path = ":memory:", create: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        create: bool = True,
+        pool_size: int | None = None,
+    ) -> None:
         self.path = str(path)
-        # check_same_thread=False lets a WSGI worker thread serve queries
-        # over a connection opened by the main thread; writes are still
-        # serialized by SQLite's internal locking.
-        self._connection = sqlite3.connect(self.path, check_same_thread=False)
-        self._connection.row_factory = sqlite3.Row
-        self._apply_pragmas()
-        if create:
-            gam_schema.create_schema(self._connection)
-        else:
-            gam_schema.validate_schema(self._connection)
+        self._memory = is_memory_path(self.path)
+        self._write_lock = threading.RLock()
+        self._savepoint_serial = 0
+        self.pool = ConnectionPool(
+            self.path,
+            max_size=pool_size if pool_size is not None else DEFAULT_POOL_SIZE,
+            configure=self._apply_pragmas,
+        )
+        try:
+            connection = self.pool.acquire()
+            if create:
+                gam_schema.create_schema(connection)
+            else:
+                gam_schema.validate_schema(connection)
+        except BaseException:
+            self.pool.close()
+            raise
 
-    def _apply_pragmas(self) -> None:
-        cursor = self._connection.cursor()
-        # Bulk-import friendly settings; durability is not a goal for a
-        # rebuildable warehouse, matching the paper's batch import phase.
-        cursor.execute("PRAGMA journal_mode = MEMORY")
-        cursor.execute("PRAGMA synchronous = OFF")
+    def _apply_pragmas(self, connection: sqlite3.Connection) -> None:
+        cursor = connection.cursor()
+        if self._memory:
+            # Bulk-import friendly settings; durability is not a goal for
+            # a rebuildable warehouse, matching the paper's batch import.
+            cursor.execute("PRAGMA journal_mode = MEMORY")
+            cursor.execute("PRAGMA synchronous = OFF")
+        else:
+            # WAL lets pooled readers run while the single writer commits;
+            # NORMAL sync is the standard WAL durability/speed tradeoff.
+            cursor.execute("PRAGMA journal_mode = WAL")
+            cursor.execute("PRAGMA synchronous = NORMAL")
+            cursor.execute("PRAGMA busy_timeout = 30000")
         cursor.execute("PRAGMA temp_store = MEMORY")
         cursor.execute("PRAGMA cache_size = -64000")
         cursor.execute("PRAGMA foreign_keys = ON")
@@ -55,31 +105,90 @@ class GamDatabase:
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The underlying sqlite3 connection (row factory: ``sqlite3.Row``)."""
-        return self._connection
+        """The calling thread's pooled connection (row factory: ``Row``)."""
+        return self.pool.acquire()
 
     def execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
-        """Execute a single statement on the underlying connection."""
-        return self._connection.execute(sql, parameters)
+        """Execute a single statement on this thread's connection.
+
+        Mutating statements are serialized behind the writer lock; reads
+        run lock-free on the thread's own connection.
+        """
+        connection = self.pool.acquire()
+        if _is_write_statement(sql):
+            with self._write_lock:
+                return connection.execute(sql, parameters)
+        return connection.execute(sql, parameters)
+
+    def execute_read(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
+        """Execute a read-only statement on this thread's pooled connection.
+
+        The explicit read path: never takes the writer lock, so queries
+        (the web handlers, :class:`repro.operators.sql_engine.SqlViewEngine`)
+        proceed while a writer holds a transaction open.
+        """
+        return self.pool.acquire().execute(sql, parameters)
 
     def executemany(self, sql: str, rows: object) -> sqlite3.Cursor:
-        """Execute a statement for every parameter row."""
-        return self._connection.executemany(sql, rows)
+        """Execute a statement for every parameter row, atomically.
+
+        Outside an explicit :meth:`transaction` the rows are wrapped in
+        one ``BEGIN IMMEDIATE`` block so autocommit mode does not pay one
+        commit per row; inside one they simply join it.
+        """
+        connection = self.pool.acquire()
+        with self._write_lock:
+            # Holding the writer lock, an open transaction on this
+            # connection can only be this thread's own.
+            if connection.in_transaction:
+                return connection.executemany(sql, rows)
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                cursor = connection.executemany(sql, rows)
+            except BaseException:
+                connection.rollback()
+                raise
+            connection.commit()
+            return cursor
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[sqlite3.Connection]:
-        """Run a block atomically: commit on success, roll back on error."""
-        try:
-            yield self._connection
-        except BaseException:
-            self._connection.rollback()
-            raise
-        else:
-            self._connection.commit()
+        """Run a block atomically: commit on success, roll back on error.
+
+        Holds the writer lock for the duration, so concurrent writers are
+        serialized and can never interleave statements into this block.
+        Reentrant: a nested ``transaction()`` on the same thread opens a
+        savepoint and rolls back only its own work on error — it neither
+        commits the outer scope early nor discards the outer scope's
+        pending statements.
+        """
+        connection = self.pool.acquire()
+        with self._write_lock:
+            if connection.in_transaction:
+                self._savepoint_serial += 1
+                name = f"gam_sp_{self._savepoint_serial}"
+                connection.execute(f"SAVEPOINT {name}")
+                try:
+                    yield connection
+                except BaseException:
+                    connection.execute(f"ROLLBACK TO SAVEPOINT {name}")
+                    connection.execute(f"RELEASE SAVEPOINT {name}")
+                    raise
+                else:
+                    connection.execute(f"RELEASE SAVEPOINT {name}")
+            else:
+                connection.execute("BEGIN IMMEDIATE")
+                try:
+                    yield connection
+                except BaseException:
+                    connection.rollback()
+                    raise
+                else:
+                    connection.commit()
 
     def commit(self) -> None:
-        """Commit the current transaction."""
-        self._connection.commit()
+        """Commit this thread's current transaction (no-op outside one)."""
+        self.pool.acquire().commit()
 
     def analyze(self) -> None:
         """Refresh the query-planner statistics (``ANALYZE``).
@@ -89,26 +198,24 @@ class GamDatabase:
         compiled view queries (``repro.operators.sql_engine``) pick
         index-driven plans.
         """
-        self._connection.commit()
-        self._connection.execute("ANALYZE")
-        self._connection.commit()
+        connection = self.pool.acquire()
+        with self._write_lock:
+            connection.execute("ANALYZE")
 
     def has_planner_statistics(self) -> bool:
         """True when ``ANALYZE`` has been run on this database."""
-        row = self._connection.execute(
+        row = self.execute_read(
             "SELECT name FROM sqlite_master"
             " WHERE type = 'table' AND name = 'sqlite_stat1'"
         ).fetchone()
         if row is None:
             return False
-        count = self._connection.execute(
-            "SELECT count(*) FROM sqlite_stat1"
-        ).fetchone()
+        count = self.execute_read("SELECT count(*) FROM sqlite_stat1").fetchone()
         return int(count[0]) > 0
 
     def close(self) -> None:
-        """Close the underlying connection."""
-        self._connection.close()
+        """Close every pooled connection."""
+        self.pool.close()
 
     def __enter__(self) -> "GamDatabase":
         return self
@@ -126,6 +233,6 @@ class GamDatabase:
         """
         result = {}
         for table in gam_schema.GAM_TABLES:
-            row = self.execute(f"SELECT count(*) FROM {table}").fetchone()
+            row = self.execute_read(f"SELECT count(*) FROM {table}").fetchone()
             result[table] = int(row[0])
         return result

@@ -24,7 +24,7 @@ from repro.gam.records import SourceRel
 from repro.gam.repository import GamRepository
 from repro.obs import get_tracer
 from repro.operators.generate_view import TargetSpec
-from repro.operators.views import AnnotationView
+from repro.operators.views import AnnotationView, row_sort_key
 
 
 class SqlViewEngine:
@@ -63,10 +63,15 @@ class SqlViewEngine:
                     source, source_objects, targets, combine, paths
                 )
             with tracer.span("operator.sql_view.execute"):
-                rows = self.repository.db.execute(sql, tuple(parameters)).fetchall()
+                # The compiled view is pure SELECT: run it on the calling
+                # thread's pooled read connection, never the writer path.
+                rows = self.repository.db.execute_read(
+                    sql, tuple(parameters)
+                ).fetchall()
             view_span.tag(rows=len(rows))
         return AnnotationView(
-            columns, tuple(sorted(tuple(row) for row in rows))
+            columns,
+            tuple(sorted((tuple(row) for row in rows), key=row_sort_key)),
         )
 
     def compile(

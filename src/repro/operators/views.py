@@ -19,6 +19,18 @@ Row = tuple
 NULL_DISPLAY = "-"
 
 
+def row_sort_key(row: Row) -> tuple:
+    """None-safe lexicographic sort key: NULLs order last per column.
+
+    The canonical row ordering shared by every view producer — the
+    in-memory engine (:meth:`AnnotationView.sorted`) and the SQL engine
+    (:mod:`repro.operators.sql_engine`) — so both emit identical row
+    orders even when OR/negated joins leave ``None`` cells next to
+    strings, which a bare ``sorted`` would reject with ``TypeError``.
+    """
+    return tuple((value is None, value or "") for value in row)
+
+
 @dataclasses.dataclass(frozen=True)
 class AnnotationView:
     """A tabular annotation view.
@@ -94,10 +106,9 @@ class AnnotationView:
 
     def sorted(self) -> "AnnotationView":
         """Rows sorted lexicographically with NULLs last per column."""
-        def key(row: Row) -> tuple:
-            return tuple((value is None, value or "") for value in row)
-
-        return AnnotationView(self.columns, tuple(sorted(self.rows, key=key)))
+        return AnnotationView(
+            self.columns, tuple(sorted(self.rows, key=row_sort_key))
+        )
 
     def row_dict(self, row: Row) -> dict[str, str | None]:
         """One row as a column -> value dict."""

@@ -84,32 +84,74 @@ def run_batch(
     output_dir: str | Path | None = None,
     fmt: str = "tsv",
     stop_on_error: bool = False,
+    workers: int = 1,
 ) -> list[BatchResult]:
     """Execute every entry; optionally write one result file per query.
 
     Failures are captured per entry (the pipeline keeps going) unless
     ``stop_on_error`` is set.
+
+    ``workers`` > 1 executes entries concurrently on a thread pool — safe
+    because the storage layer hands each worker thread its own pooled read
+    connection (see ``docs/storage.md``).  Results keep batch-file order;
+    with ``stop_on_error`` the result list is truncated after the first
+    (in batch order) failure, though entries already in flight still run.
     """
+    if workers > 1 and len(entries) > 1:
+        return _run_batch_threaded(
+            genmapper, entries, output_dir, fmt, stop_on_error, workers
+        )
     results = []
     for entry in entries:
-        try:
-            view = run_query(genmapper, entry.spec)
-        except GenMapperError as exc:
-            results.append(
-                BatchResult(name=entry.name, rows=0, output=None,
-                            error=str(exc))
-            )
-            if stop_on_error:
+        result = _execute_entry(genmapper, entry, output_dir, fmt)
+        results.append(result)
+        if stop_on_error and not result.ok:
+            break
+    return results
+
+
+def _execute_entry(
+    genmapper: GenMapper,
+    entry: BatchEntry,
+    output_dir: str | Path | None,
+    fmt: str,
+) -> BatchResult:
+    """Run one batch entry, capturing GenMapper failures in the result."""
+    try:
+        view = run_query(genmapper, entry.spec)
+    except GenMapperError as exc:
+        return BatchResult(name=entry.name, rows=0, output=None, error=str(exc))
+    output = None
+    if output_dir is not None:
+        output = write_view(view, Path(output_dir) / f"{entry.name}.{fmt}", fmt)
+    return BatchResult(name=entry.name, rows=len(view), output=output)
+
+
+def _run_batch_threaded(
+    genmapper: GenMapper,
+    entries: list[BatchEntry],
+    output_dir: str | Path | None,
+    fmt: str,
+    stop_on_error: bool,
+    workers: int,
+) -> list[BatchResult]:
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(
+        max_workers=min(workers, len(entries)), thread_name_prefix="gam-batch"
+    ) as executor:
+        futures = [
+            executor.submit(_execute_entry, genmapper, entry, output_dir, fmt)
+            for entry in entries
+        ]
+        results: list[BatchResult] = []
+        for future in futures:
+            result = future.result()
+            results.append(result)
+            if stop_on_error and not result.ok:
+                for pending in futures:
+                    pending.cancel()
                 break
-            continue
-        output = None
-        if output_dir is not None:
-            output = write_view(
-                view, Path(output_dir) / f"{entry.name}.{fmt}", fmt
-            )
-        results.append(
-            BatchResult(name=entry.name, rows=len(view), output=output)
-        )
     return results
 
 

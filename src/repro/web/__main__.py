@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import argparse
-from wsgiref.simple_server import make_server
 
 from repro.core.genmapper import GenMapper
 from repro.web.app import create_app
+from repro.web.server import make_threading_server
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -17,6 +17,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="GAM database path (default: in-memory)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8350)
+    parser.add_argument(
+        "--pool-size", type=int, default=None, metavar="N",
+        help="max pooled database connections (on-disk databases;"
+        " default: 8). See docs/storage.md.",
+    )
     parser.add_argument(
         "--demo", action="store_true",
         help="populate an in-memory database with a synthetic universe",
@@ -33,7 +38,7 @@ def main(argv: list[str] | None = None) -> int:
 
         get_tracer().enable()
 
-    genmapper = GenMapper(args.db)
+    genmapper = GenMapper(args.db, pool_size=args.pool_size)
     if args.demo:
         import tempfile
 
@@ -47,7 +52,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"demo universe loaded: {genmapper.stats()['objects']} objects")
 
     app = create_app(genmapper)
-    with make_server(args.host, args.port, app) as server:
+    with make_threading_server(args.host, args.port, app) as server:
         print(f"GenMapper API on http://{args.host}:{args.port}/sources")
         try:
             server.serve_forever()

@@ -36,6 +36,7 @@ drive the callable directly without sockets.
 from __future__ import annotations
 
 import json
+import logging
 from collections.abc import Callable, Iterable
 from urllib.parse import parse_qs
 
@@ -57,7 +58,10 @@ _STATUS = {
     400: "400 Bad Request",
     404: "404 Not Found",
     405: "405 Method Not Allowed",
+    500: "500 Internal Server Error",
 }
+
+logger = logging.getLogger("repro.web")
 
 
 class ApiError(Exception):
@@ -88,9 +92,18 @@ def create_app(
             status, payload = exc.status, {"error": str(exc)}
         except GenMapperError as exc:
             status, payload = 400, {"error": str(exc)}
+        except Exception as exc:
+            # A handler bug must still produce a JSON error response, not
+            # kill the request thread with an opaque server traceback.
+            logger.exception(
+                "unhandled error serving %s %s",
+                environ.get("REQUEST_METHOD", "GET"),
+                environ.get("PATH_INFO", "/"),
+            )
+            status, payload = 500, {"error": f"internal server error: {exc}"}
         body = json.dumps(payload, indent=2).encode("utf-8")
         start_response(
-            _STATUS[status],
+            _STATUS.get(status, f"{status} Error"),
             [
                 ("Content-Type", "application/json; charset=utf-8"),
                 ("Content-Length", str(len(body))),

@@ -1,0 +1,43 @@
+"""WSGI serving helpers: a threaded server over the pooled storage layer.
+
+``wsgiref.simple_server`` handles one request at a time; with the storage
+layer now hosting a per-thread connection pool, WAL journaling and a
+serialized writer path (see ``docs/storage.md``), concurrent request
+handling is safe — :class:`ThreadingWSGIServer` enables it by mixing
+:class:`socketserver.ThreadingMixIn` into the reference server, one daemon
+thread per request.
+"""
+
+from __future__ import annotations
+
+import socketserver
+from collections.abc import Callable
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+
+class ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
+    """The reference WSGI server, one handler thread per request."""
+
+    #: Request threads must not keep the process alive past shutdown.
+    daemon_threads = True
+
+
+class QuietRequestHandler(WSGIRequestHandler):
+    """Request handler that suppresses per-request stderr logging."""
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+
+def make_threading_server(
+    host: str, port: int, app: Callable, quiet: bool = False
+) -> WSGIServer:
+    """Build a :class:`ThreadingWSGIServer` bound to ``host:port``.
+
+    ``quiet=True`` suppresses the per-request access log — used by tests
+    and benchmarks that spin up a real socket server.
+    """
+    handler = QuietRequestHandler if quiet else WSGIRequestHandler
+    return make_server(
+        host, port, app, server_class=ThreadingWSGIServer, handler_class=handler
+    )

@@ -12,7 +12,7 @@ from repro.datagen.emit import (
 )
 from repro.datagen.expression import generate_expression
 from repro.datagen.go_gen import generate_go
-from repro.datagen.universe import UniverseConfig, generate_universe
+from repro.datagen.universe import generate_universe
 from repro.parsers.go_obo import GoOboParser
 from repro.parsers.locuslink import LocusLinkParser
 from repro.parsers.netaffx import NetAffxParser

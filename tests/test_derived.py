@@ -45,6 +45,35 @@ class TestSubsumed:
         __, second = derive_subsumed(paper_genmapper.repository, "GO")
         assert second == 0
 
+    def test_derive_subsumed_round_trips_evidence(
+        self, paper_genmapper, monkeypatch
+    ):
+        # Regression: materialization used to drop each association's
+        # evidence, silently resetting it to the column default.
+        repository = paper_genmapper.repository
+        weighted = Mapping.build(
+            "GO", "GO",
+            [
+                ("GO:0008150", "GO:0009116", 0.25),
+                ("GO:0009117", "GO:0009116", 0.75),
+            ],
+            rel_type=RelType.SUBSUMED,
+        )
+        monkeypatch.setattr(
+            "repro.derived.subsumed.subsumed_mapping",
+            lambda repo, src: weighted,
+        )
+        rel, inserted = derive_subsumed(repository, "GO")
+        assert inserted == 2
+        stored = {
+            (assoc.source_accession, assoc.target_accession): assoc.evidence
+            for assoc in repository.associations_of(rel)
+        }
+        assert stored == {
+            ("GO:0008150", "GO:0009116"): 0.25,
+            ("GO:0009117", "GO:0009116"): 0.75,
+        }
+
     def test_query_with_subsumption_finds_specific_annotations(
         self, paper_genmapper
     ):

@@ -5,7 +5,6 @@ parse, import, derive, query — and check the results against the
 universe's ground truth.
 """
 
-import pytest
 
 from repro.gam.enums import RelType
 from repro.operators.simple import map_

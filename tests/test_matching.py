@@ -125,10 +125,10 @@ class TestMatchObjects:
         blocked = match_objects("A", "B", left, right,
                                 MatchConfig(threshold=0.4, top_k=0))
         exhaustive_pairs = set()
-        for l in left:
-            for r in right:
-                if token_jaccard_matcher(l.text, r.text) >= 0.4:
-                    exhaustive_pairs.add((l.accession, r.accession))
+        for lhs in left:
+            for rhs in right:
+                if token_jaccard_matcher(lhs.text, rhs.text) >= 0.4:
+                    exhaustive_pairs.add((lhs.accession, rhs.accession))
         assert blocked.pair_set() == exhaustive_pairs
 
 

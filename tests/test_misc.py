@@ -41,13 +41,13 @@ class TestWebMain:
                 started["yes"] = True
                 raise KeyboardInterrupt  # simulate ctrl-C
 
-        def fake_make_server(host, port, app):
+        def fake_make_server(host, port, app, quiet=False):
             started["host"] = host
             started["port"] = port
             started["app"] = app
             return FakeServer()
 
-        monkeypatch.setattr(web_main, "make_server", fake_make_server)
+        monkeypatch.setattr(web_main, "make_threading_server", fake_make_server)
         code = web_main.main(["--demo", "--port", "9999"])
         assert code == 0
         assert started["port"] == 9999

@@ -1,0 +1,324 @@
+"""Tests for the pooled storage layer: per-thread connections, WAL mode,
+the serialized writer path, and savepoint-based nested transactions."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.gam.database import GamDatabase
+from repro.gam.pool import ConnectionPool, PoolClosedError, is_memory_path
+from repro.obs import MetricsRegistry
+
+
+def _insert_source(db, name):
+    db.execute(
+        "INSERT INTO source (name, content, structure) VALUES (?, 'Gene', 'Flat')",
+        (name,),
+    )
+
+
+class TestConnectionPool:
+    def test_memory_pool_shares_one_connection(self):
+        with ConnectionPool(":memory:") as pool:
+            first = pool.acquire()
+            seen = []
+            thread = threading.Thread(target=lambda: seen.append(pool.acquire()))
+            thread.start()
+            thread.join()
+            assert seen[0] is first
+            assert pool.size == 1
+
+    def test_disk_pool_hands_each_thread_its_own_connection(self, tmp_path):
+        with ConnectionPool(str(tmp_path / "pool.db"), max_size=4) as pool:
+            main_conn = pool.acquire()
+            assert pool.acquire() is main_conn  # sticky within a thread
+            seen = []
+            barrier = threading.Barrier(4)
+
+            def worker():
+                conn = pool.acquire()
+                barrier.wait()  # hold the lease while the others acquire
+                seen.append(id(conn))
+
+            threads = [threading.Thread(target=worker) for _ in range(3)]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            for t in threads:
+                t.join()
+            assert len(set(seen)) == 3
+            assert id(main_conn) not in seen
+
+    def test_max_size_bounds_connections_and_degrades_to_sharing(self, tmp_path):
+        registry = MetricsRegistry()
+        pool = ConnectionPool(
+            str(tmp_path / "bounded.db"),
+            max_size=2,
+            registry=registry,
+            share_after=0.01,
+        )
+        try:
+            barrier = threading.Barrier(4)
+            conns = []
+
+            def worker():
+                conn = pool.acquire()
+                barrier.wait()
+                conns.append(id(conn))
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert pool.size <= 2
+            assert len(set(conns)) <= 2
+            snapshot = registry.snapshot()
+            assert snapshot["counters"]["db.pool.checkouts"] == 4
+            assert snapshot["counters"]["db.pool.shared_grants"] >= 2
+            assert snapshot["counters"]["db.pool.waits"] >= 2
+        finally:
+            pool.close()
+
+    def test_dead_thread_leases_are_reclaimed(self, tmp_path):
+        pool = ConnectionPool(str(tmp_path / "reclaim.db"), max_size=1)
+        try:
+            leased = []
+            thread = threading.Thread(target=lambda: leased.append(pool.acquire()))
+            thread.start()
+            thread.join()
+            # The single connection was leased by the dead thread; a new
+            # thread must reclaim it rather than opening a second one.
+            reused = []
+            thread = threading.Thread(target=lambda: reused.append(pool.acquire()))
+            thread.start()
+            thread.join()
+            assert reused[0] is leased[0]
+            assert pool.size == 1
+        finally:
+            pool.close()
+
+    def test_release_returns_lease_to_idle(self, tmp_path):
+        pool = ConnectionPool(str(tmp_path / "release.db"), max_size=1)
+        try:
+            results = {}
+
+            def first():
+                results["first"] = pool.acquire()
+                pool.release()
+
+            def second():
+                results["second"] = pool.acquire()
+
+            for name in (first, second):
+                thread = threading.Thread(target=name)
+                thread.start()
+                thread.join()
+            assert results["first"] is results["second"]
+        finally:
+            pool.close()
+
+    def test_checkout_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        with ConnectionPool(str(tmp_path / "m.db"), registry=registry) as pool:
+            pool.acquire()
+            pool.acquire()  # cached: not a checkout
+            snapshot = registry.snapshot()
+            assert snapshot["counters"]["db.pool.checkouts"] == 1
+            assert snapshot["counters"]["db.pool.connections_created"] == 1
+            assert snapshot["gauges"]["db.pool.connections"] == 1
+
+    def test_closed_pool_raises(self, tmp_path):
+        pool = ConnectionPool(str(tmp_path / "closed.db"))
+        pool.acquire()
+        pool.close()
+        with pytest.raises(PoolClosedError):
+            pool.acquire()
+
+    def test_is_memory_path(self):
+        assert is_memory_path(":memory:")
+        assert is_memory_path("file:whatever?mode=memory&cache=shared")
+        assert not is_memory_path("/tmp/gam.db")
+
+
+class TestWalMode:
+    def test_on_disk_database_uses_wal(self, tmp_path):
+        with GamDatabase(tmp_path / "wal.db") as db:
+            row = db.execute_read("PRAGMA journal_mode").fetchone()
+            assert row[0] == "wal"
+
+    def test_memory_database_keeps_memory_journal(self):
+        with GamDatabase() as db:
+            row = db.execute_read("PRAGMA journal_mode").fetchone()
+            assert row[0] == "memory"
+
+    def test_readers_see_committed_writes_across_connections(self, tmp_path):
+        path = tmp_path / "visible.db"
+        with GamDatabase(path) as db:
+            _insert_source(db, "A")
+            # A completely independent connection must see the write
+            # (autocommit) without the writer having to close first.
+            other = sqlite3.connect(path)
+            try:
+                count = other.execute("SELECT count(*) FROM source").fetchone()[0]
+                assert count == 1
+            finally:
+                other.close()
+
+
+class TestTransactions:
+    def test_nested_transaction_commits_with_outer(self):
+        with GamDatabase() as db:
+            with db.transaction():
+                _insert_source(db, "A")
+                with db.transaction():
+                    _insert_source(db, "B")
+            assert db.counts()["source"] == 2
+
+    def test_nested_failure_rolls_back_only_its_savepoint(self):
+        with GamDatabase() as db:
+            with db.transaction():
+                _insert_source(db, "A")
+                with pytest.raises(RuntimeError):
+                    with db.transaction():
+                        _insert_source(db, "B")
+                        raise RuntimeError("inner boom")
+                _insert_source(db, "C")
+            names = {
+                row["name"]
+                for row in db.execute_read("SELECT name FROM source").fetchall()
+            }
+            assert names == {"A", "C"}
+
+    def test_nested_success_does_not_commit_outer_early(self, tmp_path):
+        path = tmp_path / "savepoint.db"
+        with GamDatabase(path) as db:
+            other = sqlite3.connect(path)
+            try:
+                with db.transaction():
+                    _insert_source(db, "A")
+                    with db.transaction():
+                        _insert_source(db, "B")
+                    # The inner block released its savepoint; nothing may
+                    # be visible to an independent reader yet.
+                    count = other.execute(
+                        "SELECT count(*) FROM source"
+                    ).fetchone()[0]
+                    assert count == 0
+                count = other.execute("SELECT count(*) FROM source").fetchone()[0]
+                assert count == 2
+            finally:
+                other.close()
+
+    def test_outer_failure_discards_nested_work(self):
+        with GamDatabase() as db:
+            with pytest.raises(RuntimeError):
+                with db.transaction():
+                    _insert_source(db, "A")
+                    with db.transaction():
+                        _insert_source(db, "B")
+                    raise RuntimeError("outer boom")
+            assert db.counts()["source"] == 0
+
+    def test_concurrent_transactions_serialize(self, tmp_path):
+        db = GamDatabase(tmp_path / "writers.db", pool_size=4)
+        try:
+            errors = []
+
+            def writer(prefix):
+                try:
+                    for i in range(25):
+                        with db.transaction():
+                            _insert_source(db, f"{prefix}-{i}")
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=writer, args=(f"w{n}",)) for n in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            assert db.counts()["source"] == 100
+        finally:
+            db.close()
+
+    def test_transaction_does_not_sweep_up_other_threads_work(self, tmp_path):
+        """Regression for the seed bug: one thread's commit must never
+        publish another thread's half-done transaction."""
+        db = GamDatabase(tmp_path / "isolated.db", pool_size=2)
+        try:
+            in_txn = threading.Event()
+            release = threading.Event()
+            outcome = {}
+
+            def slow_writer():
+                try:
+                    with db.transaction():
+                        _insert_source(db, "slow")
+                        in_txn.set()
+                        release.wait(0.5)
+                        raise RuntimeError("slow writer aborts")
+                except RuntimeError:
+                    outcome["aborted"] = True
+
+            def fast_writer():
+                in_txn.wait(5)
+                with db.transaction():
+                    _insert_source(db, "fast")
+                release.set()
+
+            threads = [
+                threading.Thread(target=slow_writer),
+                threading.Thread(target=fast_writer),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert outcome.get("aborted")
+            names = {
+                row["name"]
+                for row in db.execute_read("SELECT name FROM source").fetchall()
+            }
+            assert names == {"fast"}
+        finally:
+            db.close()
+
+    def test_concurrent_reads_while_writer_active(self, tmp_path):
+        """WAL: readers on other connections proceed during a write txn."""
+        db = GamDatabase(tmp_path / "readers.db", pool_size=4)
+        try:
+            _insert_source(db, "seedling")
+            counts = []
+
+            def reader():
+                counts.append(
+                    db.execute_read("SELECT count(*) FROM source").fetchone()[0]
+                )
+
+            in_txn = threading.Event()
+            done = threading.Event()
+
+            def writer():
+                with db.transaction():
+                    _insert_source(db, "pending")
+                    in_txn.set()
+                    done.wait(5)
+
+            wt = threading.Thread(target=writer)
+            wt.start()
+            in_txn.wait(5)
+            rt = threading.Thread(target=reader)
+            rt.start()
+            rt.join(5)
+            done.set()
+            wt.join(5)
+            # The reader ran to completion mid-write and saw only the
+            # committed snapshot.
+            assert counts == [1]
+        finally:
+            db.close()

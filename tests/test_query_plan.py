@@ -1,6 +1,5 @@
 """Tests for the query planner (EXPLAIN)."""
 
-import pytest
 
 from repro.query.language import parse_query
 from repro.query.plan import plan_query

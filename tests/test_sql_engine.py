@@ -6,10 +6,12 @@ in-memory Figure 5 engine produce the same row set.
 
 import pytest
 
-from repro.gam.enums import CombineMethod
+from repro.core.genmapper import GenMapper
+from repro.gam.enums import CombineMethod, RelType
 from repro.gam.errors import ViewGenerationError
 from repro.operators.generate_view import TargetSpec
 from repro.operators.sql_engine import SqlViewEngine
+from repro.operators.views import row_sort_key
 
 
 @pytest.fixture()
@@ -173,3 +175,50 @@ class TestEquivalenceOverUniverse:
             loaded_genmapper.generate_view(
                 "LocusLink", ["GO"], engine="quantum"
             )
+
+
+class TestNullSafeOrdering:
+    """Regression tests for sorting view rows that contain NULL cells."""
+
+    def test_engines_agree_on_or_with_negation_and_nulls(
+        self, loaded_genmapper
+    ):
+        memory, sql = both_engines(
+            loaded_genmapper, "LocusLink",
+            ["GO", TargetSpec.of("OMIM", negated=True)], combine="OR",
+        )
+        assert set(sql.rows) == set(memory.rows)
+        # The OR view must actually exercise NULL cells, and both engines
+        # must present them in the same deterministic (NULLs-last) order.
+        assert any(None in row for row in sql.rows)
+        assert sql.rows == tuple(sorted(sql.rows, key=row_sort_key))
+        assert memory.rows == sql.rows
+
+    def test_dangling_association_does_not_break_or_view(self):
+        """Pre-fix, a NULL accession from a dangling association made the
+        bare tuple sort raise ``TypeError: '<' not supported between
+        instances of 'NoneType' and 'str'``."""
+        gm = GenMapper()
+        try:
+            repo = gm.repository
+            left = repo.add_source("L", "Gene", "Flat")
+            right = repo.add_source("T", "Other", "Flat")
+            repo.add_objects(left, [("l1",), ("l2",)])
+            repo.add_objects(right, [("t0",)])
+            rel = repo.ensure_source_rel(left, right, RelType.FACT)
+            repo.add_associations(rel, [("l1", "t0")])
+            repo.db.commit()  # pragma changes need a clean transaction state
+            repo.db.execute("PRAGMA foreign_keys = OFF")
+            dangling = repo.get_object(left, "l2")
+            repo.db.execute(
+                "INSERT INTO object_rel (src_rel_id, object1_id, object2_id)"
+                " VALUES (?, ?, 999)",
+                (rel.src_rel_id, dangling.object_id),
+            )
+            view = gm.generate_view("L", ["T"], combine="OR", engine="sql")
+            rows = set(view.rows)
+            assert ("l1", "t0") in rows
+            assert ("l2", None) in rows
+            assert view.rows == tuple(sorted(view.rows, key=row_sort_key))
+        finally:
+            gm.close()

@@ -143,6 +143,23 @@ class TestBatchExecution:
         assert results[0].rows == 1
         assert results[0].output is None
 
+    def test_workers_preserve_order_and_results(
+        self, paper_genmapper, tmp_path
+    ):
+        entries = parse_batch(
+            "# name: hugo\nANNOTATE LocusLink WITH Hugo\n"
+            "# name: bad\nANNOTATE LocusLink WITH Nowhere\n"
+            "# name: go\nANNOTATE LocusLink WITH GO\n"
+            "# name: both\nANNOTATE LocusLink WITH Hugo AND GO\n"
+        )
+        serial = run_batch(paper_genmapper, entries, output_dir=tmp_path)
+        threaded = run_batch(
+            paper_genmapper, entries, output_dir=tmp_path, workers=4
+        )
+        assert [(r.name, r.rows, r.ok) for r in threaded] == [
+            (r.name, r.rows, r.ok) for r in serial
+        ]
+
     def test_render_results(self, paper_genmapper):
         entries = parse_batch(
             "ANNOTATE LocusLink WITH Hugo\nANNOTATE LocusLink WITH Nowhere\n"

@@ -189,6 +189,18 @@ class TestStatsAndErrors:
         status, __ = call(app, "DELETE", "/sources")
         assert status == 405
 
+    def test_unhandled_error_returns_json_500(self, app, monkeypatch):
+        import repro.web.app as web_app
+
+        def explode(genmapper, environ, registry, tracer):
+            raise RuntimeError("route exploded")
+
+        monkeypatch.setattr(web_app, "_route", explode)
+        status, payload = call(app, "GET", "/stats")
+        assert status == 500
+        assert "internal server error" in payload["error"]
+        assert "route exploded" in payload["error"]
+
     def test_content_type_json(self, paper_genmapper):
         app_ = create_app(paper_genmapper)
         captured = {}

@@ -1,0 +1,118 @@
+"""Concurrent web smoke test — the regression net for the pooled storage
+layer: a threaded server over an on-disk WAL database must serve
+overlapping read requests correctly from many client threads."""
+
+import json
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.genmapper import GenMapper
+from repro.web.app import create_app
+from repro.web.server import ThreadingWSGIServer, make_threading_server
+
+N_CLIENT_THREADS = 6
+REQUESTS_PER_THREAD = 4
+
+
+@pytest.fixture(scope="module")
+def disk_genmapper(tmp_path_factory, universe_dir):
+    """The synthetic universe on disk (WAL), shared by the whole module."""
+    path = tmp_path_factory.mktemp("webconc") / "gam.db"
+    gm = GenMapper(path, pool_size=4)
+    gm.integrate_directory(universe_dir)
+    yield gm
+    gm.close()
+
+
+@pytest.fixture()
+def server(disk_genmapper):
+    app = create_app(disk_genmapper)
+    with make_threading_server("127.0.0.1", 0, app, quiet=True) as srv:
+        assert isinstance(srv, ThreadingWSGIServer)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{srv.server_address[1]}"
+        srv.shutdown()
+        thread.join(5)
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _post(base, path, body):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def test_overlapping_query_and_map_requests(server):
+    """N threads firing mixed /query + /map + /sources requests: every
+    response is a 200 and repeated queries return identical row counts."""
+    base = server
+    __, reference_map = _get(base, "/map?source=LocusLink&target=GO")
+    __, reference_query = _post(
+        base, "/query", {"query": "ANNOTATE LocusLink WITH Hugo AND GO"}
+    )
+    assert reference_query["row_count"] > 0
+    assert len(reference_map["associations"]) > 0
+
+    def client(worker_id):
+        outcomes = []
+        for i in range(REQUESTS_PER_THREAD):
+            if (worker_id + i) % 3 == 0:
+                status, payload = _get(base, "/map?source=LocusLink&target=GO")
+                outcomes.append(
+                    (status, ("map", len(payload["associations"])))
+                )
+            elif (worker_id + i) % 3 == 1:
+                status, payload = _post(
+                    base,
+                    "/query",
+                    {"query": "ANNOTATE LocusLink WITH Hugo AND GO"},
+                )
+                outcomes.append((status, ("query", payload["row_count"])))
+            else:
+                status, payload = _get(base, "/sources")
+                outcomes.append(
+                    (status, ("sources", len(payload["sources"])))
+                )
+        return outcomes
+
+    with ThreadPoolExecutor(max_workers=N_CLIENT_THREADS) as executor:
+        all_outcomes = [
+            outcome
+            for future in [
+                executor.submit(client, n) for n in range(N_CLIENT_THREADS)
+            ]
+            for outcome in future.result()
+        ]
+
+    assert len(all_outcomes) == N_CLIENT_THREADS * REQUESTS_PER_THREAD
+    assert {status for status, _ in all_outcomes} == {200}
+    # Consistent results across all threads: every map saw the same
+    # association count, every query the same row count.
+    map_counts = {v for s, (kind, v) in all_outcomes if kind == "map"}
+    query_counts = {v for s, (kind, v) in all_outcomes if kind == "query"}
+    assert map_counts == {len(reference_map["associations"])}
+    assert query_counts == {reference_query["row_count"]}
+
+
+def test_health_under_concurrent_load(server):
+    base = server
+
+    def probe(_):
+        status, payload = _get(base, "/health")
+        return status, payload["status"]
+
+    with ThreadPoolExecutor(max_workers=4) as executor:
+        results = list(executor.map(probe, range(12)))
+    assert results == [(200, "ok")] * 12
