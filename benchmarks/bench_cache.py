@@ -1,0 +1,156 @@
+"""Experiment: the query acceleration layer (docs/performance.md).
+
+Two claims are measured and enforced here:
+
+1. **Warm cache wins big** — a warm ``Map``/``Compose``/``GenerateView``
+   call served from the generation-aware mapping cache must be at least
+   5x faster than the cold database load (in practice it is orders of
+   magnitude: a dict probe versus a multi-join load).
+2. **SQL pushdown beats the Python fold** — composing a multi-hop path
+   as one grouped aggregation inside SQLite must not lose to loading
+   every leg and joining in Python dicts.
+
+The bench bodies run through pytest-benchmark so CI snapshots land in the
+combined ``BENCH_*.json`` artifact next to ``bench_compose.py``'s numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.genmapper import GenMapper
+from repro.operators.compose import compose
+
+#: The multi-hop composition path of the pushdown experiment.
+PUSHDOWN_PATH = ["NetAffx", "Unigene", "LocusLink", "GO"]
+
+#: Minimum warm/cold speedup the cache must deliver (conservative: the
+#: observed ratio is in the hundreds).
+MIN_WARM_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def nocache_genmapper(bench_universe_dir):
+    """The benchmark universe with the mapping cache switched off —
+    every call pays the full load, like the pre-cache seed."""
+    gm = GenMapper(enable_cache=False)
+    gm.integrate_directory(bench_universe_dir)
+    yield gm
+    gm.close()
+
+
+@pytest.fixture(scope="module")
+def cached_genmapper(bench_universe_dir):
+    """The benchmark universe with the cache force-enabled, so the warm
+    benches hold even when the suite runs under ``REPRO_CACHE=off``."""
+    gm = GenMapper(enable_cache=True)
+    gm.integrate_directory(bench_universe_dir)
+    yield gm
+    gm.close()
+
+
+def _best_of(fn, repetitions: int = 7) -> float:
+    best = float("inf")
+    for __ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- claim 1: warm cache speedup ------------------------------------------
+
+
+def test_warm_map_speedup(cached_genmapper, nocache_genmapper):
+    cold = _best_of(lambda: nocache_genmapper.map("NetAffx", "GO"))
+    cached_genmapper.map("NetAffx", "GO")  # prime
+    warm = _best_of(lambda: cached_genmapper.map("NetAffx", "GO"), 20)
+    assert cold / warm >= MIN_WARM_SPEEDUP
+
+
+def test_warm_compose_speedup(cached_genmapper, nocache_genmapper):
+    cold = _best_of(lambda: nocache_genmapper.compose(PUSHDOWN_PATH))
+    cached_genmapper.compose(PUSHDOWN_PATH)  # prime
+    warm = _best_of(lambda: cached_genmapper.compose(PUSHDOWN_PATH), 20)
+    assert cold / warm >= MIN_WARM_SPEEDUP
+
+
+def test_warm_view_speedup(cached_genmapper, nocache_genmapper):
+    targets = ["LocusLink", "GO"]
+    cold = _best_of(
+        lambda: nocache_genmapper.generate_view(
+            "NetAffx", targets, combine="OR"
+        ),
+        3,
+    )
+    cached_genmapper.generate_view("NetAffx", targets, combine="OR")  # prime
+    warm = _best_of(
+        lambda: cached_genmapper.generate_view("NetAffx", targets, combine="OR"),
+        10,
+    )
+    assert cold / warm >= MIN_WARM_SPEEDUP
+
+
+def test_bench_map_cold(benchmark, nocache_genmapper):
+    mapping = benchmark(nocache_genmapper.map, "NetAffx", "GO")
+    benchmark.extra_info["experiment"] = "Cache: Map cold (cache off)"
+    benchmark.extra_info["associations"] = len(mapping)
+
+
+def test_bench_map_warm(benchmark, cached_genmapper):
+    cached_genmapper.map("NetAffx", "GO")
+    mapping = benchmark(cached_genmapper.map, "NetAffx", "GO")
+    benchmark.extra_info["experiment"] = "Cache: Map warm (generation hit)"
+    benchmark.extra_info["associations"] = len(mapping)
+    stats = cached_genmapper.cache_stats()
+    benchmark.extra_info["cache_hit_ratio"] = stats["hit_ratio"]
+
+
+def test_bench_view_warm(benchmark, cached_genmapper):
+    targets = ["LocusLink", "GO"]
+    cached_genmapper.generate_view("NetAffx", targets, combine="OR")
+    view = benchmark(
+        cached_genmapper.generate_view, "NetAffx", targets, combine="OR"
+    )
+    benchmark.extra_info["experiment"] = "Cache: GenerateView warm"
+    benchmark.extra_info["rows"] = len(view)
+
+
+# -- claim 2: SQL pushdown vs Python fold ----------------------------------
+
+
+def test_sql_pushdown_beats_python_fold(cached_genmapper):
+    repository = cached_genmapper.repository
+    sql = _best_of(lambda: compose(repository, PUSHDOWN_PATH, engine="sql"))
+    memory = _best_of(
+        lambda: compose(repository, PUSHDOWN_PATH, engine="memory")
+    )
+    assert sql < memory
+
+
+def test_pushdown_and_fold_agree(cached_genmapper):
+    repository = cached_genmapper.repository
+    sql = compose(repository, PUSHDOWN_PATH, engine="sql")
+    memory = compose(repository, PUSHDOWN_PATH, engine="memory")
+    assert sql.pair_set() == memory.pair_set()
+
+
+@pytest.mark.parametrize("engine", ["sql", "memory"])
+def test_bench_compose_engine(benchmark, cached_genmapper, engine):
+    repository = cached_genmapper.repository
+    mapping = benchmark(compose, repository, PUSHDOWN_PATH, engine=engine)
+    benchmark.extra_info["experiment"] = f"Compose pushdown: engine={engine}"
+    benchmark.extra_info["path"] = " -> ".join(PUSHDOWN_PATH)
+    benchmark.extra_info["associations"] = len(mapping)
+
+
+# -- invalidation overhead -------------------------------------------------
+
+
+def test_bench_generation_probe(benchmark, cached_genmapper):
+    """The per-lookup cost of the generation check (PRAGMA data_version)
+    — the price every cached call pays for write safety."""
+    benchmark(cached_genmapper.db.data_generation)
+    benchmark.extra_info["experiment"] = "Cache: generation probe overhead"

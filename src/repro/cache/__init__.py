@@ -1,0 +1,32 @@
+"""Query acceleration: the generation-aware mapping cache.
+
+See ``docs/performance.md`` for the architecture (cache keys, the
+generation protocol, single-flight) and tuning flags.
+"""
+
+from repro.cache.lru import GenerationalLru, LruCacheStats
+from repro.cache.mapping_cache import (
+    CACHE_ENV_VAR,
+    CACHE_SIZE_ENV_VAR,
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    MappingCache,
+    cache_enabled_by_env,
+    cache_size_from_env,
+    estimate_size,
+    spec_digest,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "CACHE_SIZE_ENV_VAR",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_MAX_ENTRIES",
+    "GenerationalLru",
+    "LruCacheStats",
+    "MappingCache",
+    "cache_enabled_by_env",
+    "cache_size_from_env",
+    "estimate_size",
+    "spec_digest",
+]

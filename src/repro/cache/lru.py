@@ -1,0 +1,268 @@
+"""A thread-safe, generation-aware LRU store with single-flight loading.
+
+This is the mechanical half of the query acceleration layer (the policy
+half — what gets cached under which key — lives in
+:mod:`repro.cache.mapping_cache`).  Three properties matter:
+
+* **bounded** — by entry count *and* by approximate bytes, so a handful
+  of huge composed mappings cannot grow the process without limit;
+* **generation-aware** — every entry records the data generation it was
+  loaded under; a lookup against a newer generation treats the entry as
+  stale, drops it, and reloads.  Invalidation is therefore implicit: a
+  writer only has to bump the generation (see
+  :meth:`repro.gam.database.GamDatabase.data_generation`), never to
+  enumerate affected keys;
+* **single-flight** — when several threads miss on the same key at once
+  (the classic cold-cache stampede under a threaded WSGI server), exactly
+  one runs the loader; the rest wait on the flight and then read the
+  freshly stored entry instead of re-running the same database join.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+
+#: Cache keys are flat tuples of hashables: (kind, source, target, variant).
+CacheKey = tuple
+
+#: Computes the approximate in-memory size of a cached value, in bytes.
+SizeEstimator = Callable[[object], int]
+
+
+class _Flight:
+    """One in-progress load that followers can wait on."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class _Entry:
+    __slots__ = ("value", "generation", "size")
+
+    def __init__(self, value: object, generation: int, size: int) -> None:
+        self.value = value
+        self.generation = generation
+        self.size = size
+
+
+class LruCacheStats:
+    """Plain-data counters of one :class:`GenerationalLru` (snapshot)."""
+
+    __slots__ = (
+        "hits", "misses", "evictions", "invalidations", "entries", "bytes"
+    )
+
+    def __init__(
+        self,
+        hits: int,
+        misses: int,
+        evictions: int,
+        invalidations: int,
+        entries: int,
+        bytes_: int,
+    ) -> None:
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+        self.invalidations = invalidations
+        self.entries = entries
+        self.bytes = bytes_
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+class GenerationalLru:
+    """LRU of generation-stamped entries with per-key single-flight.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of live entries (>= 1).
+    max_bytes:
+        Approximate byte budget; eviction runs until the total estimated
+        size fits.  ``None`` disables the byte bound.
+    size_of:
+        Estimates one value's size in bytes.  Estimates only steer
+        eviction — they never need to be exact.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        max_bytes: int | None = 64 * 1024 * 1024,
+        size_of: SizeEstimator | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._size_of = size_of if size_of is not None else (lambda value: 0)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        self._inflight: dict[CacheKey, _Flight] = {}
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # -- lookup ------------------------------------------------------------
+
+    def get_or_load(
+        self,
+        key: CacheKey,
+        generation: int,
+        loader: Callable[[], object],
+    ) -> tuple[object, bool]:
+        """Return ``(value, was_hit)`` for ``key`` at ``generation``.
+
+        A stored entry from an older generation counts as an
+        *invalidation* plus a miss.  On a miss the calling thread either
+        runs ``loader`` itself or — when another thread is already loading
+        the same key — waits for that flight and re-reads.  Loader
+        exceptions propagate to the thread that ran the loader; waiting
+        threads then retry (one of them becomes the next leader).
+        """
+        while True:
+            flight: _Flight | None = None
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    if entry.generation == generation:
+                        self._entries.move_to_end(key)
+                        self._hits += 1
+                        return entry.value, True
+                    self._drop_locked(key)
+                    self._invalidations += 1
+                flight = self._inflight.get(key)
+                if flight is None:
+                    self._inflight[key] = _Flight()
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                flight.event.wait()
+                # Re-check from the top: the leader stored a fresh entry,
+                # failed (we retry as leader), or the generation moved on.
+                continue
+            try:
+                value = loader()
+            except BaseException:
+                self._finish_flight(key)
+                raise
+            with self._lock:
+                self._misses += 1
+                self._store_locked(key, value, generation)
+            self._finish_flight(key)
+            return value, False
+
+    def peek(self, key: CacheKey, generation: int) -> bool:
+        """True when ``key`` is cached at ``generation`` (no counters,
+        no recency update) — used by ``/query/explain``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry.generation == generation
+
+    def get(self, key: CacheKey, generation: int) -> object | None:
+        """The cached value at this generation, or None (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.generation == generation:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry.value
+            if entry is not None:
+                self._drop_locked(key)
+                self._invalidations += 1
+            self._misses += 1
+            return None
+
+    # -- mutation ----------------------------------------------------------
+
+    def put(self, key: CacheKey, value: object, generation: int) -> None:
+        """Store a value directly (read-through callers use get_or_load)."""
+        with self._lock:
+            self._store_locked(key, value, generation)
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop one key; True when something was removed."""
+        with self._lock:
+            if key in self._entries:
+                self._drop_locked(key)
+                self._invalidations += 1
+                return True
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            self._invalidations += count
+            return count
+
+    # -- internals ---------------------------------------------------------
+
+    def _store_locked(self, key: CacheKey, value: object, generation: int) -> None:
+        if key in self._entries:
+            self._drop_locked(key)
+        size = max(0, int(self._size_of(value)))
+        self._entries[key] = _Entry(value, generation, size)
+        self._bytes += size
+        self._evict_locked()
+
+    def _drop_locked(self, key: CacheKey) -> None:
+        entry = self._entries.pop(key)
+        self._bytes -= entry.size
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and self._bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            __, entry = self._entries.popitem(last=False)
+            self._bytes -= entry.size
+            self._evictions += 1
+
+    def _finish_flight(self, key: CacheKey) -> None:
+        with self._lock:
+            flight = self._inflight.pop(key, None)
+        if flight is not None:
+            flight.event.set()
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> LruCacheStats:
+        with self._lock:
+            return LruCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                entries=len(self._entries),
+                bytes_=self._bytes,
+            )

@@ -13,7 +13,8 @@ Mirrors the interactive workflow of paper Section 5.1 for the terminal::
 
 Any command accepts ``--profile`` (print a span tree of where the time
 went, to stderr) and ``--trace-out FILE`` (write the spans as JSONL); see
-``docs/observability.md``.
+``docs/observability.md``.  ``--cache-size N`` / ``--no-cache`` tune or
+disable the generation-aware mapping cache (``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -50,6 +51,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="FILE",
         help="write the recorded spans as JSONL (implies --profile)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="max entries in the mapping cache"
+             " (default: REPRO_CACHE_SIZE or 256; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the mapping cache (same as REPRO_CACHE=off)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -204,7 +214,12 @@ def main(argv: list[str] | None = None) -> int:
         tracer.enable()
     try:
         pool_size = getattr(args, "pool_size", None)
-        with GenMapper(args.db, pool_size=pool_size) as genmapper:
+        with GenMapper(
+            args.db,
+            pool_size=pool_size,
+            cache_size=args.cache_size,
+            enable_cache=False if args.no_cache else None,
+        ) as genmapper:
             if tracer is None:
                 return _dispatch(genmapper, args)
             with tracer.span(f"cli.{args.command}", db=args.db):

@@ -24,6 +24,13 @@ from pathlib import Path
 
 import networkx as nx
 
+from repro.cache import (
+    DEFAULT_MAX_BYTES,
+    MappingCache,
+    cache_enabled_by_env,
+    cache_size_from_env,
+    spec_digest,
+)
 from repro.derived.composed import derive_composed, materialize_mapping
 from repro.derived.subsumed import derive_subsumed, load_taxonomy, subsumed_mapping
 from repro.eav.store import EavDataset
@@ -35,6 +42,7 @@ from repro.gam.records import Association, GamObject, Source
 from repro.gam.repository import GamRepository
 from repro.importer.importer import ImportReport
 from repro.importer.pipeline import IntegrationPipeline
+from repro.obs import get_tracer
 from repro.operators.compose import EvidenceCombiner, compose, product_evidence
 from repro.operators.generate_view import TargetSpec, generate_view
 from repro.operators.mapping import Mapping
@@ -56,17 +64,56 @@ from repro.taxonomy.dag import Taxonomy
 TargetLike = "str | TargetSpec | tuple"
 
 
+def _combiner_label(combiner: EvidenceCombiner) -> str | None:
+    """Cache-key label of a combiner; None for ad-hoc callables (their
+    results are never cached because the callable has no stable identity)."""
+    if combiner is product_evidence:
+        return "product"
+    from repro.operators.compose import min_evidence
+
+    if combiner is min_evidence:
+        return "min"
+    return None
+
+
 class GenMapper:
-    """Flexible integration of annotation data over one GAM database."""
+    """Flexible integration of annotation data over one GAM database.
+
+    Parameters
+    ----------
+    path, pool_size:
+        Database location and connection-pool bound (``docs/storage.md``).
+    cache_size:
+        Maximum entries in the mapping cache; ``0`` disables caching and
+        ``None`` uses ``REPRO_CACHE_SIZE`` or the default.  See
+        ``docs/performance.md``.
+    enable_cache:
+        Force the cache on/off; ``None`` (default) honours the
+        ``REPRO_CACHE`` environment variable (on unless set to ``off``).
+    """
 
     def __init__(
-        self, path: str | Path = ":memory:", pool_size: int | None = None
+        self,
+        path: str | Path = ":memory:",
+        pool_size: int | None = None,
+        cache_size: int | None = None,
+        enable_cache: bool | None = None,
     ) -> None:
         self.db = GamDatabase(path, pool_size=pool_size)
         self.repository = GamRepository(self.db)
         self.pipeline = IntegrationPipeline(self.repository)
         self.paths = PathRegistry(self.db)
         self._graph: nx.MultiGraph | None = None
+        if enable_cache is None:
+            enable_cache = cache_enabled_by_env(True)
+        if cache_size is None:
+            cache_size = cache_size_from_env()
+        if enable_cache and cache_size > 0:
+            self.cache: MappingCache | None = MappingCache(
+                self.db, max_entries=cache_size, max_bytes=DEFAULT_MAX_BYTES
+            )
+        else:
+            self.cache = None
 
     def close(self) -> None:
         """Close the underlying database connection."""
@@ -162,8 +209,29 @@ class GenMapper:
 
         Tries the stored mapping first; when none exists, finds the
         shortest mapping path in the source graph (optionally through the
-        explicit ``via`` intermediates) and composes along it.
+        explicit ``via`` intermediates) and composes along it.  Results
+        are served from the generation-aware mapping cache when one is
+        enabled (``docs/performance.md``); any write to the database
+        invalidates them transparently.
         """
+        label = _combiner_label(combiner)
+        if self.cache is None or label is None:
+            return self._map_uncached(source, target, via, combiner)
+        if via:
+            key = MappingCache.composed_key([source, *via, target], label)
+        else:
+            key = MappingCache.mapping_key(source, target, f"auto#{label}")
+        return self.cache.get_or_load(
+            key, lambda: self._map_uncached(source, target, via, combiner)
+        )
+
+    def _map_uncached(
+        self,
+        source: str,
+        target: str,
+        via: Sequence[str] | None,
+        combiner: EvidenceCombiner,
+    ) -> Mapping:
         if via:
             return compose(self.repository, [source, *via, target], combiner)
         try:
@@ -178,7 +246,21 @@ class GenMapper:
         combiner: EvidenceCombiner = product_evidence,
         materialize: bool = False,
     ) -> Mapping:
-        """``Compose`` along an explicit mapping path."""
+        """``Compose`` along an explicit mapping path.
+
+        Non-materializing composes with a named combiner are cached by
+        path; ``materialize=True`` always executes (it must write) and its
+        write invalidates every cached result via the data generation.
+        """
+        label = _combiner_label(combiner)
+        if self.cache is not None and label is not None and not materialize:
+            key = MappingCache.composed_key(path, label)
+            return self.cache.get_or_load(
+                key,
+                lambda: derive_composed(
+                    self.repository, path, combiner, materialize=False
+                ),
+            )
         mapping = derive_composed(
             self.repository, path, combiner, materialize=materialize
         )
@@ -209,14 +291,48 @@ class GenMapper:
         the SQL engine ignores ``combiner`` since views carry no evidence.
         """
         specs = [self._as_spec(target) for target in targets]
+        if engine not in ("memory", "sql"):
+            raise ValueError(f"unknown view engine {engine!r}")
+        if source_objects is not None:
+            # Normalize once: the accession set keys the cache *and* feeds
+            # the loader, so a one-shot iterator must not be consumed twice.
+            source_objects = tuple(source_objects)
+        label = _combiner_label(combiner)
+        key = (
+            self.view_cache_key(source, specs, source_objects, combine, engine, label)
+            if self.cache is not None and (label is not None or engine == "sql")
+            else None
+        )
+        if key is None:
+            return self._generate_view_uncached(
+                source, specs, source_objects, combine, combiner, engine
+            )
+        view, was_hit = self.cache.lookup(
+            key,
+            lambda: self._generate_view_uncached(
+                source, specs, source_objects, combine, combiner, engine
+            ),
+        )
+        span = get_tracer().current_span()
+        if span is not None:
+            span.tag(view_cached=was_hit)
+        return view
+
+    def _generate_view_uncached(
+        self,
+        source: str,
+        specs: Sequence[TargetSpec],
+        source_objects: Iterable[str] | None,
+        combine: CombineMethod | str,
+        combiner: EvidenceCombiner,
+        engine: str,
+    ) -> AnnotationView:
         if engine == "sql":
             from repro.operators.sql_engine import SqlViewEngine
 
             return SqlViewEngine(self.repository).generate_view(
                 source, source_objects, specs, combine
             )
-        if engine != "memory":
-            raise ValueError(f"unknown view engine {engine!r}")
         if source_objects is None:
             source_objects = self.repository.accessions_of(source)
 
@@ -224,6 +340,42 @@ class GenMapper:
             return self.map(view_source, spec.name, via=spec.via or None, combiner=combiner)
 
         return generate_view(resolver, source, source_objects, specs, combine)
+
+    @staticmethod
+    def view_cache_key(
+        source: str,
+        specs: Sequence[TargetSpec],
+        source_objects: Iterable[str] | None,
+        combine: CombineMethod | str,
+        engine: str,
+        combiner_label: str | None,
+    ) -> tuple:
+        """The cache key of one rendered annotation view.
+
+        Deterministic over the full query shape: target specs (restrict
+        sets and via paths sorted/ordered), the uploaded accession set,
+        the combine method, the engine and the evidence combiner.
+        """
+        spec_parts = tuple(
+            (
+                spec.name,
+                None if spec.restrict is None else tuple(sorted(spec.restrict)),
+                spec.negated,
+                tuple(spec.via),
+            )
+            for spec in specs
+        )
+        objects_part = (
+            None if source_objects is None else tuple(sorted(source_objects))
+        )
+        variant = spec_digest(
+            spec_parts,
+            objects_part,
+            CombineMethod.parse(combine).value,
+            engine,
+            combiner_label or "",
+        )
+        return MappingCache.view_key(source, variant)
 
     @staticmethod
     def _as_spec(target: TargetLike) -> TargetSpec:
@@ -247,12 +399,36 @@ class GenMapper:
         return inserted
 
     def subsumed(self, source: str) -> Mapping:
-        """The term → subsumed-term mapping, computed on the fly."""
-        return subsumed_mapping(self.repository, source)
+        """The term → subsumed-term mapping, computed on the fly.
+
+        Built over the cached taxonomy DAG and itself cached: the
+        transitive closure is expensive on deep GO chains, and the result
+        only changes when the IS_A structure does (generation bump).
+        """
+        if self.cache is None:
+            return subsumed_mapping(self.repository, source)
+        src = self.repository.get_source(source)
+
+        def load() -> Mapping:
+            return Mapping.build(
+                src.name,
+                src.name,
+                self.taxonomy(src.name).subsumed_pairs(),
+                rel_type=RelType.SUBSUMED,
+            )
+
+        key = MappingCache.mapping_key(src.name, src.name, "subsumed")
+        return self.cache.get_or_load(key, load)
 
     def taxonomy(self, source: str) -> Taxonomy:
-        """The IS_A taxonomy of a Network source."""
-        return load_taxonomy(self.repository, source)
+        """The IS_A taxonomy of a Network source (cached when enabled)."""
+        if self.cache is None:
+            return load_taxonomy(self.repository, source)
+        src = self.repository.get_source(source)
+        key = MappingCache.taxonomy_key(src.name)
+        return self.cache.get_or_load(
+            key, lambda: load_taxonomy(self.repository, src)
+        )
 
     def materialize(self, mapping: Mapping) -> int:
         """Store an in-memory mapping as a Composed relationship."""
@@ -362,3 +538,14 @@ class GenMapper:
     def check_integrity(self) -> IntegrityReport:
         """Run the cross-table integrity checks."""
         return check(self.db)
+
+    # -- cache -----------------------------------------------------------------
+
+    def cache_stats(self) -> dict | None:
+        """The mapping cache's stats block, or None when caching is off."""
+        return None if self.cache is None else self.cache.stats()
+
+    def clear_cache(self) -> int:
+        """Drop every cached value (normally unnecessary: writes bump the
+        data generation and invalidate entries implicitly)."""
+        return 0 if self.cache is None else self.cache.invalidate_all()

@@ -19,6 +19,16 @@ Concurrency model (see ``docs/storage.md`` for the full discussion):
   explicit ``BEGIN IMMEDIATE`` and nested calls create savepoints, so an
   inner block rolls back *only its own work* instead of sweeping up (or
   committing) the outer scope.
+
+Data generation (see ``docs/performance.md``): the database maintains a
+monotonic :meth:`data_generation` counter that moves forward on every
+write — statement-level writes, ``executemany`` batches and committed
+:meth:`transaction` blocks all bump it, and commits made through *other*
+connections (pool siblings or external processes) are detected via
+SQLite's ``PRAGMA data_version``.  The read-through
+:class:`repro.cache.MappingCache` stamps every entry with the generation
+it was loaded under, so a bumped generation transparently invalidates
+stale cached mappings without any explicit flush call.
 """
 
 from __future__ import annotations
@@ -70,6 +80,11 @@ class GamDatabase:
         self._memory = is_memory_path(self.path)
         self._write_lock = threading.RLock()
         self._savepoint_serial = 0
+        self._generation_lock = threading.Lock()
+        self._generation = 0
+        #: Last ``PRAGMA data_version`` seen per pooled connection, used to
+        #: notice commits made by *other* connections (external writers).
+        self._data_versions: dict[int, int] = {}
         self.pool = ConnectionPool(
             self.path,
             max_size=pool_size if pool_size is not None else DEFAULT_POOL_SIZE,
@@ -117,7 +132,9 @@ class GamDatabase:
         connection = self.pool.acquire()
         if _is_write_statement(sql):
             with self._write_lock:
-                return connection.execute(sql, parameters)
+                cursor = connection.execute(sql, parameters)
+                self.bump_generation()
+                return cursor
         return connection.execute(sql, parameters)
 
     def execute_read(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
@@ -141,7 +158,9 @@ class GamDatabase:
             # Holding the writer lock, an open transaction on this
             # connection can only be this thread's own.
             if connection.in_transaction:
-                return connection.executemany(sql, rows)
+                cursor = connection.executemany(sql, rows)
+                self.bump_generation()
+                return cursor
             connection.execute("BEGIN IMMEDIATE")
             try:
                 cursor = connection.executemany(sql, rows)
@@ -149,6 +168,7 @@ class GamDatabase:
                 connection.rollback()
                 raise
             connection.commit()
+            self.bump_generation()
             return cursor
 
     @contextlib.contextmanager
@@ -185,10 +205,54 @@ class GamDatabase:
                     raise
                 else:
                     connection.commit()
+                    self.bump_generation()
 
     def commit(self) -> None:
         """Commit this thread's current transaction (no-op outside one)."""
         self.pool.acquire().commit()
+        self.bump_generation()
+
+    # -- data generation (cache invalidation protocol) --------------------
+
+    def bump_generation(self) -> int:
+        """Advance the data generation; returns the new value.
+
+        Called automatically on every write path.  Cached values stamped
+        with an older generation become stale the moment this returns —
+        see :class:`repro.cache.MappingCache`.
+        """
+        with self._generation_lock:
+            self._generation += 1
+            return self._generation
+
+    def data_generation(self) -> int:
+        """The current data generation of this database (monotonic).
+
+        Combines two signals:
+
+        * the internal write counter, bumped by every mutating statement,
+          batch and committed transaction issued through this object;
+        * SQLite's per-connection ``PRAGMA data_version``, which moves
+          when a *different* connection commits — catching writes by pool
+          siblings and by external processes sharing an on-disk database.
+
+        Detection through ``data_version`` is conservative: a write this
+        object already counted is seen again by sibling connections and
+        bumps once more per connection.  Extra bumps only cost a cache
+        reload; they can never serve stale data.
+        """
+        connection = self.pool.acquire()
+        row = connection.execute("PRAGMA data_version").fetchone()
+        seen = int(row[0])
+        key = id(connection)
+        with self._generation_lock:
+            last = self._data_versions.get(key)
+            if last is None:
+                self._data_versions[key] = seen
+            elif seen != last:
+                self._data_versions[key] = seen
+                self._generation += 1
+            return self._generation
 
     def analyze(self) -> None:
         """Refresh the query-planner statistics (``ANALYZE``).

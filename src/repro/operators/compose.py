@@ -89,10 +89,23 @@ def compose_mappings(
     return result
 
 
+#: Named combiners the SQL engine can push down (see ``compose_sql``).
+_SQL_COMBINERS: dict = {}
+
+
+def _sql_combiner_name(combiner: EvidenceCombiner) -> str | None:
+    """The pushdown label of a combiner, or None for ad-hoc callables."""
+    if not _SQL_COMBINERS:
+        _SQL_COMBINERS[product_evidence] = "product"
+        _SQL_COMBINERS[min_evidence] = "min"
+    return _SQL_COMBINERS.get(combiner)
+
+
 def compose(
     repository: GamRepository,
     path: Sequence["str | Source"],
     combiner: EvidenceCombiner = product_evidence,
+    engine: str = "auto",
 ) -> Mapping:
     """``Compose`` along a path of source names.
 
@@ -101,21 +114,52 @@ def compose(
     Unigene ↔ LocusLink and LocusLink ↔ GO.  Every consecutive pair must
     have a stored mapping; otherwise :class:`UnknownMappingError` is
     raised (path *discovery* is the path finder's job, not Compose's).
+
+    A two-source path *is* its stored mapping: it is returned directly via
+    ``Map`` without running the composition fold at all.
+
+    ``engine`` selects the execution strategy for longer paths:
+
+    * ``"auto"`` (default) — push the whole chain join down into SQL when
+      the combiner is one of the named policies (``product_evidence``,
+      ``min_evidence``); otherwise join in Python;
+    * ``"sql"`` — force the pushdown (raises ``ValueError`` for ad-hoc
+      combiners the database cannot express);
+    * ``"memory"`` — force the Python dict-join (the seed behaviour).
+
+    Both strategies produce identical mappings; see
+    :func:`repro.operators.sql_engine.compose_sql` for why the single
+    grouped aggregation agrees with the pairwise fold.
     """
     if len(path) < 2:
         raise ValueError("a mapping path needs at least two sources")
+    if engine not in ("auto", "sql", "memory"):
+        raise ValueError(f"unknown compose engine {engine!r}")
+    names = [step.name if isinstance(step, Source) else str(step) for step in path]
+    if len(names) == 2:
+        # A single leg is the stored mapping itself, not a derived one —
+        # return it straight from Map instead of folding and discarding.
+        return map_(repository, names[0], names[1])
+    sql_combiner = _sql_combiner_name(combiner)
+    if engine == "sql" and sql_combiner is None:
+        raise ValueError(
+            "compose engine 'sql' requires a named combiner"
+            " (product_evidence or min_evidence)"
+        )
+    if sql_combiner is not None and engine in ("auto", "sql"):
+        from repro.operators.sql_engine import compose_sql
+
+        return compose_sql(repository, names, sql_combiner)
     with get_tracer().span(
         "operator.compose",
-        path=" -> ".join(str(step) for step in path),
-        hops=len(path) - 1,
+        path=" -> ".join(names),
+        hops=len(names) - 1,
+        engine="memory",
     ) as span:
         legs = []
-        for step_source, step_target in zip(path, path[1:]):
+        for step_source, step_target in zip(names, names[1:]):
             legs.append(map_(repository, step_source, step_target))
         composed = compose_mappings(legs, combiner)
-        if len(path) == 2:
-            # A single leg is the stored mapping itself, not a derived one.
-            composed = legs[0]
         span.tag(associations=len(composed))
     return composed
 

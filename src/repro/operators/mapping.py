@@ -6,7 +6,12 @@ relationships at the object level").  Operators in :mod:`repro.operators`
 take mappings as input and produce mappings or annotation views as output,
 mirroring Table 2's declarative definitions.
 
-Mappings are immutable: every operation returns a new mapping.
+Mappings are immutable: every operation returns a new mapping.  That
+immutability is what makes the derived access structures safe to memoize:
+:meth:`Mapping.pair_set` and the per-source grouping behind
+:meth:`Mapping.as_dict`/:meth:`Mapping.targets_of` are computed once per
+instance and cached on the (frozen) dataclass, so membership tests and
+view generation are O(1) per probe instead of O(n) per call.
 """
 
 from __future__ import annotations
@@ -117,26 +122,48 @@ class Mapping:
         )
 
     def pair_set(self) -> set[tuple[str, str]]:
-        """The associations as a set of (source, target) accession pairs."""
-        return {
-            (assoc.source_accession, assoc.target_accession)
-            for assoc in self.associations
-        }
+        """The associations as a set of (source, target) accession pairs.
+
+        Memoized: built once per instance, so ``pair in mapping`` is O(1)
+        after the first probe.  Treat the result as read-only.
+        """
+        cached = self.__dict__.get("_pair_set")
+        if cached is None:
+            cached = {
+                (assoc.source_accession, assoc.target_accession)
+                for assoc in self.associations
+            }
+            object.__setattr__(self, "_pair_set", cached)
+        return cached
+
+    def _grouped(self) -> dict[str, list[Association]]:
+        """Memoized source accession -> associations grouping."""
+        cached = self.__dict__.get("_grouped_by_source")
+        if cached is None:
+            grouped: dict[str, list[Association]] = defaultdict(list)
+            for assoc in self.associations:
+                grouped[assoc.source_accession].append(assoc)
+            cached = dict(grouped)
+            object.__setattr__(self, "_grouped_by_source", cached)
+        return cached
 
     def targets_of(self, source_accession: str) -> list[str]:
         """Target accessions associated with one source object, sorted."""
         return sorted(
             assoc.target_accession
-            for assoc in self.associations
-            if assoc.source_accession == source_accession
+            for assoc in self._grouped().get(source_accession, ())
         )
 
     def as_dict(self) -> dict[str, list[Association]]:
-        """source accession -> its associations (insertion order)."""
-        grouped: dict[str, list[Association]] = defaultdict(list)
-        for assoc in self.associations:
-            grouped[assoc.source_accession].append(assoc)
-        return dict(grouped)
+        """source accession -> its associations (insertion order).
+
+        The outer dict and its lists are fresh copies; mutating them does
+        not corrupt the memoized grouping.
+        """
+        return {
+            source: list(associations)
+            for source, associations in self._grouped().items()
+        }
 
     def filter_evidence(self, threshold: float) -> "Mapping":
         """Keep associations with evidence >= threshold."""

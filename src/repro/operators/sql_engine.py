@@ -12,19 +12,136 @@ executes, never materializing intermediate mappings in Python.
 Semantics are identical by construction and verified by tests that compare
 both engines over randomized universes; the ``bench_sql_engine`` ablation
 measures when pushing the join into SQL wins.
+
+The same pushdown idea accelerates ``Compose``: :func:`compose_sql` runs a
+whole mapping path — the pairwise joins *and* the best-evidence
+aggregation — as one set-based SQL statement over ``object_rel``, instead
+of the Python dict loops in :mod:`repro.operators.compose`.  It applies
+whenever every leg of the path is a stored mapping and the evidence
+combiner is one of the two named policies (``product``, ``min``); ad-hoc
+combiners and derived in-memory legs fall back to the Python join.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from repro.gam.enums import CombineMethod
+from repro.gam.enums import CombineMethod, RelType
 from repro.gam.errors import UnknownMappingError, ViewGenerationError
 from repro.gam.records import SourceRel
 from repro.gam.repository import GamRepository
 from repro.obs import get_tracer
 from repro.operators.generate_view import TargetSpec
+from repro.operators.mapping import Mapping
 from repro.operators.views import AnnotationView, row_sort_key
+
+
+def resolve_hop_rel(
+    repository: GamRepository, step_source: str, step_target: str
+) -> tuple[SourceRel, bool]:
+    """The stored mapping of one path hop and whether it is forward-stored.
+
+    Prefers imported annotation mappings over derived ones, matching
+    :meth:`GamRepository.fetch_mapping_associations`.
+    """
+    rels = repository.mappings_between(step_source, step_target)
+    if not rels:
+        raise UnknownMappingError(step_source, step_target)
+    rels.sort(key=lambda rel: (rel.type.is_derived, rel.src_rel_id))
+    rel = rels[0]
+    source1 = repository.get_source(rel.source1_id)
+    forward = source1.name == step_source
+    return rel, forward
+
+
+def compose_sql(
+    repository: GamRepository,
+    path: Sequence[str],
+    combiner: str = "product",
+) -> Mapping:
+    """``Compose`` along a stored-mapping path as one SQL statement.
+
+    The chain join runs inside SQLite on ``object_rel``'s covering
+    indices; per endpoint pair the strongest chain wins, with chain
+    evidence combined by ``combiner``:
+
+    * ``"product"`` — independent-plausibility (evidence multiplied);
+    * ``"min"`` — weakest link.
+
+    Folding :func:`repro.operators.compose.compose_pair` pairwise and
+    taking one max over full chains agree because both combiners are
+    monotonic in each argument — verified against the Python engine by
+    ``tests/test_sql_engine.py``.  Raises
+    :class:`~repro.gam.errors.UnknownMappingError` when a leg has no
+    stored mapping and ``ValueError`` for unknown combiners (callers then
+    fall back to the in-memory path).
+    """
+    if len(path) < 2:
+        raise ValueError("a mapping path needs at least two sources")
+    if combiner not in ("product", "min"):
+        raise ValueError(f"no SQL pushdown for combiner {combiner!r}")
+    steps = [str(step) for step in path]
+    source = repository.get_source(steps[0])
+    target = repository.get_source(steps[-1])
+    with get_tracer().span(
+        "operator.compose",
+        path=" -> ".join(steps),
+        hops=len(steps) - 1,
+        engine="sql",
+    ) as span:
+        # Hop 1 anchors the FROM clause; its rel id binds in the WHERE, so
+        # collect JOIN parameters (hops 2..n) first to match text order.
+        first_rel, first_forward = resolve_hop_rel(repository, steps[0], steps[1])
+        start_column = "object1_id" if first_forward else "object2_id"
+        prev_end = "object2_id" if first_forward else "object1_id"
+        joins = ["object_rel r1"]
+        join_parameters: list = []
+        evidence_terms = ["r1.evidence"]
+        for hop_index, (step_source, step_target) in enumerate(
+            zip(steps[1:], steps[2:]), start=2
+        ):
+            rel, forward = resolve_hop_rel(repository, step_source, step_target)
+            this = f"r{hop_index}"
+            near = "object1_id" if forward else "object2_id"
+            far = "object2_id" if forward else "object1_id"
+            joins.append(
+                f"JOIN object_rel {this} ON {this}.{near} ="
+                f" r{hop_index - 1}.{prev_end}"
+                f" AND {this}.src_rel_id = ?"
+            )
+            join_parameters.append(rel.src_rel_id)
+            evidence_terms.append(f"{this}.evidence")
+            prev_end = far
+        if combiner == "product":
+            chain_evidence = " * ".join(evidence_terms)
+        else:
+            chain_evidence = (
+                evidence_terms[0]
+                if len(evidence_terms) == 1
+                else f"min({', '.join(evidence_terms)})"
+            )
+        last = f"r{len(steps) - 1}"
+        sql = (
+            "SELECT so.accession AS src, to_.accession AS tgt,"
+            f" max({chain_evidence}) AS evidence FROM "
+            + "\n  ".join(joins)
+            + f"\n  JOIN object so ON so.object_id = r1.{start_column}"
+            + f"\n  JOIN object to_ ON to_.object_id = {last}.{prev_end}"
+            + "\n  WHERE r1.src_rel_id = ?"
+            + "\n  GROUP BY so.accession, to_.accession"
+        )
+        rows = repository.db.execute_read(
+            sql, (*join_parameters, first_rel.src_rel_id)
+        ).fetchall()
+        rel_type = first_rel.type if len(steps) == 2 else RelType.COMPOSED
+        mapping = Mapping.build(
+            source.name,
+            target.name,
+            ((row["src"], row["tgt"], row["evidence"]) for row in rows),
+            rel_type=rel_type,
+        )
+        span.tag(associations=len(mapping))
+    return mapping
 
 
 class SqlViewEngine:
@@ -260,14 +377,7 @@ class SqlViewEngine:
 
     def _hop_rel(self, step_source: str, step_target: str) -> tuple[SourceRel, bool]:
         """The stored mapping of one hop and whether it is forward-stored."""
-        rels = self.repository.mappings_between(step_source, step_target)
-        if not rels:
-            raise UnknownMappingError(step_source, step_target)
-        rels.sort(key=lambda rel: (rel.type.is_derived, rel.src_rel_id))
-        rel = rels[0]
-        source1 = self.repository.get_source(rel.source1_id)
-        forward = source1.name == step_source
-        return rel, forward
+        return resolve_hop_rel(self.repository, step_source, step_target)
 
     def _path_subquery(self, path: Sequence[str]) -> tuple[str, list]:
         """Compile a mapping path into ``SELECT DISTINCT src, tgt`` SQL."""

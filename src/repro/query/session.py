@@ -175,6 +175,11 @@ class QuerySession:
             raise QuerySpecError("no query has been run in this session")
         return self._last_view
 
+    def cache_stats(self) -> dict | None:
+        """The mapping cache's counters (hits, misses, evictions, ...),
+        or ``None`` when the GenMapper runs without a cache."""
+        return self.genmapper.cache_stats()
+
     # -- post-query actions ---------------------------------------------------------------
 
     def object_info(

@@ -40,6 +40,7 @@ class Taxonomy:
         self._terms = terms
         self._order = self._topological_order()
         self._depths: dict[str, int] | None = None
+        self._ancestor_sets: dict[str, frozenset[str]] | None = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -114,9 +115,35 @@ class Taxonomy:
     # -- closures ----------------------------------------------------------------
 
     def ancestors(self, term: str, include_self: bool = False) -> set[str]:
-        """All terms reachable upward from ``term``."""
+        """All terms reachable upward from ``term``.
+
+        Served from the memoized transitive closure: the first call
+        computes every term's ancestor set in one iterative pass along the
+        topological order (parents before children), so rollups that ask
+        for ancestors once per association — e.g.
+        :func:`repro.derived.subsumed.rollup_mapping` over a large GO
+        annotation mapping — no longer re-walk the DAG per association,
+        and deep IS_A chains carry no recursion-depth risk.
+        """
         self._require(term)
-        return self._reach(term, self._parents, include_self)
+        closure = self._ancestor_closure()[term]
+        if include_self:
+            return set(closure) | {term}
+        return set(closure)
+
+    def _ancestor_closure(self) -> dict[str, frozenset[str]]:
+        """Every term's full ancestor set, computed once, iteratively."""
+        if self._ancestor_sets is None:
+            sets: dict[str, frozenset[str]] = {}
+            for term in self._order:
+                parents = self._parents.get(term, ())
+                mine: set[str] = set()
+                for parent in parents:
+                    mine.add(parent)
+                    mine.update(sets[parent])
+                sets[term] = frozenset(mine)
+            self._ancestor_sets = sets
+        return self._ancestor_sets
 
     def descendants(self, term: str, include_self: bool = False) -> set[str]:
         """All terms reachable downward from ``term`` (the *subsumed*

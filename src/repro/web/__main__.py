@@ -23,6 +23,15 @@ def main(argv: list[str] | None = None) -> int:
         " default: 8). See docs/storage.md.",
     )
     parser.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="max entries in the mapping cache"
+             " (default: REPRO_CACHE_SIZE or 256; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the mapping cache (same as REPRO_CACHE=off)",
+    )
+    parser.add_argument(
         "--demo", action="store_true",
         help="populate an in-memory database with a synthetic universe",
     )
@@ -38,7 +47,12 @@ def main(argv: list[str] | None = None) -> int:
 
         get_tracer().enable()
 
-    genmapper = GenMapper(args.db, pool_size=args.pool_size)
+    genmapper = GenMapper(
+        args.db,
+        pool_size=args.pool_size,
+        cache_size=args.cache_size,
+        enable_cache=False if args.no_cache else None,
+    )
     if args.demo:
         import tempfile
 

@@ -17,10 +17,12 @@ Endpoint                              Returns
                                       ``{"query": "ANNOTATE ..."}`` or a
                                       structured spec (source/targets/...)
 ``POST /query/explain``               the query plan, without executing;
-                                      includes observed stage timings when
-                                      tracing is enabled
+                                      includes a ``cache`` block (per-stage
+                                      cache status) and observed stage
+                                      timings when tracing is enabled
 ``GET /stats``                        deployment statistics (Section 5)
-``GET /metrics``                      live counters/gauges/histograms
+``GET /metrics``                      live counters/gauges/histograms plus
+                                      a ``cache`` stats block
 ``GET /health``                       liveness probe (status + source count)
 ====================================  =========================================
 
@@ -40,6 +42,7 @@ import logging
 from collections.abc import Callable, Iterable
 from urllib.parse import parse_qs
 
+from repro.cache import MappingCache
 from repro.core.genmapper import GenMapper
 from repro.gam.enums import CombineMethod
 from repro.gam.errors import GenMapperError
@@ -129,7 +132,9 @@ def _route(
 
     if method == "GET":
         if segments == ["metrics"]:
-            return 200, registry.snapshot()
+            payload = registry.snapshot()
+            payload["cache"] = genmapper.cache_stats()
+            return 200, payload
         if segments == ["health"]:
             return 200, {
                 "status": "ok",
@@ -246,6 +251,7 @@ def _route_post(
                 for target in plan.targets
             ],
         }
+        payload["cache"] = _explain_cache(genmapper, spec)
         if tracer.enabled:
             # Observed per-stage latency summaries (seconds) collected by
             # the span instrumentation since tracing was enabled — the
@@ -262,6 +268,44 @@ def _route_post(
         "columns": list(view.columns),
         "rows": [list(row) for row in view.rows],
         "row_count": len(view),
+    }
+
+
+def _explain_cache(genmapper: GenMapper, spec: QuerySpec) -> dict:
+    """The explain response's cache block: per-target and whole-view
+    cache status against the *current* data generation, plus the cache's
+    live counters.  Probing is side-effect free (no hit/miss accounting).
+    """
+    cache = genmapper.cache
+    if cache is None:
+        return {"enabled": False}
+    label = "product"  # the default evidence combiner queries run with
+    targets = []
+    for target in spec.targets:
+        if target.via:
+            key = MappingCache.composed_key(
+                (spec.source, *target.via, target.name), label
+            )
+        else:
+            key = MappingCache.mapping_key(
+                spec.source, target.name, f"auto#{label}"
+            )
+        targets.append(
+            {"target": target.name, "cached": cache.is_cached(key)}
+        )
+    view_key = GenMapper.view_cache_key(
+        spec.source,
+        [target.to_target_spec() for target in spec.targets],
+        spec.accessions,
+        spec.combine,
+        "memory",
+        label,
+    )
+    return {
+        "enabled": True,
+        "targets": targets,
+        "view_cached": cache.is_cached(view_key),
+        "stats": cache.stats(),
     }
 
 

@@ -174,6 +174,85 @@ class TestQueryEndpoints:
         assert status == 400
 
 
+@pytest.fixture()
+def cached_app():
+    """The paper app with the cache force-enabled so these tests hold
+    under the CI ``REPRO_CACHE=off`` guard run."""
+    from repro.core.genmapper import GenMapper
+    from tests.conftest import GO_MINI_OBO, LOCUS_353_RECORD, UNIGENE_MINI
+
+    with GenMapper(enable_cache=True) as gm:
+        gm.integrate_text(LOCUS_353_RECORD, "LocusLink")
+        gm.integrate_text(GO_MINI_OBO, "GO")
+        gm.integrate_text(UNIGENE_MINI, "Unigene")
+        yield create_app(gm)
+
+
+class TestCacheSurface:
+    def test_metrics_includes_cache_block(self, cached_app):
+        status, payload = call(cached_app, "GET", "/metrics")
+        assert status == 200
+        cache = payload["cache"]
+        for field in ("hits", "misses", "evictions", "invalidations",
+                      "entries", "hit_ratio", "generation"):
+            assert field in cache
+
+    def test_metrics_cache_is_null_when_disabled(self):
+        from repro.core.genmapper import GenMapper
+
+        with GenMapper(enable_cache=False) as gm:
+            status, payload = call(create_app(gm), "GET", "/metrics")
+        assert status == 200
+        assert payload["cache"] is None
+
+    def test_explain_reports_cache_status(self, cached_app):
+        body = {"query": "ANNOTATE LocusLink WITH GO"}
+        status, payload = call(cached_app, "POST", "/query/explain", body=body)
+        assert status == 200
+        cache = payload["cache"]
+        assert cache["enabled"] is True
+        assert cache["targets"] == [{"target": "GO", "cached": False}]
+        assert cache["view_cached"] is False
+        # Running the query warms both the mapping and the rendered view.
+        status, __ = call(cached_app, "POST", "/query", body=body)
+        assert status == 200
+        __, payload = call(cached_app, "POST", "/query/explain", body=body)
+        cache = payload["cache"]
+        assert cache["targets"] == [{"target": "GO", "cached": True}]
+        assert cache["view_cached"] is True
+        assert cache["stats"]["entries"] >= 2
+
+    def test_explain_cache_block_when_disabled(self):
+        from repro.core.genmapper import GenMapper
+        from tests.conftest import GO_MINI_OBO, LOCUS_353_RECORD
+
+        with GenMapper(enable_cache=False) as gm:
+            gm.integrate_text(LOCUS_353_RECORD, "LocusLink")
+            gm.integrate_text(GO_MINI_OBO, "GO")
+            status, payload = call(
+                create_app(gm), "POST", "/query/explain",
+                body={"query": "ANNOTATE LocusLink WITH GO"},
+            )
+        assert status == 200
+        assert payload["cache"] == {"enabled": False}
+
+    def test_explain_probe_matches_via_paths(self, cached_app):
+        body = {
+            "source": "Unigene",
+            "targets": [{"name": "GO", "via": ["LocusLink"]}],
+            "combine": "OR",
+        }
+        __, payload = call(cached_app, "POST", "/query/explain", body=body)
+        assert payload["cache"]["targets"] == [
+            {"target": "GO", "cached": False}
+        ]
+        call(cached_app, "POST", "/query", body=body)
+        __, payload = call(cached_app, "POST", "/query/explain", body=body)
+        assert payload["cache"]["targets"] == [
+            {"target": "GO", "cached": True}
+        ]
+
+
 class TestStatsAndErrors:
     def test_stats(self, app):
         status, payload = call(app, "GET", "/stats")

@@ -106,6 +106,52 @@ def test_overlapping_query_and_map_requests(server):
     assert query_counts == {reference_query["row_count"]}
 
 
+def test_cold_cache_stampede_loads_once(tmp_path, universe_dir):
+    """Concurrent identical /map requests against a cold cache must run
+    the underlying database load exactly once (single-flight) and return
+    identical payloads.  Builds its own cache-enabled server so the test
+    also holds under the CI ``REPRO_CACHE=off`` guard run."""
+    gm = GenMapper(tmp_path / "gam.db", pool_size=4, enable_cache=True)
+    gm.integrate_directory(universe_dir)
+    calls = []
+    original = gm._map_uncached
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    gm._map_uncached = counting
+    app = create_app(gm)
+    try:
+        with make_threading_server("127.0.0.1", 0, app, quiet=True) as srv:
+            thread = threading.Thread(target=srv.serve_forever, daemon=True)
+            thread.start()
+            base = f"http://127.0.0.1:{srv.server_address[1]}"
+            try:
+                with ThreadPoolExecutor(
+                    max_workers=N_CLIENT_THREADS
+                ) as executor:
+                    results = list(
+                        executor.map(
+                            lambda _: _get(
+                                base, "/map?source=NetAffx&target=GO"
+                            ),
+                            range(N_CLIENT_THREADS),
+                        )
+                    )
+            finally:
+                srv.shutdown()
+                thread.join(5)
+        stats = gm.cache_stats()
+    finally:
+        gm.close()
+    assert {status for status, __ in results} == {200}
+    counts = {len(payload["associations"]) for __, payload in results}
+    assert len(counts) == 1
+    assert len(calls) == 1
+    assert stats["hits"] >= N_CLIENT_THREADS - 1
+
+
 def test_health_under_concurrent_load(server):
     base = server
 
