@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("path", help="native source file, .eav file, or directory")
     cmd.add_argument("--source", help="source name (chooses the parser)")
     cmd.add_argument("--release", help="release label for audit info")
+    cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="import up to N manifest sources concurrently"
+        " (directories only; default: REPRO_IMPORT_WORKERS or serial)",
+    )
 
     cmd = commands.add_parser(
         "parse", help="run only the Parse step: native file -> staged .eav"
@@ -285,7 +290,7 @@ def _cmd_demo(genmapper: GenMapper, args: argparse.Namespace) -> int:
 def _cmd_import(genmapper: GenMapper, args: argparse.Namespace) -> int:
     path = Path(args.path)
     if path.is_dir():
-        reports = genmapper.integrate_directory(path)
+        reports = genmapper.integrate_directory(path, workers=args.workers)
     elif path.suffix == ".eav":
         reports = [genmapper.pipeline.integrate_eav_file(path)]
     else:

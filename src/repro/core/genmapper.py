@@ -166,9 +166,16 @@ class GenMapper:
         self._invalidate_graph()
         return report
 
-    def integrate_directory(self, directory: str | Path) -> list[ImportReport]:
-        """Import every source listed in a directory's manifest."""
-        reports = self.pipeline.integrate_directory(directory)
+    def integrate_directory(
+        self, directory: str | Path, workers: int | None = None
+    ) -> list[ImportReport]:
+        """Import every source listed in a directory's manifest.
+
+        ``workers`` > 1 integrates sources concurrently over the
+        connection pool (see
+        :meth:`repro.importer.pipeline.IntegrationPipeline.integrate_directory`).
+        """
+        reports = self.pipeline.integrate_directory(directory, workers=workers)
         self._invalidate_graph()
         return reports
 

@@ -15,6 +15,7 @@ from repro.gam.records import Source, SourceRel
 from repro.gam.repository import GamRepository
 from repro.operators.compose import (
     EvidenceCombiner,
+    _sql_combiner_name,
     compose,
     materialization_rows,
     product_evidence,
@@ -46,13 +47,47 @@ def derive_composed(
     path: Sequence["str | Source"],
     combiner: EvidenceCombiner = product_evidence,
     materialize: bool = True,
+    engine: str = "auto",
 ) -> Mapping:
     """Compose along ``path`` and optionally materialize the result.
 
     The classic example: ``derive_composed(repo, ["Unigene", "LocusLink",
     "GO"])`` derives and stores Unigene ↔ GO.
+
+    ``engine`` selects the materialization strategy (mirroring
+    :func:`repro.operators.compose.compose`): with a named combiner the
+    derived associations are written by one ``INSERT ... SELECT`` chain
+    join inside SQLite (:func:`~repro.operators.sql_engine.materialize_composed_sql`)
+    instead of round-tripping accession lists through Python;
+    ``engine="memory"`` forces the seed's Python path and ``engine="sql"``
+    raises ``ValueError`` for ad-hoc combiners.  Both engines store
+    identical associations.
     """
-    mapping = compose(repository, path, combiner)
+    if engine not in ("auto", "sql", "memory"):
+        raise ValueError(f"unknown derive engine {engine!r}")
+    sql_combiner = _sql_combiner_name(combiner)
+    if engine == "sql" and sql_combiner is None:
+        raise ValueError(
+            "derive engine 'sql' requires a named combiner"
+            " (product_evidence or min_evidence)"
+        )
+    use_sql = sql_combiner is not None and engine in ("auto", "sql")
+    mapping = compose(
+        repository, path, combiner, engine="sql" if use_sql else "memory"
+    )
     if materialize and len(path) > 2:
-        materialize_mapping(repository, mapping, RelType.COMPOSED)
+        if use_sql:
+            from repro.operators.sql_engine import materialize_composed_sql
+
+            names = [
+                step.name if isinstance(step, Source) else str(step)
+                for step in path
+            ]
+            with repository.db.transaction():
+                rel = repository.ensure_source_rel(
+                    names[0], names[-1], RelType.COMPOSED
+                )
+                materialize_composed_sql(repository, names, sql_combiner, rel)
+        else:
+            materialize_mapping(repository, mapping, RelType.COMPOSED)
     return mapping

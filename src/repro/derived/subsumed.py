@@ -18,7 +18,7 @@ Two operations are provided:
 from __future__ import annotations
 
 from repro.gam.enums import RelType
-from repro.gam.errors import UnknownMappingError
+from repro.gam.errors import GamIntegrityError, UnknownMappingError
 from repro.gam.records import Source, SourceRel
 from repro.gam.repository import GamRepository
 from repro.operators.mapping import Mapping
@@ -54,14 +54,26 @@ def subsumed_mapping(
 
 
 def derive_subsumed(
-    repository: GamRepository, source: "str | Source"
+    repository: GamRepository, source: "str | Source", engine: str = "auto"
 ) -> tuple[SourceRel, int]:
     """Materialize the Subsumed relationship of a source in the database.
 
     Returns the source relationship and the number of associations stored.
     Re-running is idempotent (associations are deduplicated by key).
+
+    With ``engine="auto"`` or ``"sql"`` the transitive closure is computed
+    and written by one recursive-CTE ``INSERT ... SELECT`` inside SQLite —
+    the IS_A edges never round-trip through a Python
+    :class:`~repro.taxonomy.dag.Taxonomy`; ``engine="memory"`` forces the
+    seed's Python path.  Both engines store identical associations and
+    both reject cyclic IS_A structures with
+    :class:`~repro.gam.errors.GamIntegrityError`.
     """
+    if engine not in ("auto", "sql", "memory"):
+        raise ValueError(f"unknown derive engine {engine!r}")
     src = repository.get_source(source)
+    if engine in ("auto", "sql"):
+        return _derive_subsumed_sql(repository, src)
     mapping = subsumed_mapping(repository, src)
     with repository.db.transaction():
         rel = repository.ensure_source_rel(src, src, RelType.SUBSUMED)
@@ -72,6 +84,57 @@ def derive_subsumed(
                 for assoc in mapping
             ],
         )
+    return rel, inserted
+
+
+def _derive_subsumed_sql(
+    repository: GamRepository, src: Source
+) -> tuple[SourceRel, int]:
+    """The recursive-CTE pushdown behind :func:`derive_subsumed`.
+
+    IS_A associations are stored child→parent (``object1_id`` is the
+    child); Subsumed pairs run ancestor→descendant.  The seed base is
+    every reversed IS_A edge and the recursion extends each pair one more
+    IS_A level downward.  ``UNION`` (not ``UNION ALL``) deduplicates
+    visited pairs, so the recursion terminates even on cyclic input — a
+    cycle instead shows up as a self-subsumed term, which is detected
+    afterwards inside the same transaction and rolls everything back.
+    """
+    is_a_rels = repository.find_source_rels(src, src, RelType.IS_A)
+    if not is_a_rels:
+        raise UnknownMappingError(src.name, src.name, "no IS_A structure stored")
+    rel_ids = tuple(rel.src_rel_id for rel in is_a_rels)
+    placeholders = ", ".join("?" for _ in rel_ids)
+    sql = (
+        "INSERT OR IGNORE INTO object_rel"
+        " (src_rel_id, object1_id, object2_id, evidence)"
+        " WITH RECURSIVE closure(ancestor, descendant) AS ("
+        f"   SELECT object2_id, object1_id FROM object_rel"
+        f"    WHERE src_rel_id IN ({placeholders})"
+        "   UNION"
+        "   SELECT closure.ancestor, edge.object1_id"
+        "     FROM closure JOIN object_rel edge"
+        "       ON edge.object2_id = closure.descendant"
+        f"      AND edge.src_rel_id IN ({placeholders})"
+        " )"
+        " SELECT ?, ancestor, descendant, 1.0 FROM closure"
+    )
+    with repository.db.transaction():
+        rel = repository.ensure_source_rel(src, src, RelType.SUBSUMED)
+        cursor = repository.db.execute(
+            sql, (*rel_ids, *rel_ids, rel.src_rel_id)
+        )
+        inserted = max(cursor.rowcount, 0)
+        cyclic = repository.db.execute_read(
+            "SELECT 1 FROM object_rel"
+            " WHERE src_rel_id = ? AND object1_id = object2_id LIMIT 1",
+            (rel.src_rel_id,),
+        ).fetchone()
+        if cyclic is not None:
+            raise GamIntegrityError(
+                f"IS_A structure of {src.name!r} contains a cycle"
+                " (self-subsumption detected)"
+            )
     return rel, inserted
 
 

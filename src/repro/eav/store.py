@@ -1,17 +1,111 @@
-"""An in-memory container for parsed EAV rows with simple query helpers.
+"""An in-memory container for parsed EAV rows with indexed query helpers.
 
 The Parse step produces an :class:`EavDataset` per source; the Import step
 consumes it.  The dataset also answers the questions the importer asks:
 which entities exist, which targets occur, and which rows belong to a given
-target.
+target or entity.
+
+Those questions used to be answered by scanning the full row list per
+call, which made the Import step quadratic on structure-heavy sources
+(every entity's partition check re-scanned every row).  The dataset now
+maintains lazily built indexes — per-target row lists, per-entity row
+lists, entity/target first-seen orderings and the partition-entity set —
+built in one pass over the rows and invalidated by mutation, so every
+importer lookup is O(1) amortized.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 
-from repro.eav.model import RESERVED_TARGETS, EavRow
+from repro.eav.model import CONTAINS_TARGET, RESERVED_TARGETS, EavRow
+
+
+class EavRowsView(Sequence):
+    """A read-only, zero-copy view of a dataset's row list.
+
+    Supports everything a list of rows supports for reading (iteration,
+    indexing, slicing, ``len``, membership, equality against any sequence)
+    but cannot be mutated — appends must go through the owning dataset so
+    its indexes stay coherent.  The view is *live*: rows appended to the
+    dataset afterwards are visible through it.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: list[EavRow]) -> None:
+        self._rows = rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[EavRow]:
+        return iter(self._rows)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return tuple(self._rows[index])
+        return self._rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EavRowsView):
+            return self._rows == other._rows
+        if isinstance(other, list):
+            return self._rows == other
+        if isinstance(other, tuple):
+            return tuple(self._rows) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"EavRowsView({self._rows!r})"
+
+
+class _DatasetIndex:
+    """All per-dataset lookup structures, built in one pass."""
+
+    __slots__ = (
+        "by_target",
+        "by_entity",
+        "entity_order",
+        "target_order",
+        "partition_entities",
+        "reduced_evidence_targets",
+    )
+
+    def __init__(self, rows: list[EavRow]) -> None:
+        by_target: dict[str, list[EavRow]] = {}
+        by_entity: dict[str, list[EavRow]] = {}
+        # An entity whose rows are *all* CONTAINS rows names a partition
+        # sub-source (e.g. GO.BiologicalProcess), not an object.
+        all_contains: dict[str, bool] = {}
+        reduced: set[str] = set()
+        for row in rows:
+            target_rows = by_target.get(row.target)
+            if target_rows is None:
+                target_rows = by_target[row.target] = []
+            target_rows.append(row)
+            entity_rows = by_entity.get(row.entity)
+            if entity_rows is None:
+                entity_rows = by_entity[row.entity] = []
+                all_contains[row.entity] = True
+            entity_rows.append(row)
+            if row.target != CONTAINS_TARGET:
+                all_contains[row.entity] = False
+            if row.evidence < 1.0:
+                reduced.add(row.target)
+        self.by_target = {
+            target: tuple(target_rows) for target, target_rows in by_target.items()
+        }
+        self.by_entity = {
+            entity: tuple(entity_rows) for entity, entity_rows in by_entity.items()
+        }
+        self.entity_order = list(by_entity)
+        self.target_order = list(by_target)
+        self.partition_entities = frozenset(
+            entity for entity, flag in all_contains.items() if flag
+        )
+        self.reduced_evidence_targets = frozenset(reduced)
 
 
 class EavDataset:
@@ -37,14 +131,24 @@ class EavDataset:
         self.source_name = source_name
         self.release = release
         self._rows: list[EavRow] = list(rows)
+        self._index: _DatasetIndex | None = None
+        self._view: EavRowsView | None = None
 
     def append(self, row: EavRow) -> None:
-        """Add one parsed annotation."""
+        """Add one parsed annotation (invalidates the lookup indexes)."""
         self._rows.append(row)
+        self._index = None
 
     def extend(self, rows: Iterable[EavRow]) -> None:
-        """Add many parsed annotations."""
+        """Add many parsed annotations (invalidates the lookup indexes)."""
         self._rows.extend(rows)
+        self._index = None
+
+    def _indexed(self) -> _DatasetIndex:
+        """The lookup index, (re)built lazily after mutations."""
+        if self._index is None:
+            self._index = _DatasetIndex(self._rows)
+        return self._index
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -62,39 +166,53 @@ class EavDataset:
         )
 
     @property
-    def rows(self) -> list[EavRow]:
-        """All rows in parse order."""
-        return list(self._rows)
+    def rows(self) -> EavRowsView:
+        """All rows in parse order, as a read-only zero-copy view."""
+        if self._view is None:
+            self._view = EavRowsView(self._rows)
+        return self._view
 
     def entities(self) -> list[str]:
         """Distinct entity accessions in first-seen order."""
-        seen: dict[str, None] = {}
-        for row in self._rows:
-            seen.setdefault(row.entity, None)
-        return list(seen)
+        return list(self._indexed().entity_order)
 
     def targets(self) -> list[str]:
         """Distinct target names in first-seen order, reserved ones included."""
-        seen: dict[str, None] = {}
-        for row in self._rows:
-            seen.setdefault(row.target, None)
-        return list(seen)
+        return list(self._indexed().target_order)
 
     def annotation_targets(self) -> list[str]:
         """Targets that become cross-source mappings on import."""
-        return [t for t in self.targets() if t not in RESERVED_TARGETS]
+        return [t for t in self._indexed().target_order if t not in RESERVED_TARGETS]
 
-    def rows_for_target(self, target: str) -> list[EavRow]:
+    def rows_for_target(self, target: str) -> tuple[EavRow, ...]:
         """All rows annotating entities with the given target."""
-        return [row for row in self._rows if row.target == target]
+        return self._indexed().by_target.get(target, ())
 
-    def rows_for_entity(self, entity: str) -> list[EavRow]:
+    def rows_for_entity(self, entity: str) -> tuple[EavRow, ...]:
         """All rows annotating one entity, in parse order."""
-        return [row for row in self._rows if row.entity == entity]
+        return self._indexed().by_entity.get(entity, ())
+
+    def partition_entities(self) -> frozenset[str]:
+        """Entities that name CONTAINS partitions rather than objects.
+
+        A CONTAINS row uses the partition name (e.g. ``GO.BiologicalProcess``)
+        as its entity; an entity *all* of whose rows are CONTAINS rows is a
+        partition sub-source, not an object of the parsed source.  Computed
+        once in the index pass — the importer's per-entity scan used to make
+        this check quadratic on structure-heavy sources.
+        """
+        return self._indexed().partition_entities
+
+    def has_reduced_evidence(self, target: str) -> bool:
+        """True when any row of this target carries evidence < 1.0."""
+        return target in self._indexed().reduced_evidence_targets
 
     def target_counts(self) -> Counter[str]:
         """Number of rows per target — handy for parser diagnostics."""
-        return Counter(row.target for row in self._rows)
+        index = self._indexed()
+        return Counter(
+            {target: len(index.by_target[target]) for target in index.target_order}
+        )
 
     def summary(self) -> str:
         """One-line description used by the CLI and logs."""

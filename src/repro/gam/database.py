@@ -34,9 +34,10 @@ stale cached mappings without any explicit flush call.
 from __future__ import annotations
 
 import contextlib
+import itertools
 import sqlite3
 import threading
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.gam import schema as gam_schema
@@ -170,6 +171,54 @@ class GamDatabase:
             connection.commit()
             self.bump_generation()
             return cursor
+
+    def executemany_counted(
+        self,
+        sql: str,
+        rows: Iterable[tuple],
+        chunk_size: int = 10_000,
+    ) -> int:
+        """Run a write statement per row and return the rows it changed.
+
+        The concurrency-safe insert counter behind the bulk-ingest path
+        (``docs/performance.md``): after ``executemany`` the cursor's
+        ``rowcount`` sums only rows the statement actually changed — an
+        ``INSERT OR IGNORE`` that hits the unique index contributes zero —
+        so the result is exact regardless of what pool-sibling writers do
+        to the table in between, unlike a before/after ``COUNT(*)`` delta.
+
+        ``rows`` may be any iterable, including a generator: it is drained
+        in chunks of ``chunk_size`` so parser output can stream through
+        without materializing an intermediate list.  Like
+        :meth:`executemany`, the batch joins an open :meth:`transaction`
+        or wraps itself in one ``BEGIN IMMEDIATE`` block.
+        """
+        connection = self.pool.acquire()
+        iterator = iter(rows)
+
+        def _drain() -> int:
+            changed = 0
+            while True:
+                chunk = list(itertools.islice(iterator, chunk_size))
+                if not chunk:
+                    return changed
+                cursor = connection.executemany(sql, chunk)
+                changed += max(cursor.rowcount, 0)
+
+        with self._write_lock:
+            if connection.in_transaction:
+                changed = _drain()
+                self.bump_generation()
+                return changed
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                changed = _drain()
+            except BaseException:
+                connection.rollback()
+                raise
+            connection.commit()
+            self.bump_generation()
+            return changed
 
     @contextlib.contextmanager
     def transaction(self) -> Iterator[sqlite3.Connection]:

@@ -17,8 +17,10 @@ Duplicate elimination (paper Section 4.1) lives here:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-from collections.abc import Iterable, Sequence
+import threading
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.gam.database import GamDatabase
 from repro.gam.enums import MAPPING_TYPES, RelType, SourceContent, SourceStructure
@@ -38,12 +40,70 @@ ObjectRow = Sequence[object]
 #: (accession1, accession2, evidence).
 AssociationRow = Sequence[object]
 
+#: Accessions per ``WHERE accession IN (...)`` chunk when fetching ids of
+#: freshly inserted objects back into the bulk cache (well under SQLite's
+#: bound-parameter limit).
+_ID_FETCH_CHUNK = 500
+
 
 class GamRepository:
     """Typed access to one GAM database."""
 
     def __init__(self, db: GamDatabase) -> None:
         self.db = db
+        self._bulk = threading.local()
+
+    # -- bulk-import scope -------------------------------------------------
+
+    @contextlib.contextmanager
+    def bulk_import(self) -> Iterator[None]:
+        """Scope in which accession→id maps are cached per source.
+
+        Inside the scope, :meth:`add_objects` and :meth:`add_associations`
+        share one accession→id map per source, loaded once and updated
+        incrementally as objects are inserted — instead of re-reading the
+        whole object table per annotation target, which dominated import
+        time on wide sources.  The cache is thread-local, so concurrent
+        imports on pool siblings never observe each other's partial state;
+        reentrant scopes share the outermost cache.
+        """
+        depth = getattr(self._bulk, "depth", 0)
+        if depth == 0:
+            self._bulk.ids = {}
+        self._bulk.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._bulk.depth = depth
+            if depth == 0:
+                del self._bulk.ids
+
+    def _bulk_ids(self) -> "dict[int, dict[str, int]] | None":
+        """This thread's bulk cache, or None outside a bulk scope."""
+        if getattr(self._bulk, "depth", 0) > 0:
+            return self._bulk.ids
+        return None
+
+    def _accession_ids(self, source_id: int) -> dict[str, int]:
+        """Accession→object_id map for a source, cached in bulk scope.
+
+        Callers must treat the result as read-only: inside a bulk scope it
+        is the live cache that :meth:`add_objects` appends to.
+        """
+        cache = self._bulk_ids()
+        if cache is None:
+            return self._load_accession_ids(source_id)
+        ids = cache.get(source_id)
+        if ids is None:
+            ids = cache[source_id] = self._load_accession_ids(source_id)
+        return ids
+
+    def _load_accession_ids(self, source_id: int) -> dict[str, int]:
+        rows = self.db.execute_read(
+            "SELECT accession, object_id FROM object WHERE source_id = ?",
+            (source_id,),
+        ).fetchall()
+        return {row[0]: row[1] for row in rows}
 
     # -- sources ---------------------------------------------------------
 
@@ -180,22 +240,60 @@ class GamRepository:
         were actually inserted (duplicates are eliminated by accession).
         """
         src = self.get_source(source)
-        normalized = []
+        cache = self._bulk_ids()
+        known = self._accession_ids(src.source_id)
+        # Split offered rows into genuinely new accessions (insert pass,
+        # counted from the write cursor) and enrichment of existing ones
+        # (coalesce-update pass).  Together the two passes reproduce the
+        # seed's upsert exactly — new non-null text/number overwrites, null
+        # keeps the stored value, later in-batch rows win — while the
+        # insert count comes from ``rowcount`` instead of before/after
+        # ``COUNT(*)`` scans a pool-sibling writer could skew.
+        inserts: list[tuple] = []
+        updates: list[tuple] = []
+        fresh: set[str] = set()
         for row in rows:
             accession = str(row[0])
             text = row[1] if len(row) > 1 else None
             number = row[2] if len(row) > 2 else None
-            normalized.append((src.source_id, accession, text, number))
-        before = self._object_count(src.source_id)
-        self.db.executemany(
-            "INSERT INTO object (source_id, accession, text, number)"
-            " VALUES (?, ?, ?, ?)"
-            " ON CONFLICT (source_id, accession) DO UPDATE SET"
-            "   text = coalesce(excluded.text, object.text),"
-            "   number = coalesce(excluded.number, object.number)",
-            normalized,
-        )
-        return self._object_count(src.source_id) - before
+            if accession in known or accession in fresh:
+                if text is not None or number is not None:
+                    updates.append((text, number, src.source_id, accession))
+            else:
+                fresh.add(accession)
+                inserts.append((src.source_id, accession, text, number))
+        with self.db.transaction():
+            inserted = self.db.executemany_counted(
+                "INSERT OR IGNORE INTO object (source_id, accession, text, number)"
+                " VALUES (?, ?, ?, ?)",
+                inserts,
+            )
+            if updates:
+                self.db.executemany(
+                    "UPDATE object SET text = coalesce(?, text),"
+                    " number = coalesce(?, number)"
+                    " WHERE source_id = ? AND accession = ?",
+                    updates,
+                )
+            if cache is not None and fresh:
+                self._fetch_new_ids(known, src.source_id, fresh)
+        return inserted
+
+    def _fetch_new_ids(
+        self, ids: dict[str, int], source_id: int, accessions: Iterable[str]
+    ) -> None:
+        """Pull ids of freshly inserted accessions into the bulk cache."""
+        pending = list(accessions)
+        for start in range(0, len(pending), _ID_FETCH_CHUNK):
+            chunk = pending[start : start + _ID_FETCH_CHUNK]
+            placeholders = ", ".join("?" for _ in chunk)
+            rows = self.db.execute_read(
+                "SELECT accession, object_id FROM object"
+                f" WHERE source_id = ? AND accession IN ({placeholders})",
+                (source_id, *chunk),
+            ).fetchall()
+            for row in rows:
+                ids[row[0]] = row[1]
 
     def _object_count(self, source_id: int) -> int:
         row = self.db.execute(
@@ -246,6 +344,8 @@ class GamRepository:
     def accessions_of(self, source: "int | str | Source") -> set[str]:
         """The accession set of a source."""
         src = self.get_source(source)
+        if self._bulk_ids() is not None:
+            return set(self._accession_ids(src.source_id))
         rows = self.db.execute(
             "SELECT accession FROM object WHERE source_id = ?", (src.source_id,)
         ).fetchall()
@@ -389,36 +489,45 @@ class GamRepository:
         relationship's two endpoint sources.  With ``strict=True`` an
         unknown accession raises :class:`GamIntegrityError`; otherwise the
         row is skipped.  Returns the number of associations inserted
-        (existing pairs are left untouched).
+        (existing pairs are left untouched; the count comes from the write
+        cursor, so concurrent writers cannot skew it).
+
+        ``rows`` may be a generator: resolution streams into chunked
+        ``executemany`` batches without materializing the resolved list.
         """
-        ids1 = self.accession_to_id(rel.source1_id)
+        ids1 = self._accession_ids(rel.source1_id)
         ids2 = (
             ids1
             if rel.source2_id == rel.source1_id
-            else self.accession_to_id(rel.source2_id)
+            else self._accession_ids(rel.source2_id)
         )
-        resolved = []
-        for row in rows:
-            acc1, acc2 = str(row[0]), str(row[1])
-            evidence = float(row[2]) if len(row) > 2 else 1.0
-            id1 = ids1.get(acc1)
-            id2 = ids2.get(acc2)
-            if id1 is None or id2 is None:
-                if strict:
-                    missing = acc1 if id1 is None else acc2
-                    raise GamIntegrityError(
-                        f"association references unknown accession {missing!r}"
-                        f" (source_rel {rel.src_rel_id})"
-                    )
-                continue
-            resolved.append((rel.src_rel_id, id1, id2, evidence))
-        before = self.count_associations(rel)
-        self.db.executemany(
-            "INSERT OR IGNORE INTO object_rel"
-            " (src_rel_id, object1_id, object2_id, evidence) VALUES (?, ?, ?, ?)",
-            resolved,
-        )
-        return self.count_associations(rel) - before
+
+        def _resolved() -> Iterator[tuple]:
+            for row in rows:
+                acc1, acc2 = str(row[0]), str(row[1])
+                evidence = float(row[2]) if len(row) > 2 else 1.0
+                id1 = ids1.get(acc1)
+                id2 = ids2.get(acc2)
+                if id1 is None or id2 is None:
+                    if strict:
+                        missing = acc1 if id1 is None else acc2
+                        raise GamIntegrityError(
+                            f"association references unknown accession {missing!r}"
+                            f" (source_rel {rel.src_rel_id})"
+                        )
+                    continue
+                yield (rel.src_rel_id, id1, id2, evidence)
+
+        # The transaction (a savepoint when nested) keeps the seed's
+        # all-or-nothing contract: a strict resolution error mid-stream
+        # rolls back any chunks already written.
+        with self.db.transaction():
+            return self.db.executemany_counted(
+                "INSERT OR IGNORE INTO object_rel"
+                " (src_rel_id, object1_id, object2_id, evidence)"
+                " VALUES (?, ?, ?, ?)",
+                _resolved(),
+            )
 
     def count_associations(self, rel: SourceRel | None = None) -> int:
         """Number of object associations, optionally for one relationship."""

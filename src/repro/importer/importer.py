@@ -91,7 +91,7 @@ class GamImporter:
         tracer = get_tracer()
         with tracer.span(
             "pipeline.import", source=dataset.source_name, rows=len(dataset)
-        ) as import_span, repo.db.transaction():
+        ) as import_span, repo.db.transaction(), repo.bulk_import():
             source = repo.add_source(
                 dataset.source_name,
                 content=content,
@@ -150,28 +150,21 @@ class GamImporter:
         """Insert the parsed entities, enriched with Name/Number rows."""
         texts: dict[str, str] = {}
         numbers: dict[str, float] = {}
-        for row in dataset:
-            if row.target == NAME_TARGET and row.text:
+        for row in dataset.rows_for_target(NAME_TARGET):
+            if row.text:
                 texts.setdefault(row.entity, row.text)
-            elif row.target == NUMBER_TARGET and row.number is not None:
+        for row in dataset.rows_for_target(NUMBER_TARGET):
+            if row.number is not None:
                 numbers.setdefault(row.entity, row.number)
-        entity_rows = [
+        # CONTAINS rows use the partition name as their entity; the
+        # partition is a source, not an object of the parsed source.
+        partitions = dataset.partition_entities()
+        entity_rows = (
             (entity, texts.get(entity), numbers.get(entity))
             for entity in dataset.entities()
-            # CONTAINS rows use the partition name as their entity; the
-            # partition is a source, not an object of the parsed source.
-            if not self._is_partition_entity(entity, dataset)
-        ]
-        return self.repository.add_objects(source, entity_rows)
-
-    @staticmethod
-    def _is_partition_entity(entity: str, dataset: EavDataset) -> bool:
-        return any(
-            row.entity == entity and row.target == CONTAINS_TARGET
-            for row in dataset.rows_for_entity(entity)
-        ) and all(
-            row.target == CONTAINS_TARGET for row in dataset.rows_for_entity(entity)
+            if entity not in partitions
         )
+        return self.repository.add_objects(source, entity_rows)
 
     def _import_target(
         self, source: Source, dataset: EavDataset, target: str
@@ -195,12 +188,12 @@ class GamImporter:
                 object_rows[row.accession] = (row.accession, row.text, row.number)
         inserted_objects = repo.add_objects(target_source, object_rows.values())
         rel_type = info.rel_type
-        if rel_type == RelType.FACT and any(row.evidence < 1.0 for row in rows):
+        if rel_type == RelType.FACT and dataset.has_reduced_evidence(target):
             rel_type = RelType.SIMILARITY
         rel = repo.ensure_source_rel(source, target_source, rel_type)
-        association_rows = [
+        association_rows = (
             (row.entity, row.accession, row.evidence) for row in rows
-        ]
+        )
         inserted_assocs = repo.add_associations(rel, association_rows, strict=True)
         return inserted_objects, inserted_assocs
 
@@ -229,6 +222,10 @@ class GamImporter:
             by_partition: dict[str, list[str]] = defaultdict(list)
             for row in contains_rows:
                 by_partition[row.entity].append(row.accession)
+            # Partition members must exist as objects of the parsed source;
+            # the loop below only writes to the partition sources, so the
+            # parsed source's accession set is loop-invariant.
+            known = repo.accessions_of(source)
             for partition_name, members in sorted(by_partition.items()):
                 partition = repo.add_source(
                     partition_name,
@@ -236,7 +233,6 @@ class GamImporter:
                     structure=SourceStructure.NETWORK,
                 )
                 repo.add_objects(partition, [(member,) for member in members])
-                known = repo.accessions_of(source)
                 rel = repo.ensure_source_rel(source, partition, RelType.CONTAINS)
                 member_rows = []
                 for member in members:

@@ -54,6 +54,84 @@ def resolve_hop_rel(
     return rel, forward
 
 
+class _ChainJoinPlan:
+    """The shared skeleton of a pushed-down mapping-path chain join.
+
+    Built once per statement by :func:`_chain_join_plan` and rendered two
+    ways: as a SELECT returning accession pairs (:func:`compose_sql`) and
+    as an ``INSERT ... SELECT`` writing object-id pairs straight into
+    ``object_rel`` (:func:`materialize_composed_sql`).
+    """
+
+    __slots__ = (
+        "first_rel",
+        "start_expr",
+        "end_expr",
+        "joins",
+        "join_parameters",
+        "chain_evidence",
+    )
+
+    def __init__(self, first_rel, start_expr, end_expr, joins,
+                 join_parameters, chain_evidence) -> None:
+        self.first_rel = first_rel
+        self.start_expr = start_expr
+        self.end_expr = end_expr
+        self.joins = joins
+        self.join_parameters = join_parameters
+        self.chain_evidence = chain_evidence
+
+
+def _chain_join_plan(
+    repository: GamRepository, steps: Sequence[str], combiner: str
+) -> _ChainJoinPlan:
+    """Resolve a mapping path into the chain-join FROM clause.
+
+    Hop 1 anchors the FROM clause; its rel id binds in the WHERE, so the
+    JOIN parameters (hops 2..n) come first to match the statement text.
+    """
+    if combiner not in ("product", "min"):
+        raise ValueError(f"no SQL pushdown for combiner {combiner!r}")
+    first_rel, first_forward = resolve_hop_rel(repository, steps[0], steps[1])
+    start_column = "object1_id" if first_forward else "object2_id"
+    prev_end = "object2_id" if first_forward else "object1_id"
+    joins = ["object_rel r1"]
+    join_parameters: list = []
+    evidence_terms = ["r1.evidence"]
+    for hop_index, (step_source, step_target) in enumerate(
+        zip(steps[1:], steps[2:]), start=2
+    ):
+        rel, forward = resolve_hop_rel(repository, step_source, step_target)
+        this = f"r{hop_index}"
+        near = "object1_id" if forward else "object2_id"
+        far = "object2_id" if forward else "object1_id"
+        joins.append(
+            f"JOIN object_rel {this} ON {this}.{near} ="
+            f" r{hop_index - 1}.{prev_end}"
+            f" AND {this}.src_rel_id = ?"
+        )
+        join_parameters.append(rel.src_rel_id)
+        evidence_terms.append(f"{this}.evidence")
+        prev_end = far
+    if combiner == "product":
+        chain_evidence = " * ".join(evidence_terms)
+    else:
+        chain_evidence = (
+            evidence_terms[0]
+            if len(evidence_terms) == 1
+            else f"min({', '.join(evidence_terms)})"
+        )
+    last = f"r{len(steps) - 1}"
+    return _ChainJoinPlan(
+        first_rel=first_rel,
+        start_expr=f"r1.{start_column}",
+        end_expr=f"{last}.{prev_end}",
+        joins=joins,
+        join_parameters=join_parameters,
+        chain_evidence=chain_evidence,
+    )
+
+
 def compose_sql(
     repository: GamRepository,
     path: Sequence[str],
@@ -78,8 +156,6 @@ def compose_sql(
     """
     if len(path) < 2:
         raise ValueError("a mapping path needs at least two sources")
-    if combiner not in ("product", "min"):
-        raise ValueError(f"no SQL pushdown for combiner {combiner!r}")
     steps = [str(step) for step in path]
     source = repository.get_source(steps[0])
     target = repository.get_source(steps[-1])
@@ -89,51 +165,20 @@ def compose_sql(
         hops=len(steps) - 1,
         engine="sql",
     ) as span:
-        # Hop 1 anchors the FROM clause; its rel id binds in the WHERE, so
-        # collect JOIN parameters (hops 2..n) first to match text order.
-        first_rel, first_forward = resolve_hop_rel(repository, steps[0], steps[1])
-        start_column = "object1_id" if first_forward else "object2_id"
-        prev_end = "object2_id" if first_forward else "object1_id"
-        joins = ["object_rel r1"]
-        join_parameters: list = []
-        evidence_terms = ["r1.evidence"]
-        for hop_index, (step_source, step_target) in enumerate(
-            zip(steps[1:], steps[2:]), start=2
-        ):
-            rel, forward = resolve_hop_rel(repository, step_source, step_target)
-            this = f"r{hop_index}"
-            near = "object1_id" if forward else "object2_id"
-            far = "object2_id" if forward else "object1_id"
-            joins.append(
-                f"JOIN object_rel {this} ON {this}.{near} ="
-                f" r{hop_index - 1}.{prev_end}"
-                f" AND {this}.src_rel_id = ?"
-            )
-            join_parameters.append(rel.src_rel_id)
-            evidence_terms.append(f"{this}.evidence")
-            prev_end = far
-        if combiner == "product":
-            chain_evidence = " * ".join(evidence_terms)
-        else:
-            chain_evidence = (
-                evidence_terms[0]
-                if len(evidence_terms) == 1
-                else f"min({', '.join(evidence_terms)})"
-            )
-        last = f"r{len(steps) - 1}"
+        plan = _chain_join_plan(repository, steps, combiner)
         sql = (
             "SELECT so.accession AS src, to_.accession AS tgt,"
-            f" max({chain_evidence}) AS evidence FROM "
-            + "\n  ".join(joins)
-            + f"\n  JOIN object so ON so.object_id = r1.{start_column}"
-            + f"\n  JOIN object to_ ON to_.object_id = {last}.{prev_end}"
+            f" max({plan.chain_evidence}) AS evidence FROM "
+            + "\n  ".join(plan.joins)
+            + f"\n  JOIN object so ON so.object_id = {plan.start_expr}"
+            + f"\n  JOIN object to_ ON to_.object_id = {plan.end_expr}"
             + "\n  WHERE r1.src_rel_id = ?"
             + "\n  GROUP BY so.accession, to_.accession"
         )
         rows = repository.db.execute_read(
-            sql, (*join_parameters, first_rel.src_rel_id)
+            sql, (*plan.join_parameters, plan.first_rel.src_rel_id)
         ).fetchall()
-        rel_type = first_rel.type if len(steps) == 2 else RelType.COMPOSED
+        rel_type = plan.first_rel.type if len(steps) == 2 else RelType.COMPOSED
         mapping = Mapping.build(
             source.name,
             target.name,
@@ -142,6 +187,41 @@ def compose_sql(
         )
         span.tag(associations=len(mapping))
     return mapping
+
+
+def materialize_composed_sql(
+    repository: GamRepository,
+    path: Sequence[str],
+    combiner: str,
+    rel: SourceRel,
+) -> int:
+    """Materialize a composed path as one ``INSERT ... SELECT``.
+
+    The same chain join :func:`compose_sql` runs, but grouped on object
+    ids and written straight into ``object_rel`` under ``rel`` — the
+    derived associations never round-trip through Python accession lists.
+    ``INSERT OR IGNORE`` keeps re-materialization idempotent; the returned
+    count comes from the write cursor's ``rowcount`` (only actually
+    inserted rows count), mirroring
+    :meth:`~repro.gam.repository.GamRepository.add_associations`.
+    """
+    if len(path) < 3:
+        raise ValueError("materializing a composed path needs at least one hop")
+    steps = [str(step) for step in path]
+    plan = _chain_join_plan(repository, steps, combiner)
+    sql = (
+        "INSERT OR IGNORE INTO object_rel"
+        " (src_rel_id, object1_id, object2_id, evidence)"
+        f" SELECT ?, {plan.start_expr}, {plan.end_expr},"
+        f" max({plan.chain_evidence}) FROM "
+        + "\n  ".join(plan.joins)
+        + "\n  WHERE r1.src_rel_id = ?"
+        + f"\n  GROUP BY {plan.start_expr}, {plan.end_expr}"
+    )
+    cursor = repository.db.execute(
+        sql, (rel.src_rel_id, *plan.join_parameters, plan.first_rel.src_rel_id)
+    )
+    return max(cursor.rowcount, 0)
 
 
 class SqlViewEngine:

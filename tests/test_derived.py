@@ -48,8 +48,10 @@ class TestSubsumed:
     def test_derive_subsumed_round_trips_evidence(
         self, paper_genmapper, monkeypatch
     ):
-        # Regression: materialization used to drop each association's
-        # evidence, silently resetting it to the column default.
+        # Regression: the in-memory materialization path used to drop each
+        # association's evidence, silently resetting it to the column
+        # default.  Pinned to engine="memory": that is the path flowing
+        # through the monkeypatched subsumed_mapping.
         repository = paper_genmapper.repository
         weighted = Mapping.build(
             "GO", "GO",
@@ -63,7 +65,7 @@ class TestSubsumed:
             "repro.derived.subsumed.subsumed_mapping",
             lambda repo, src: weighted,
         )
-        rel, inserted = derive_subsumed(repository, "GO")
+        rel, inserted = derive_subsumed(repository, "GO", engine="memory")
         assert inserted == 2
         stored = {
             (assoc.source_accession, assoc.target_accession): assoc.evidence
