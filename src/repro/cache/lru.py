@@ -41,12 +41,16 @@ class _Flight:
 
 
 class _Entry:
-    __slots__ = ("value", "generation", "size")
+    __slots__ = ("value", "generation", "size", "stale")
 
     def __init__(self, value: object, generation: int, size: int) -> None:
         self.value = value
         self.generation = generation
         self.size = size
+        #: Set when a newer generation first observes this entry.  Stale
+        #: entries stay resident (until replaced or evicted) so degraded
+        #: mode can serve them when the database is unavailable.
+        self.stale = False
 
 
 class LruCacheStats:
@@ -146,12 +150,16 @@ class GenerationalLru:
             with self._lock:
                 entry = self._entries.get(key)
                 if entry is not None:
-                    if entry.generation == generation:
+                    if entry.generation == generation and not entry.stale:
                         self._entries.move_to_end(key)
                         self._hits += 1
                         return entry.value, True
-                    self._drop_locked(key)
-                    self._invalidations += 1
+                    # Keep the stale value resident (it is the degraded-mode
+                    # fallback — see stale_value()); a successful reload
+                    # replaces it.  Count the invalidation only once.
+                    if not entry.stale:
+                        entry.stale = True
+                        self._invalidations += 1
                 flight = self._inflight.get(key)
                 if flight is None:
                     self._inflight[key] = _Flight()
@@ -185,15 +193,28 @@ class GenerationalLru:
         """The cached value at this generation, or None (counts hit/miss)."""
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None and entry.generation == generation:
+            if entry is not None and entry.generation == generation and not entry.stale:
                 self._entries.move_to_end(key)
                 self._hits += 1
                 return entry.value
-            if entry is not None:
-                self._drop_locked(key)
+            if entry is not None and not entry.stale:
+                entry.stale = True
                 self._invalidations += 1
             self._misses += 1
             return None
+
+    def stale_value(self, key: CacheKey) -> tuple[object | None, bool]:
+        """``(value, found)`` ignoring generation — the degraded-mode read.
+
+        Serves whatever is resident, stale or fresh, without touching the
+        hit/miss counters.  Callers (``MappingCache.get_stale``) decide
+        whether serving old data beats failing.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None, False
+            return entry.value, True
 
     # -- mutation ----------------------------------------------------------
 

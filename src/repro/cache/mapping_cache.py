@@ -174,6 +174,20 @@ class MappingCache:
         self._publish_metrics()
         return value, was_hit
 
+    def get_stale(self, key: tuple) -> tuple[object | None, bool]:
+        """``(value, found)`` ignoring freshness — degraded-mode serving.
+
+        When the database is unavailable (circuit open, retries
+        exhausted), yesterday's mapping is usually better than a 500;
+        stale entries stay resident until successfully reloaded exactly
+        so this read has something to return.  Counted under
+        ``cache.stale_serves``.
+        """
+        value, found = self._lru.stale_value(key)
+        if found:
+            self.registry.counter("cache.stale_serves").inc()
+        return value, found
+
     def is_cached(self, key: tuple) -> bool:
         """True when ``key`` would hit right now (explain support; does
         not touch hit/miss counters or recency)."""

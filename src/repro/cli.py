@@ -77,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="import up to N manifest sources concurrently"
         " (directories only; default: REPRO_IMPORT_WORKERS or serial)",
     )
+    cmd.add_argument(
+        "--resume", action="store_true",
+        help="skip manifest sources already checkpointed by an earlier"
+        " (possibly interrupted) import of the same files"
+        " (directories only; see docs/reliability.md)",
+    )
 
     cmd = commands.add_parser(
         "parse", help="run only the Parse step: native file -> staged .eav"
@@ -202,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--pool-size", type=int, default=None, metavar="N",
         help="max pooled database connections (see docs/storage.md)",
     )
+    cmd.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request time budget; overruns are shed with 503 +"
+        " Retry-After (see docs/reliability.md)",
+    )
     return parser
 
 
@@ -290,7 +301,9 @@ def _cmd_demo(genmapper: GenMapper, args: argparse.Namespace) -> int:
 def _cmd_import(genmapper: GenMapper, args: argparse.Namespace) -> int:
     path = Path(args.path)
     if path.is_dir():
-        reports = genmapper.integrate_directory(path, workers=args.workers)
+        reports = genmapper.integrate_directory(
+            path, workers=args.workers, resume=args.resume
+        )
     elif path.suffix == ".eav":
         reports = [genmapper.pipeline.integrate_eav_file(path)]
     else:
@@ -526,7 +539,7 @@ def _cmd_serve(genmapper: GenMapper, args: argparse.Namespace) -> int:
     from repro.web.app import create_app
     from repro.web.server import make_threading_server
 
-    app = create_app(genmapper)
+    app = create_app(genmapper, request_timeout=args.request_timeout)
     with make_threading_server(args.host, args.port, app) as server:
         print(f"GenMapper API on http://{args.host}:{args.port}/sources")
         try:

@@ -58,6 +58,8 @@ from repro.pathfinder.search import (
     shortest_path_via,
     validate_path,
 )
+from repro.reliability.breaker import CircuitBreaker, mark_degraded
+from repro.reliability.retry import is_retryable
 from repro.taxonomy.dag import Taxonomy
 
 #: Accepted target argument forms for :meth:`GenMapper.generate_view`.
@@ -90,6 +92,10 @@ class GenMapper:
     enable_cache:
         Force the cache on/off; ``None`` (default) honours the
         ``REPRO_CACHE`` environment variable (on unless set to ``off``).
+    breaker:
+        Circuit breaker guarding the query-serving paths (see
+        ``docs/reliability.md``); ``None`` (default) installs one with
+        stock thresholds.  Set ``gm.breaker = None`` to disable.
     """
 
     def __init__(
@@ -98,12 +104,16 @@ class GenMapper:
         pool_size: int | None = None,
         cache_size: int | None = None,
         enable_cache: bool | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.db = GamDatabase(path, pool_size=pool_size)
         self.repository = GamRepository(self.db)
         self.pipeline = IntegrationPipeline(self.repository)
         self.paths = PathRegistry(self.db)
         self._graph: nx.MultiGraph | None = None
+        self.breaker: CircuitBreaker | None = (
+            breaker if breaker is not None else CircuitBreaker(name="repository")
+        )
         if enable_cache is None:
             enable_cache = cache_enabled_by_env(True)
         if cache_size is None:
@@ -167,15 +177,21 @@ class GenMapper:
         return report
 
     def integrate_directory(
-        self, directory: str | Path, workers: int | None = None
+        self,
+        directory: str | Path,
+        workers: int | None = None,
+        resume: bool | None = None,
     ) -> list[ImportReport]:
         """Import every source listed in a directory's manifest.
 
         ``workers`` > 1 integrates sources concurrently over the
-        connection pool (see
+        connection pool; ``resume=True`` skips sources already
+        checkpointed from an earlier (possibly killed) run (see
         :meth:`repro.importer.pipeline.IntegrationPipeline.integrate_directory`).
         """
-        reports = self.pipeline.integrate_directory(directory, workers=workers)
+        reports = self.pipeline.integrate_directory(
+            directory, workers=workers, resume=resume
+        )
         self._invalidate_graph()
         return reports
 
@@ -203,6 +219,50 @@ class GenMapper:
         """Everything known about one object (Figure 1 / Figure 6c)."""
         return self.repository.annotations_of_object(source, accession)
 
+    # -- resilience (docs/reliability.md) ----------------------------------------
+
+    def _resilient(self, fetch, key=None, stale_wrap=None):
+        """Run one query-serving fetch under the circuit breaker.
+
+        When the circuit is open, or the fetch fails with a transient
+        storage error, a resident (possibly stale) cache entry for
+        ``key`` is served instead and the response is flagged degraded
+        (:func:`repro.reliability.breaker.mark_degraded`).  Without a
+        fallback the breaker's :class:`CircuitOpenError` (open circuit)
+        or the storage error itself propagates.  ``stale_wrap`` adapts a
+        bare stale value to the fetch's return shape (``cache.lookup``
+        returns ``(value, was_hit)`` tuples).
+        """
+        breaker = self.breaker
+        if breaker is None:
+            return fetch()
+
+        def stale_or_none(reason: str):
+            if key is None or self.cache is None:
+                return None
+            value, found = self.cache.get_stale(key)
+            if not found:
+                return None
+            mark_degraded(reason)
+            return (value if stale_wrap is None else stale_wrap(value))
+
+        if not breaker.allow():
+            served = stale_or_none(f"circuit open: stale {key[0] if key else '?'}")
+            if served is not None:
+                return served
+            raise breaker.open_error()
+        try:
+            value = fetch()
+        except Exception as exc:
+            if is_retryable(exc):
+                breaker.record_failure()
+                served = stale_or_none(f"storage failure: stale {key[0] if key else '?'}")
+                if served is not None:
+                    return served
+            raise
+        breaker.record_success()
+        return value
+
     # -- operators (Section 4.2) ---------------------------------------------------
 
     def map(
@@ -223,13 +283,18 @@ class GenMapper:
         """
         label = _combiner_label(combiner)
         if self.cache is None or label is None:
-            return self._map_uncached(source, target, via, combiner)
+            return self._resilient(
+                lambda: self._map_uncached(source, target, via, combiner)
+            )
         if via:
             key = MappingCache.composed_key([source, *via, target], label)
         else:
             key = MappingCache.mapping_key(source, target, f"auto#{label}")
-        return self.cache.get_or_load(
-            key, lambda: self._map_uncached(source, target, via, combiner)
+        return self._resilient(
+            lambda: self.cache.get_or_load(
+                key, lambda: self._map_uncached(source, target, via, combiner)
+            ),
+            key,
         )
 
     def _map_uncached(
@@ -262,11 +327,14 @@ class GenMapper:
         label = _combiner_label(combiner)
         if self.cache is not None and label is not None and not materialize:
             key = MappingCache.composed_key(path, label)
-            return self.cache.get_or_load(
-                key,
-                lambda: derive_composed(
-                    self.repository, path, combiner, materialize=False
+            return self._resilient(
+                lambda: self.cache.get_or_load(
+                    key,
+                    lambda: derive_composed(
+                        self.repository, path, combiner, materialize=False
+                    ),
                 ),
+                key,
             )
         mapping = derive_composed(
             self.repository, path, combiner, materialize=materialize
@@ -311,14 +379,21 @@ class GenMapper:
             else None
         )
         if key is None:
-            return self._generate_view_uncached(
-                source, specs, source_objects, combine, combiner, engine
+            return self._resilient(
+                lambda: self._generate_view_uncached(
+                    source, specs, source_objects, combine, combiner, engine
+                )
             )
-        view, was_hit = self.cache.lookup(
-            key,
-            lambda: self._generate_view_uncached(
-                source, specs, source_objects, combine, combiner, engine
+        view, was_hit = self._resilient(
+            lambda: self.cache.lookup(
+                key,
+                lambda: self._generate_view_uncached(
+                    source, specs, source_objects, combine, combiner, engine
+                ),
             ),
+            key,
+            # A stale view served in degraded mode counts as a hit.
+            stale_wrap=lambda value: (value, True),
         )
         span = get_tracer().current_span()
         if span is not None:
@@ -413,7 +488,9 @@ class GenMapper:
         only changes when the IS_A structure does (generation bump).
         """
         if self.cache is None:
-            return subsumed_mapping(self.repository, source)
+            return self._resilient(
+                lambda: subsumed_mapping(self.repository, source)
+            )
         src = self.repository.get_source(source)
 
         def load() -> Mapping:
@@ -425,16 +502,23 @@ class GenMapper:
             )
 
         key = MappingCache.mapping_key(src.name, src.name, "subsumed")
-        return self.cache.get_or_load(key, load)
+        return self._resilient(
+            lambda: self.cache.get_or_load(key, load), key
+        )
 
     def taxonomy(self, source: str) -> Taxonomy:
         """The IS_A taxonomy of a Network source (cached when enabled)."""
         if self.cache is None:
-            return load_taxonomy(self.repository, source)
+            return self._resilient(
+                lambda: load_taxonomy(self.repository, source)
+            )
         src = self.repository.get_source(source)
         key = MappingCache.taxonomy_key(src.name)
-        return self.cache.get_or_load(
-            key, lambda: load_taxonomy(self.repository, src)
+        return self._resilient(
+            lambda: self.cache.get_or_load(
+                key, lambda: load_taxonomy(self.repository, src)
+            ),
+            key,
         )
 
     def materialize(self, mapping: Mapping) -> int:

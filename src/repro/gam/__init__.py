@@ -28,7 +28,12 @@ from repro.gam.errors import (
     UnknownSourceError,
     ViewGenerationError,
 )
-from repro.gam.dump import dump_database, dump_records, load_database
+from repro.gam.dump import (
+    canonical_snapshot,
+    dump_database,
+    dump_records,
+    load_database,
+)
 from repro.gam.integrity import IntegrityReport, IntegrityViolation, check
 from repro.gam.maintenance import (
     DeletionReport,
@@ -55,6 +60,7 @@ __all__ = [
     "MappingStat",
     "SourceStat",
     "collect_statistics",
+    "canonical_snapshot",
     "dump_database",
     "dump_records",
     "load_database",

@@ -42,6 +42,9 @@ from pathlib import Path
 
 from repro.gam import schema as gam_schema
 from repro.gam.pool import DEFAULT_POOL_SIZE, ConnectionPool, is_memory_path
+from repro.reliability.deadline import check_deadline
+from repro.reliability.faults import FaultInjector, injector_from_env
+from repro.reliability.retry import RetryPolicy, policy_from_env
 
 #: Statements that mutate the database and therefore take the writer lock.
 _WRITE_STATEMENTS = frozenset(
@@ -69,6 +72,15 @@ class GamDatabase:
     pool_size:
         Maximum number of pooled connections (on-disk databases only;
         in-memory databases always use a single shared connection).
+    fault_injector:
+        Fault plane consulted before every statement (chaos testing);
+        defaults to whatever ``REPRO_FAULTS`` configures, usually none.
+    retry_policy:
+        Retry/backoff policy wrapped around every statement; transient
+        SQLITE_BUSY / disk-I/O failures (injected or real) are retried
+        within its budget.  Defaults from ``REPRO_RETRY_*``; pass an
+        explicit :class:`~repro.reliability.retry.RetryPolicy` with
+        ``max_attempts=1`` to disable retrying.
     """
 
     def __init__(
@@ -76,6 +88,8 @@ class GamDatabase:
         path: str | Path = ":memory:",
         create: bool = True,
         pool_size: int | None = None,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.path = str(path)
         self._memory = is_memory_path(self.path)
@@ -83,6 +97,14 @@ class GamDatabase:
         self._savepoint_serial = 0
         self._generation_lock = threading.Lock()
         self._generation = 0
+        #: Public and swappable: chaos tests install their own injector /
+        #: policy after construction (``db.fault_injector = ...``).
+        self.fault_injector = (
+            fault_injector if fault_injector is not None else injector_from_env()
+        )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else policy_from_env()
+        )
         #: Last ``PRAGMA data_version`` seen per pooled connection, used to
         #: notice commits made by *other* connections (external writers).
         self._data_versions: dict[int, int] = {}
@@ -90,6 +112,7 @@ class GamDatabase:
             self.path,
             max_size=pool_size if pool_size is not None else DEFAULT_POOL_SIZE,
             configure=self._apply_pragmas,
+            connect_guard=self._guard_connect,
         )
         try:
             connection = self.pool.acquire()
@@ -124,6 +147,32 @@ class GamDatabase:
         """The calling thread's pooled connection (row factory: ``Row``)."""
         return self.pool.acquire()
 
+    # -- reliability boundary ---------------------------------------------
+    #
+    # Every statement passes through _run(): the request deadline is
+    # checked, the fault plane is consulted (chaos testing — faults fire
+    # *before* the statement executes, so a retried statement never sees
+    # partial effects of itself), and transient failures are retried
+    # within the policy's budget.
+
+    def _guard(self, operation: str) -> None:
+        check_deadline()
+        if self.fault_injector is not None:
+            self.fault_injector.on_execute(operation)
+
+    def _guard_connect(self) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.on_connect()
+
+    def _run(self, operation: str, fn):
+        def attempt():
+            self._guard(operation)
+            return fn()
+
+        if self.retry_policy is None:
+            return attempt()
+        return self.retry_policy.call(attempt)
+
     def execute(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
         """Execute a single statement on this thread's connection.
 
@@ -133,10 +182,12 @@ class GamDatabase:
         connection = self.pool.acquire()
         if _is_write_statement(sql):
             with self._write_lock:
-                cursor = connection.execute(sql, parameters)
+                cursor = self._run(
+                    sql, lambda: connection.execute(sql, parameters)
+                )
                 self.bump_generation()
                 return cursor
-        return connection.execute(sql, parameters)
+        return self._run(sql, lambda: connection.execute(sql, parameters))
 
     def execute_read(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
         """Execute a read-only statement on this thread's pooled connection.
@@ -145,7 +196,8 @@ class GamDatabase:
         (the web handlers, :class:`repro.operators.sql_engine.SqlViewEngine`)
         proceed while a writer holds a transaction open.
         """
-        return self.pool.acquire().execute(sql, parameters)
+        connection = self.pool.acquire()
+        return self._run(sql, lambda: connection.execute(sql, parameters))
 
     def executemany(self, sql: str, rows: object) -> sqlite3.Cursor:
         """Execute a statement for every parameter row, atomically.
@@ -155,20 +207,26 @@ class GamDatabase:
         commit per row; inside one they simply join it.
         """
         connection = self.pool.acquire()
+        # Materialize generators: a retried executemany must replay the
+        # full row set, not whatever a half-consumed iterator has left.
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)  # type: ignore[arg-type]
         with self._write_lock:
             # Holding the writer lock, an open transaction on this
             # connection can only be this thread's own.
             if connection.in_transaction:
-                cursor = connection.executemany(sql, rows)
+                cursor = self._run(sql, lambda: connection.executemany(sql, rows))
                 self.bump_generation()
                 return cursor
-            connection.execute("BEGIN IMMEDIATE")
+            self._run(
+                "BEGIN IMMEDIATE", lambda: connection.execute("BEGIN IMMEDIATE")
+            )
             try:
-                cursor = connection.executemany(sql, rows)
+                cursor = self._run(sql, lambda: connection.executemany(sql, rows))
+                self._run("COMMIT", connection.commit)
             except BaseException:
                 connection.rollback()
                 raise
-            connection.commit()
             self.bump_generation()
             return cursor
 
@@ -202,7 +260,13 @@ class GamDatabase:
                 chunk = list(itertools.islice(iterator, chunk_size))
                 if not chunk:
                     return changed
-                cursor = connection.executemany(sql, chunk)
+                # Retry per chunk, never around the whole drain: each
+                # chunk is a materialized list, so replaying it is safe,
+                # while re-running _drain would resume a half-consumed
+                # iterator and silently drop rows.
+                cursor = self._run(
+                    sql, lambda: connection.executemany(sql, chunk)
+                )
                 changed += max(cursor.rowcount, 0)
 
         with self._write_lock:
@@ -210,13 +274,15 @@ class GamDatabase:
                 changed = _drain()
                 self.bump_generation()
                 return changed
-            connection.execute("BEGIN IMMEDIATE")
+            self._run(
+                "BEGIN IMMEDIATE", lambda: connection.execute("BEGIN IMMEDIATE")
+            )
             try:
                 changed = _drain()
+                self._run("COMMIT", connection.commit)
             except BaseException:
                 connection.rollback()
                 raise
-            connection.commit()
             self.bump_generation()
             return changed
 
@@ -246,14 +312,22 @@ class GamDatabase:
                 else:
                     connection.execute(f"RELEASE SAVEPOINT {name}")
             else:
-                connection.execute("BEGIN IMMEDIATE")
+                self._run(
+                    "BEGIN IMMEDIATE",
+                    lambda: connection.execute("BEGIN IMMEDIATE"),
+                )
                 try:
                     yield connection
+                    # COMMIT is guarded/retried too (WAL commits can see
+                    # SQLITE_BUSY); the fault plane fires *before* the
+                    # commit, so a retried COMMIT never double-commits.
+                    self._run("COMMIT", connection.commit)
                 except BaseException:
+                    # Never guard ROLLBACK: it must always run, even with
+                    # the fault plane raising on every other statement.
                     connection.rollback()
                     raise
                 else:
-                    connection.commit()
                     self.bump_generation()
 
     def commit(self) -> None:

@@ -63,6 +63,29 @@ def dump_records(repository: GamRepository) -> Iterator[dict]:
         }
 
 
+def canonical_snapshot(repository: GamRepository) -> str:
+    """An order- and id-independent snapshot of the database's knowledge.
+
+    Serializes every non-header dump record as sorted-key JSON, strips
+    volatile fields (``imported_at`` — wall-clock), and sorts the lines.
+    Two databases holding identical knowledge produce byte-identical
+    snapshots regardless of numeric id assignment or import order —
+    the equality the chaos-equivalence tests in ``tests/test_chaos.py``
+    assert between a faulty and a fault-free run.
+    """
+    lines = []
+    for record in dump_records(repository):
+        if record["kind"] == "header":
+            continue
+        record = dict(record)
+        record.pop("imported_at", None)
+        if "associations" in record:
+            record["associations"] = sorted(record["associations"])
+        lines.append(json.dumps(record, sort_keys=True, ensure_ascii=False))
+    lines.sort()
+    return "\n".join(lines)
+
+
 def dump_database(repository: GamRepository, path: str | Path) -> int:
     """Write the database to a JSON-lines dump; returns the record count."""
     path = Path(path)

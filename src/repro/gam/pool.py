@@ -71,6 +71,10 @@ class ConnectionPool:
         Optional callback invoked once per new connection (pragmas).
     registry:
         Metrics registry; the process default when omitted.
+    connect_guard:
+        Optional callback invoked before each new connection is opened;
+        the fault plane hooks in here (``@CONNECT`` rules) so chaos tests
+        can make connection establishment itself fail.
     """
 
     def __init__(
@@ -80,11 +84,13 @@ class ConnectionPool:
         configure: Callable[[sqlite3.Connection], None] | None = None,
         registry: MetricsRegistry | None = None,
         share_after: float = DEFAULT_SHARE_AFTER,
+        connect_guard: Callable[[], None] | None = None,
     ) -> None:
         self.path = str(path)
         self.memory = is_memory_path(self.path)
         self.max_size = 1 if self.memory else max(1, int(max_size))
         self._configure = configure
+        self._connect_guard = connect_guard
         self._share_after = float(share_after)
         self._registry = registry
         self._lock = threading.Condition()
@@ -115,6 +121,8 @@ class ConnectionPool:
     # -- connection lifecycle ----------------------------------------------
 
     def _new_connection(self) -> sqlite3.Connection:
+        if self._connect_guard is not None:
+            self._connect_guard()
         # isolation_level=None puts the connection in autocommit mode:
         # GamDatabase issues explicit BEGIN/SAVEPOINT statements, so no
         # implicit transaction ever lingers holding the write lock.
@@ -180,10 +188,41 @@ class ConnectionPool:
             return self._idle.pop()
         return None
 
+    def _sanitize_locked(
+        self, connection: sqlite3.Connection
+    ) -> sqlite3.Connection | None:
+        """Make a returning lease safe to hand to the next thread.
+
+        A thread can die (or release) with a transaction still open —
+        an exception between ``BEGIN`` and ``COMMIT`` that nobody rolled
+        back.  Handing that connection out as-is silently grafts the
+        next thread's statements onto the abandoned transaction.  Roll
+        the leftovers back; a connection that cannot be cleaned is
+        closed and forgotten rather than pooled.  Call with the pool
+        lock held.
+        """
+        try:
+            if connection.in_transaction:
+                self.registry.counter("db.pool.dirty_releases").inc()
+                connection.rollback()
+            return connection
+        except sqlite3.Error:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+            if connection in self._all:
+                self._all.remove(connection)
+            self._created -= 1
+            self.registry.counter("db.pool.discarded").inc()
+            return None
+
     def _reclaim_dead_leases(self) -> None:
         dead = [t for t in self._leases if not t.is_alive()]
         for thread in dead:
-            self._idle.append(self._leases.pop(thread))
+            connection = self._sanitize_locked(self._leases.pop(thread))
+            if connection is not None:
+                self._idle.append(connection)
         if dead:
             self._lock.notify_all()
 
@@ -193,6 +232,8 @@ class ConnectionPool:
         Optional: leases are reclaimed automatically when threads finish;
         long-lived worker threads can release explicitly between tasks.
         Shared (fallback) grants and the in-memory connection are no-ops.
+        An open transaction on the lease is rolled back before the
+        connection is pooled again (see :meth:`_sanitize_locked`).
         """
         cached = getattr(self._local, "connection", None)
         if cached is None or self.memory:
@@ -202,7 +243,9 @@ class ConnectionPool:
             current = threading.current_thread()
             if self._leases.get(current) is cached:
                 del self._leases[current]
-                self._idle.append(cached)
+                connection = self._sanitize_locked(cached)
+                if connection is not None:
+                    self._idle.append(connection)
                 self._lock.notify_all()
                 self._update_gauges()
 

@@ -27,6 +27,11 @@ from repro.gam.repository import GamRepository
 from repro.importer.importer import GamImporter, ImportReport
 from repro.obs import get_registry, get_tracer
 from repro.parsers.base import SourceParser, get_parser
+from repro.reliability.checkpoint import ImportJournal, file_fingerprint
+
+#: Environment switch: a truthy ``REPRO_IMPORT_RESUME`` makes directory
+#: imports skip sources whose checkpoint matches the input file.
+RESUME_ENV_VAR = "REPRO_IMPORT_RESUME"
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -119,6 +124,7 @@ class IntegrationPipeline:
         directory: str | Path,
         manifest_name: str = "manifest.tsv",
         workers: int | None = None,
+        resume: bool | None = None,
     ) -> list[ImportReport]:
         """Import every source listed in a directory's manifest.
 
@@ -132,36 +138,42 @@ class IntegrationPipeline:
         different manifest order would.  The returned list is always in
         manifest order.  ``workers=None`` reads ``REPRO_IMPORT_WORKERS``
         from the environment, defaulting to serial.
+
+        Every completed source is checkpointed in the database
+        (:class:`~repro.reliability.checkpoint.ImportJournal`); with
+        ``resume=True`` (or a truthy ``REPRO_IMPORT_RESUME``) sources
+        whose checkpoint matches the input file's content are skipped,
+        so an import killed mid-run continues where it stopped instead
+        of redoing finished work.  Skipped entries report zero counts,
+        in manifest order like everything else.
         """
         if workers is None:
             workers = int(os.environ.get("REPRO_IMPORT_WORKERS", "1") or "1")
+        if resume is None:
+            resume = os.environ.get(RESUME_ENV_VAR, "").strip().lower() in (
+                "1", "true", "yes", "on",
+            )
         directory = Path(directory)
         manifest_path = directory / manifest_name
         entries = read_manifest(manifest_path)
+        journal = ImportJournal(self.repository.db)
         with get_tracer().span(
             "pipeline.integrate_directory",
             directory=directory.name,
             sources=len(entries),
             workers=max(workers, 1),
         ):
-            if workers > 1 and len(entries) > 1:
-                reports = self._integrate_entries_threaded(
-                    directory, entries, workers
+            jobs, reports = self._plan_entries(
+                directory, entries, journal, resume
+            )
+            if workers > 1 and len(jobs) > 1:
+                self._integrate_entries_threaded(
+                    jobs, reports, journal, workers
                 )
             else:
-                reports = []
-                for entry in entries:
-                    file_path = directory / entry.file
-                    if not file_path.exists():
-                        raise ImportError_(
-                            f"manifest references missing file: {file_path}"
-                        )
-                    reports.append(
-                        self.integrate_file(
-                            file_path,
-                            source_name=entry.source,
-                            release=entry.release,
-                        )
+                for index, entry, file_path, fingerprint in jobs:
+                    reports[index] = self._integrate_checkpointed(
+                        entry, file_path, fingerprint, journal
                     )
             # Refresh optimizer statistics once after the bulk load so SQL-
             # compiled views get index-driven join orders.
@@ -169,41 +181,98 @@ class IntegrationPipeline:
                 self.repository.db.analyze()
         return reports
 
-    def _integrate_entries_threaded(
+    def _plan_entries(
         self,
         directory: Path,
         entries: "list[ManifestEntry]",
-        workers: int,
-    ) -> list[ImportReport]:
-        """Fan manifest entries out over a thread pool, in manifest order.
+        journal: ImportJournal,
+        resume: bool,
+    ) -> tuple[list, list]:
+        """Split manifest entries into work and already-done skips.
 
         Files are validated up front (a serial run discovers a missing
-        file only when it reaches it; the parallel path must not start
-        sibling imports it would then abandon).  The first failing entry's
-        exception is re-raised, matching the serial contract.
+        file only when it reaches it; a resumed or parallel run must not
+        start sibling imports it would then abandon).  Returns
+        ``(jobs, reports)``: jobs as ``(index, entry, path, fingerprint)``
+        tuples, and the manifest-ordered report list pre-filled with
+        zero-count reports for skipped sources.
         """
-        paths = []
-        for entry in entries:
+        jobs = []
+        reports: list[ImportReport | None] = [None] * len(entries)
+        skipped = 0
+        for index, entry in enumerate(entries):
             file_path = directory / entry.file
             if not file_path.exists():
                 raise ImportError_(
                     f"manifest references missing file: {file_path}"
                 )
-            paths.append(file_path)
+            fingerprint = file_fingerprint(file_path)
+            if resume and journal.completed(
+                entry.source, entry.file, fingerprint, entry.release
+            ):
+                reports[index] = ImportReport(
+                    source=self.repository.get_source(entry.source),
+                    new_objects=0,
+                    new_associations={},
+                    new_target_objects={},
+                    skipped_rows=0,
+                )
+                skipped += 1
+                continue
+            jobs.append((index, entry, file_path, fingerprint))
+        if skipped:
+            get_registry().counter("pipeline_sources_resumed_total").inc(skipped)
+        return jobs, reports
+
+    def _integrate_checkpointed(
+        self,
+        entry: "ManifestEntry",
+        file_path: Path,
+        fingerprint: str,
+        journal: ImportJournal,
+    ) -> ImportReport:
+        """Integrate one manifest entry and checkpoint its completion.
+
+        The checkpoint is written *after* the import transaction commits;
+        a crash between the two re-imports just that source on resume,
+        which the GAM duplicate elimination makes a no-op.
+        """
+        report = self.integrate_file(
+            file_path, source_name=entry.source, release=entry.release
+        )
+        journal.record(entry.source, entry.file, fingerprint, entry.release)
+        return report
+
+    def _integrate_entries_threaded(
+        self,
+        jobs: list,
+        reports: "list[ImportReport | None]",
+        journal: ImportJournal,
+        workers: int,
+    ) -> None:
+        """Fan import jobs out over a thread pool, filling ``reports``
+        in manifest order.  The first failing job's exception is
+        re-raised, matching the serial contract.
+        """
         with concurrent.futures.ThreadPoolExecutor(
-            max_workers=min(workers, len(entries)),
+            max_workers=min(workers, len(jobs)),
             thread_name_prefix="repro-import",
         ) as executor:
             futures = [
-                executor.submit(
-                    self.integrate_file,
-                    file_path,
-                    source_name=entry.source,
-                    release=entry.release,
+                (
+                    index,
+                    executor.submit(
+                        self._integrate_checkpointed,
+                        entry,
+                        file_path,
+                        fingerprint,
+                        journal,
+                    ),
                 )
-                for entry, file_path in zip(entries, paths)
+                for index, entry, file_path, fingerprint in jobs
             ]
-            return [future.result() for future in futures]
+            for index, future in futures:
+                reports[index] = future.result()
 
 
     def stage_directory(

@@ -26,9 +26,14 @@ from repro.gam.repository import GamRepository
 from repro.obs import get_tracer
 from repro.operators.mapping import Mapping
 from repro.operators.simple import map_
+from repro.reliability.deadline import check_deadline
 
 #: Combines the evidences of two chained associations into one.
 EvidenceCombiner = Callable[[float, float], float]
+
+#: How many join iterations run between deadline checks: frequent enough
+#: that a pathological Compose aborts promptly, rare enough to be free.
+_DEADLINE_STRIDE = 2048
 
 
 def product_evidence(left: float, right: float) -> float:
@@ -58,11 +63,14 @@ def compose_pair(
             f"cannot compose {first.source}↔{first.target} with"
             f" {second.source}↔{second.target}: intermediate sources differ"
         )
+    check_deadline()
     by_intermediate: dict[str, list] = defaultdict(list)
     for assoc in second:
         by_intermediate[assoc.source_accession].append(assoc)
     best: dict[tuple[str, str], float] = {}
-    for left in first:
+    for index, left in enumerate(first):
+        if index % _DEADLINE_STRIDE == 0:
+            check_deadline()
         for right in by_intermediate.get(left.target_accession, ()):
             key = (left.source_accession, right.target_accession)
             evidence = combiner(left.evidence, right.evidence)

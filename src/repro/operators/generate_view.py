@@ -34,6 +34,7 @@ from repro.gam.errors import ViewGenerationError
 from repro.obs import get_tracer
 from repro.operators.mapping import Mapping
 from repro.operators.views import AnnotationView
+from repro.reliability.deadline import check_deadline
 
 #: Resolves the mapping S <-> Ti for a target specification.
 MappingResolver = Callable[[str, "TargetSpec"], Mapping]
@@ -111,6 +112,9 @@ def generate_view(
         # V = s: start with all given source objects.
         view_rows: list[tuple] = [(obj,) for obj in relevant]
         for spec in targets:
+            # One check per target: each target resolves (and possibly
+            # composes) a whole mapping, the view's unit of real work.
+            check_deadline()
             with tracer.span(
                 "operator.generate_view.target", target=spec.name
             ) as span:

@@ -24,6 +24,7 @@ from repro.obs import get_registry, get_tracer
 from repro.operators.views import AnnotationView
 from repro.pathfinder.search import MappingPath
 from repro.query.spec import QuerySpec, QueryTarget
+from repro.reliability.deadline import deadline_scope
 
 
 class QuerySession:
@@ -36,6 +37,7 @@ class QuerySession:
         self._targets: list[QueryTarget] = []
         self._combine = CombineMethod.AND
         self._engine = "memory"
+        self._timeout: float | None = None
         self._last_view: AnnotationView | None = None
 
     # -- step 1: source selection ------------------------------------------
@@ -162,10 +164,32 @@ class QuerySession:
             combine=self._combine,
         )
 
-    def run(self) -> AnnotationView:
-        """Apply ``GenerateView`` to the current specification."""
+    def set_deadline(self, seconds: float | None) -> "QuerySession":
+        """Bound every subsequent :meth:`run` to a time budget.
+
+        A query that exceeds the budget aborts with
+        :class:`repro.reliability.deadline.DeadlineExceeded` instead of
+        holding the session (or a web worker) indefinitely.  ``None``
+        removes the bound.
+        """
+        if seconds is not None and seconds <= 0:
+            raise QuerySpecError("deadline must be positive (or None)")
+        self._timeout = seconds
+        return self
+
+    def run(self, timeout: float | None = None) -> AnnotationView:
+        """Apply ``GenerateView`` to the current specification.
+
+        ``timeout`` bounds this one execution; without it the session's
+        :meth:`set_deadline` budget (if any) applies.
+        """
         spec = self.spec()
-        view = run_query(self.genmapper, spec, engine=self._engine)
+        view = run_query(
+            self.genmapper,
+            spec,
+            engine=self._engine,
+            timeout=timeout if timeout is not None else self._timeout,
+        )
         self._last_view = view
         return view
 
@@ -219,22 +243,32 @@ class QuerySession:
 
 
 def run_query(
-    genmapper: GenMapper, spec: QuerySpec, engine: str = "memory"
+    genmapper: GenMapper,
+    spec: QuerySpec,
+    engine: str = "memory",
+    timeout: float | None = None,
 ) -> AnnotationView:
-    """Execute a query specification on a GenMapper instance."""
+    """Execute a query specification on a GenMapper instance.
+
+    ``timeout`` installs a deadline for the execution (kept when an
+    outer scope already holds a tighter one); the storage layer and the
+    long-running operators abort with ``DeadlineExceeded`` once it is
+    spent.
+    """
     with get_tracer().span(
         "query.run",
         source=spec.source,
         targets=len(spec.targets),
         engine=engine,
     ) as span:
-        view = genmapper.generate_view(
-            spec.source,
-            targets=[target.to_target_spec() for target in spec.targets],
-            source_objects=spec.accessions,
-            combine=spec.combine,
-            engine=engine,
-        )
+        with deadline_scope(timeout):
+            view = genmapper.generate_view(
+                spec.source,
+                targets=[target.to_target_spec() for target in spec.targets],
+                source_objects=spec.accessions,
+                combine=spec.combine,
+                engine=engine,
+            )
         span.tag(rows=len(view))
     get_registry().counter("queries_total", engine=engine).inc()
     return view

@@ -1,0 +1,82 @@
+"""Fault injection, retry, deadlines, circuit breaking and import resume.
+
+See ``docs/reliability.md`` for the architecture; the short version:
+
+* :mod:`repro.reliability.faults` — the injectable fault plane consulted
+  at the storage execute boundary (``REPRO_FAULTS``);
+* :mod:`repro.reliability.retry` — bounded exponential backoff with
+  jitter around transient SQLite failures;
+* :mod:`repro.reliability.deadline` — per-request timeout budgets
+  threaded via contextvars;
+* :mod:`repro.reliability.breaker` — circuit breaker + degraded-mode
+  (stale-cache) serving signals;
+* :mod:`repro.reliability.checkpoint` — crash-safe, resumable directory
+  imports.
+"""
+
+from repro.reliability.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    capture_degraded,
+    mark_degraded,
+    was_degraded,
+)
+from repro.reliability.checkpoint import ImportJournal, file_fingerprint
+from repro.reliability.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.reliability.faults import (
+    CONNECT_OP,
+    FAULT_KINDS,
+    FAULTS_ENV_VAR,
+    FaultInjector,
+    FaultRule,
+    FaultSpecError,
+    injector_from_env,
+    parse_fault_rules,
+)
+from repro.reliability.retry import (
+    RETRYABLE_MARKERS,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    is_retryable,
+    policy_from_env,
+)
+
+__all__ = [
+    "CLOSED",
+    "CONNECT_OP",
+    "FAULT_KINDS",
+    "FAULTS_ENV_VAR",
+    "HALF_OPEN",
+    "OPEN",
+    "RETRYABLE_MARKERS",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "FaultRule",
+    "FaultSpecError",
+    "ImportJournal",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "capture_degraded",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "file_fingerprint",
+    "injector_from_env",
+    "is_retryable",
+    "mark_degraded",
+    "parse_fault_rules",
+    "policy_from_env",
+    "was_degraded",
+]

@@ -1,0 +1,220 @@
+"""Circuit breaker + degraded-mode signalling.
+
+When the storage layer fails *persistently* — retries keep giving up —
+hammering it with more load only makes recovery slower.  The
+:class:`CircuitBreaker` implements the classic three-state machine:
+
+* **closed** — normal operation; consecutive transient failures are
+  counted, and reaching ``failure_threshold`` opens the circuit;
+* **open** — calls are short-circuited without touching the database;
+  after ``recovery_time`` the breaker lets probes through;
+* **half-open** — a bounded number of probe calls run for real; one
+  success closes the circuit, one failure re-opens it.
+
+While the circuit is open, :class:`repro.core.genmapper.GenMapper`
+serves *stale* mapping-cache entries instead of erroring — annotation
+data ages gracefully (yesterday's GO mapping is almost always better
+than a 500) — and flags the response ``degraded: true``.  The flag
+travels via a contextvar (:func:`capture_degraded` /
+:func:`mark_degraded`) so the web layer can annotate the JSON response
+without threading a parameter through every operator.
+
+The clock is injectable; the state-machine tests advance a fake clock
+instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+from collections.abc import Callable, Iterator
+
+from repro.gam.errors import GenMapperError
+from repro.obs import MetricsRegistry, get_registry
+
+#: Breaker states (gauge values exported as ``reliability.breaker.state``).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitOpenError(GenMapperError):
+    """The circuit is open and no stale fallback was available.
+
+    Carries ``retry_after`` — the seconds until the breaker will next
+    admit a probe — which the web layer forwards as ``Retry-After``.
+    """
+
+    def __init__(self, name: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit {name!r} is open; retry in {retry_after:.1f}s"
+        )
+        self.retry_after = max(0.0, retry_after)
+
+
+class CircuitBreaker:
+    """Thread-safe three-state circuit breaker."""
+
+    def __init__(
+        self,
+        name: str = "repository",
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_time = float(recovery_time)
+        self.half_open_max = max(1, int(half_open_max))
+        self.clock = clock
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe will be admitted (0 when closed)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0, self._opened_at + self.recovery_time - self.clock()
+            )
+
+    def _publish_state_locked(self) -> None:
+        self.registry.gauge(
+            "reliability.breaker.state", breaker=self.name
+        ).set(_STATE_GAUGE[self._state])
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self.clock() >= self._opened_at + self.recovery_time
+        ):
+            self._state = HALF_OPEN
+            self._probes = 0
+            self._publish_state_locked()
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        Half-open admits at most ``half_open_max`` concurrent probes;
+        everything else is short-circuited (counted under
+        ``reliability.breaker.short_circuits``) until an outcome is
+        recorded.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and self._probes < self.half_open_max:
+                self._probes += 1
+                return True
+            self.registry.counter(
+                "reliability.breaker.short_circuits", breaker=self.name
+            ).inc()
+            return False
+
+    def record_success(self) -> None:
+        """A guarded call completed normally."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._probes = 0
+                self.registry.counter(
+                    "reliability.breaker.closes", breaker=self.name
+                ).inc()
+                self._publish_state_locked()
+
+    def record_failure(self) -> None:
+        """A guarded call failed with a transient storage error."""
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            )
+            if tripped and self._state != OPEN:
+                self._state = OPEN
+                self._opened_at = self.clock()
+                self._probes = 0
+                self.registry.counter(
+                    "reliability.breaker.opens", breaker=self.name
+                ).inc()
+                self._publish_state_locked()
+            elif tripped:
+                self._opened_at = self.clock()
+
+    def open_error(self) -> CircuitOpenError:
+        return CircuitOpenError(self.name, self.retry_after())
+
+    def stats(self) -> dict:
+        """Plain-data state block (``GET /health``, tests)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "recovery_time": self.recovery_time,
+            }
+
+
+# -- degraded-mode signalling --------------------------------------------------
+
+_DEGRADED: contextvars.ContextVar[dict | None] = contextvars.ContextVar(
+    "repro_degraded", default=None
+)
+
+
+@contextlib.contextmanager
+def capture_degraded() -> Iterator[dict]:
+    """Collect degraded-serving events for the duration of the block.
+
+    The web layer wraps each request in one capture; operators that fall
+    back to stale data call :func:`mark_degraded` and the handler then
+    annotates the response with ``degraded: true``.
+    """
+    state = {"degraded": False, "reasons": []}
+    token = _DEGRADED.set(state)
+    try:
+        yield state
+    finally:
+        _DEGRADED.reset(token)
+
+
+def mark_degraded(reason: str) -> None:
+    """Record that the current response was served from stale data."""
+    get_registry().counter("reliability.degraded_serves").inc()
+    state = _DEGRADED.get()
+    if state is not None:
+        state["degraded"] = True
+        state["reasons"].append(reason)
+
+
+def was_degraded() -> bool:
+    """True when the current capture scope saw a degraded serve."""
+    state = _DEGRADED.get()
+    return bool(state is not None and state["degraded"])

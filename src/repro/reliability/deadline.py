@@ -1,0 +1,115 @@
+"""Per-request deadlines (timeout budgets) threaded via contextvars.
+
+A production query service cannot let one pathological Compose or
+GenerateView hold a worker thread forever.  A :class:`Deadline` carries
+"how much time this request has left"; :func:`deadline_scope` installs
+one for the current context (request thread / task), and the storage
+layer plus the long-running operators call :func:`check_deadline` at
+their loop boundaries.  When the budget is gone the work aborts with
+:class:`DeadlineExceeded`, which the web layer renders as ``503`` with a
+``Retry-After`` header — a clean shed instead of a pile-up.
+
+The check is deliberately cheap (one contextvar read and, only when a
+deadline is actually installed, one clock read), so instrumented hot
+paths pay nothing in the common no-deadline case.
+
+Clocks are injectable: the deadline tests run entirely on a fake clock.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from collections.abc import Callable, Iterator
+
+from repro.gam.errors import GenMapperError
+from repro.obs import get_registry
+
+
+class DeadlineExceeded(GenMapperError):
+    """The request's time budget ran out before the work completed.
+
+    Not retryable: retrying an already-late request only digs the
+    latency hole deeper.  Carries ``retry_after`` (seconds) as a hint
+    for the web layer's ``Retry-After`` header.
+    """
+
+    def __init__(self, budget: float, retry_after: float = 1.0) -> None:
+        super().__init__(
+            f"deadline exceeded: request budget of {budget:.3f}s is spent"
+        )
+        self.budget = budget
+        self.retry_after = retry_after
+
+
+class Deadline:
+    """An absolute point in time by which the current work must finish."""
+
+    __slots__ = ("budget", "expires_at", "clock")
+
+    def __init__(
+        self, budget: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if budget <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget = float(budget)
+        self.clock = clock
+        self.expires_at = clock() + self.budget
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.expires_at - self.clock())
+
+    def expired(self) -> bool:
+        return self.clock() >= self.expires_at
+
+
+_CURRENT: contextvars.ContextVar[Deadline | None] = contextvars.ContextVar(
+    "repro_deadline", default=None
+)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline installed for the current context, if any."""
+    return _CURRENT.get()
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceeded` when the current budget is spent.
+
+    No-op (one contextvar read) when no deadline is installed — safe to
+    call from hot paths.
+    """
+    deadline = _CURRENT.get()
+    if deadline is not None and deadline.expired():
+        get_registry().counter("reliability.deadline.exceeded").inc()
+        raise DeadlineExceeded(deadline.budget)
+
+
+@contextlib.contextmanager
+def deadline_scope(
+    budget: float | None, clock: Callable[[], float] = time.monotonic
+) -> Iterator[Deadline | None]:
+    """Install a deadline for the duration of the block.
+
+    ``budget=None`` is a no-op scope, so callers can thread an optional
+    timeout without branching.  Nested scopes keep whichever deadline is
+    *tighter* — an outer request budget cannot be extended by an inner
+    call installing a laxer one.
+    """
+    if budget is None:
+        yield current_deadline()
+        return
+    candidate = Deadline(budget, clock=clock)
+    outer = _CURRENT.get()
+    effective = (
+        outer
+        if outer is not None and outer.expires_at <= candidate.expires_at
+        else candidate
+    )
+    token = _CURRENT.set(effective)
+    try:
+        yield effective
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,262 @@
+"""The injectable fault plane.
+
+Failure behaviour cannot be tested by waiting for production to fail: the
+storage layer needs a hook through which tests (and chaos CI runs) can
+*deterministically* make it fail.  A :class:`FaultInjector` is installed
+at the :class:`repro.gam.database.GamDatabase` /
+:class:`repro.gam.pool.ConnectionPool` execute boundary and consulted
+before every statement runs.  A matching rule can
+
+* raise ``sqlite3.OperationalError("database is locked")`` — the
+  SQLITE_BUSY storm every concurrent SQLite deployment eventually sees;
+* raise ``sqlite3.OperationalError("disk I/O error")`` — a failing disk;
+* inject latency — a slow disk or an overloaded machine.
+
+Faults fire *before* the underlying statement executes, so an injected
+failure never mutates the database: retrying the statement is always
+safe, which is what makes the chaos-equivalence tests in
+``tests/test_chaos.py`` meaningful (see ``docs/reliability.md``).
+
+Rules trigger by probability (seeded RNG — a chaos run is reproducible),
+by call count (``after``/``times`` — "fail exactly the third INSERT"),
+or by SQL pattern (case-insensitive substring).  The plane is configured
+either programmatically (tests build :class:`FaultRule` objects directly)
+or via the ``REPRO_FAULTS`` environment variable::
+
+    REPRO_FAULTS="busy:0.05"                  # 5% of statements -> BUSY
+    REPRO_FAULTS="busy:1@INSERT#2"            # first two INSERTs fail
+    REPRO_FAULTS="ioerror:0.01;latency:0.2~0.005"
+
+Grammar per rule (rules separated by ``;`` or ``,``)::
+
+    kind[:probability][@sql-pattern][#times][+after][~seconds]
+
+``kind`` is ``busy``, ``ioerror`` or ``latency``; ``times`` caps how
+often the rule fires; ``after`` skips the first N matching calls;
+``seconds`` is the injected latency duration.  ``REPRO_FAULTS_SEED``
+fixes the RNG seed (default 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import re
+import sqlite3
+import threading
+import time
+
+from repro.obs import MetricsRegistry, get_registry
+
+#: Environment variable holding the fault specification.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Environment variable fixing the injector's RNG seed.
+FAULTS_SEED_ENV_VAR = "REPRO_FAULTS_SEED"
+
+#: Supported fault kinds.
+FAULT_KINDS = ("busy", "ioerror", "latency")
+
+#: Pseudo-SQL passed to the injector when a new connection is opened, so
+#: rules can target connection establishment (``@CONNECT``).
+CONNECT_OP = "CONNECT"
+
+_RULE_RE = re.compile(
+    r"^(?P<kind>[a-z]+)"
+    r"(?::(?P<probability>[0-9.]+))?"
+    r"(?:@(?P<pattern>[^#+~;,]+))?"
+    r"(?:#(?P<times>\d+))?"
+    r"(?:\+(?P<after>\d+))?"
+    r"(?:~(?P<seconds>[0-9.]+))?$"
+)
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` specification could not be parsed."""
+
+
+@dataclasses.dataclass
+class FaultRule:
+    """One fault-injection rule.
+
+    Parameters
+    ----------
+    kind:
+        ``busy`` (raise SQLITE_BUSY), ``ioerror`` (raise a disk I/O
+        error) or ``latency`` (sleep ``seconds``).
+    probability:
+        Chance a matching call fires the rule (1.0 = always).
+    pattern:
+        Case-insensitive substring the statement must contain (``None``
+        matches every statement, including :data:`CONNECT_OP`).
+    times:
+        Maximum number of fires (``None`` = unlimited).
+    after:
+        Number of matching calls to let pass before the rule may fire —
+        combined with ``times=1`` and ``probability=1`` this pins the
+        fault to exactly one call, which the atomicity property tests
+        rely on.
+    seconds:
+        Injected latency duration for ``latency`` rules.
+    """
+
+    kind: str
+    probability: float = 1.0
+    pattern: str | None = None
+    times: int | None = None
+    after: int = 0
+    seconds: float = 0.001
+    #: Matching calls seen so far (mutated under the injector's lock).
+    seen: int = 0
+    #: Times this rule has fired.
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r} (expected one of {FAULT_KINDS})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultSpecError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+
+    def matches(self, operation: str) -> bool:
+        return self.pattern is None or self.pattern.lower() in operation.lower()
+
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+
+class FaultInjector:
+    """A set of fault rules consulted at the storage execute boundary.
+
+    Thread-safe; the RNG is seeded, so a multi-threaded chaos run fires
+    the same *number* of faults per seed even though thread interleaving
+    assigns them to different statements.
+    """
+
+    def __init__(
+        self,
+        rules: list[FaultRule] | None = None,
+        seed: int = 1,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.rules = list(rules or [])
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._registry = registry
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def fired(self) -> int:
+        """Total number of faults this injector has raised or injected."""
+        with self._lock:
+            return sum(rule.fired for rule in self.rules)
+
+    def add_rule(self, rule: FaultRule) -> "FaultInjector":
+        with self._lock:
+            self.rules.append(rule)
+        return self
+
+    def reset(self) -> None:
+        """Zero every rule's counters (tests reusing one injector)."""
+        with self._lock:
+            for rule in self.rules:
+                rule.seen = 0
+                rule.fired = 0
+
+    def on_execute(self, operation: str, *, targeted_only: bool = False) -> None:
+        """Consult the rules for one statement; may raise or sleep.
+
+        Called by the storage layer *before* the statement executes, so
+        an injected fault never leaves partial state behind.
+        """
+        delay = 0.0
+        fault: FaultRule | None = None
+        with self._lock:
+            for rule in self.rules:
+                if targeted_only and rule.pattern is None:
+                    continue
+                if rule.exhausted() or not rule.matches(operation):
+                    continue
+                rule.seen += 1
+                if rule.seen <= rule.after:
+                    continue
+                if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                    continue
+                rule.fired += 1
+                self.registry.counter(
+                    "reliability.faults.injected", kind=rule.kind
+                ).inc()
+                if rule.kind == "latency":
+                    delay += rule.seconds
+                    continue
+                fault = rule
+                break
+        if delay:
+            time.sleep(delay)
+        if fault is not None:
+            if fault.kind == "busy":
+                raise sqlite3.OperationalError("database is locked (injected)")
+            raise sqlite3.OperationalError("disk I/O error (injected)")
+
+    def on_connect(self) -> None:
+        """Consult the rules for a connection attempt (``@CONNECT``).
+
+        Only rules that explicitly target :data:`CONNECT_OP` fire here;
+        a blanket ``busy:0.05`` must not make pool growth flaky.
+        """
+        self.on_execute(CONNECT_OP, targeted_only=True)
+
+
+def parse_fault_rules(spec: str) -> list[FaultRule]:
+    """Parse a ``REPRO_FAULTS`` specification into rules."""
+    rules = []
+    for token in re.split(r"[;,]", spec):
+        token = token.strip()
+        if not token:
+            continue
+        match = _RULE_RE.match(token)
+        if match is None:
+            raise FaultSpecError(
+                f"cannot parse fault rule {token!r}"
+                " (expected kind[:prob][@pattern][#times][+after][~seconds])"
+            )
+        groups = match.groupdict()
+        rules.append(
+            FaultRule(
+                kind=groups["kind"],
+                probability=(
+                    float(groups["probability"])
+                    if groups["probability"] is not None
+                    else 1.0
+                ),
+                pattern=groups["pattern"],
+                times=int(groups["times"]) if groups["times"] is not None else None,
+                after=int(groups["after"]) if groups["after"] is not None else 0,
+                seconds=(
+                    float(groups["seconds"])
+                    if groups["seconds"] is not None
+                    else 0.001
+                ),
+            )
+        )
+    return rules
+
+
+def injector_from_env() -> FaultInjector | None:
+    """The process fault injector configured by ``REPRO_FAULTS``, or None.
+
+    Called once per :class:`~repro.gam.database.GamDatabase`, so every
+    database opened under a chaos run carries its own seeded injector.
+    """
+    spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+    if not spec:
+        return None
+    seed = int(os.environ.get(FAULTS_SEED_ENV_VAR, "1") or "1")
+    return FaultInjector(parse_fault_rules(spec), seed=seed)

@@ -1,0 +1,188 @@
+"""Bounded retry with exponential backoff and jitter.
+
+SQLite under concurrent writers fails *transiently*: SQLITE_BUSY when a
+lock could not be obtained, occasional I/O hiccups on slow disks.  The
+seed storage layer propagated those straight to callers; a production
+deployment retries them.  :class:`RetryPolicy` implements the standard
+scheme — exponential backoff, capped, with jitter so a thundering herd
+of writers desynchronizes — bounded both by attempt count and by wall
+clock, and *only* for errors classified retryable (a constraint
+violation or a programming error must never be retried).
+
+The policy is deliberately clock- and sleep-injectable: the schedule
+tests in ``tests/test_reliability.py`` run the whole backoff ladder with
+a fake clock and zero real sleeping.
+
+Outcomes are reported through ``reliability.retry.*`` metrics:
+``attempts`` (failed attempts that were retried), ``successes`` (calls
+that succeeded after at least one retry), ``giveups`` (budget exhausted)
+and ``sleep_seconds`` (total injected backoff).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import sqlite3
+import time
+from collections.abc import Callable
+
+from repro.obs import MetricsRegistry, get_registry
+from repro.reliability.deadline import current_deadline
+
+#: Lower-cased substrings of ``sqlite3.OperationalError`` messages that
+#: mark a transient, safely retryable failure.
+RETRYABLE_MARKERS = (
+    "database is locked",
+    "database table is locked",
+    "database is busy",
+    "disk i/o error",
+    "unable to open database file",
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when the error is transient and the operation may be retried.
+
+    Only ``sqlite3.OperationalError`` with a known-transient message
+    qualifies — integrity violations, schema errors and programming
+    errors are deterministic and must surface immediately.
+    """
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    message = str(exc).lower()
+    return any(marker in message for marker in RETRYABLE_MARKERS)
+
+
+class RetryBudgetExceeded(sqlite3.OperationalError):
+    """A retryable operation kept failing until the budget ran out.
+
+    Subclasses ``sqlite3.OperationalError`` so existing handlers treat
+    it like the storage failure it wraps; carries the attempt count and
+    the final underlying error as ``__cause__``.
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"operation failed after {attempts} attempts: {last_error}"
+        )
+        self.attempts = attempts
+
+
+@dataclasses.dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter, bounded by attempts and time.
+
+    The delay before retry ``n`` (1-based) is
+    ``min(base_delay * multiplier**(n-1), max_delay)`` scaled by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1]`` — the jittered delay
+    never *exceeds* the deterministic schedule, so the time budget
+    properties in ``tests/test_properties.py`` hold by construction.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.002
+    max_delay: float = 0.1
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    #: Wall-clock budget across all attempts; ``None`` = unbounded.
+    max_elapsed: float | None = 5.0
+    #: Predicate deciding which errors are worth retrying.
+    retryable: Callable[[BaseException], bool] = is_retryable
+    #: Injectable for tests (fake clock; no real sleeping).
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    rng: random.Random = dataclasses.field(default_factory=random.Random)
+    registry: MetricsRegistry | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def backoff(self, attempt: int) -> float:
+        """The deterministic (un-jittered) delay before retry ``attempt``."""
+        return min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+
+    def delay_for(self, attempt: int) -> float:
+        """The jittered delay before retry ``attempt`` (never above
+        :meth:`backoff`)."""
+        ceiling = self.backoff(attempt)
+        if self.jitter == 0.0:
+            return ceiling
+        return ceiling * (1.0 - self.jitter * self.rng.random())
+
+    def call(self, fn: Callable[[], object]) -> object:
+        """Run ``fn``, retrying transient failures within the budget.
+
+        Non-retryable errors propagate immediately.  When the attempt or
+        time budget is exhausted, :class:`RetryBudgetExceeded` is raised
+        from the last underlying error.  An active request deadline
+        (:mod:`repro.reliability.deadline`) also bounds the backoff: the
+        policy never sleeps past the deadline.
+        """
+        registry = self._registry()
+        attempt = 1
+        started: float | None = None
+        while True:
+            try:
+                result = fn()
+            except BaseException as exc:
+                if not self.retryable(exc):
+                    raise
+                if started is None:
+                    started = self.clock()
+                registry.counter("reliability.retry.attempts").inc()
+                if attempt >= self.max_attempts:
+                    registry.counter("reliability.retry.giveups").inc()
+                    raise RetryBudgetExceeded(attempt, exc) from exc
+                delay = self.delay_for(attempt)
+                elapsed = self.clock() - started
+                if (
+                    self.max_elapsed is not None
+                    and elapsed + delay > self.max_elapsed
+                ):
+                    registry.counter("reliability.retry.giveups").inc()
+                    raise RetryBudgetExceeded(attempt, exc) from exc
+                deadline = current_deadline()
+                if deadline is not None and deadline.remaining() < delay:
+                    registry.counter("reliability.retry.giveups").inc()
+                    raise RetryBudgetExceeded(attempt, exc) from exc
+                registry.counter("reliability.retry.sleep_seconds").inc(delay)
+                self.sleep(delay)
+                attempt += 1
+            else:
+                if attempt > 1:
+                    registry.counter("reliability.retry.successes").inc()
+                return result
+
+
+def policy_from_env() -> RetryPolicy:
+    """The default writer-path policy, tunable via the environment.
+
+    ``REPRO_RETRY_ATTEMPTS`` / ``REPRO_RETRY_BASE_DELAY`` /
+    ``REPRO_RETRY_MAX_DELAY`` / ``REPRO_RETRY_MAX_ELAPSED`` override the
+    defaults; ``REPRO_RETRY_ATTEMPTS=1`` disables retrying (one attempt,
+    no backoff).
+    """
+
+    def _float(name: str, default: float) -> float:
+        raw = os.environ.get(name)
+        try:
+            return float(raw) if raw else default
+        except ValueError:
+            return default
+
+    return RetryPolicy(
+        max_attempts=max(1, int(_float("REPRO_RETRY_ATTEMPTS", 5))),
+        base_delay=_float("REPRO_RETRY_BASE_DELAY", 0.002),
+        max_delay=_float("REPRO_RETRY_MAX_DELAY", 0.1),
+        max_elapsed=_float("REPRO_RETRY_MAX_ELAPSED", 5.0),
+    )

@@ -36,6 +36,11 @@ def main(argv: list[str] | None = None) -> int:
         help="populate an in-memory database with a synthetic universe",
     )
     parser.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request time budget; overruns are shed with 503 +"
+        " Retry-After (see docs/reliability.md)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="enable tracing spans (adds observed_stage_timings to"
         " /query/explain and span.* histograms to /metrics)",
@@ -65,7 +70,7 @@ def main(argv: list[str] | None = None) -> int:
             genmapper.integrate_directory(directory)
         print(f"demo universe loaded: {genmapper.stats()['objects']} objects")
 
-    app = create_app(genmapper)
+    app = create_app(genmapper, request_timeout=args.request_timeout)
     with make_threading_server(args.host, args.port, app) as server:
         print(f"GenMapper API on http://{args.host}:{args.port}/sources")
         try:

@@ -53,6 +53,9 @@ from repro.query.language import parse_query
 from repro.query.plan import plan_query
 from repro.query.session import run_query
 from repro.query.spec import QuerySpec, QueryTarget
+from repro.reliability.breaker import CircuitOpenError, capture_degraded
+from repro.reliability.deadline import DeadlineExceeded, deadline_scope
+from repro.reliability.retry import RetryBudgetExceeded
 
 StartResponse = Callable[[str, list[tuple[str, str]]], None]
 
@@ -62,6 +65,7 @@ _STATUS = {
     404: "404 Not Found",
     405: "405 Method Not Allowed",
     500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
 }
 
 logger = logging.getLogger("repro.web")
@@ -79,6 +83,7 @@ def create_app(
     genmapper: GenMapper,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    request_timeout: float | None = None,
 ) -> Callable:
     """Build the WSGI application bound to one GenMapper instance.
 
@@ -86,13 +91,38 @@ def create_app(
     :class:`~repro.obs.ObservabilityMiddleware`, so every request gets a
     request ID and is measured into ``registry`` (the process default
     unless one is passed — tests inject private instances).
+
+    ``request_timeout`` bounds every request to a time budget (seconds);
+    a request may tighten — never extend — it with an
+    ``X-Request-Timeout`` header.  A request that overruns is shed with
+    ``503`` and a ``Retry-After`` header instead of pinning its worker
+    thread (``docs/reliability.md``).  Responses served from stale cache
+    entries while the repository is unavailable carry ``degraded: true``.
     """
 
     def app(environ: dict, start_response: StartResponse) -> Iterable[bytes]:
+        extra_headers: list[tuple[str, str]] = []
         try:
-            status, payload = _route(genmapper, environ, registry, tracer)
+            # Nested scopes keep the tighter deadline, so the header can
+            # only shrink the server-configured budget.
+            with capture_degraded() as degraded, deadline_scope(
+                request_timeout
+            ), deadline_scope(_header_timeout(environ)):
+                status, payload = _route(genmapper, environ, registry, tracer)
+            if degraded["degraded"] and isinstance(payload, dict):
+                payload["degraded"] = True
+                payload["degraded_reasons"] = list(degraded["reasons"])
         except ApiError as exc:
             status, payload = exc.status, {"error": str(exc)}
+        except (DeadlineExceeded, CircuitOpenError, RetryBudgetExceeded) as exc:
+            # Overload/unavailability: shed the request, tell the client
+            # when to come back.  Checked before GenMapperError — the
+            # first two subclass it but are 503s, not client errors.
+            retry_after = getattr(exc, "retry_after", 1.0)
+            status, payload = 503, {"error": str(exc)}
+            extra_headers.append(
+                ("Retry-After", str(max(1, round(retry_after))))
+            )
         except GenMapperError as exc:
             status, payload = 400, {"error": str(exc)}
         except Exception as exc:
@@ -110,11 +140,31 @@ def create_app(
             [
                 ("Content-Type", "application/json; charset=utf-8"),
                 ("Content-Length", str(len(body))),
+                *extra_headers,
             ],
         )
         return [body]
 
     return ObservabilityMiddleware(app, registry=registry, tracer=tracer)
+
+
+def _header_timeout(environ: dict) -> float | None:
+    """The ``X-Request-Timeout`` budget (seconds), or None.
+
+    Invalid or non-positive values are rejected as a client error rather
+    than silently ignored — a caller who asked for a bound should not
+    run unbounded.
+    """
+    raw = environ.get("HTTP_X_REQUEST_TIMEOUT")
+    if raw is None or not str(raw).strip():
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ApiError(400, f"invalid X-Request-Timeout: {raw!r}") from None
+    if value <= 0:
+        raise ApiError(400, "X-Request-Timeout must be positive")
+    return value
 
 
 def _route(
@@ -321,7 +371,17 @@ def _parse_body_spec(environ: dict) -> QuerySpec:
         body = json.loads(raw)
     except json.JSONDecodeError as exc:
         raise ApiError(400, f"invalid JSON body: {exc}") from exc
+    # Valid JSON is not necessarily a valid body: a list/string/number
+    # used to slip through to the field accesses below and surface as a
+    # 500; a malformed request is the client's error, report it as one.
+    if not isinstance(body, dict):
+        raise ApiError(
+            400,
+            f"query body must be a JSON object, got {type(body).__name__}",
+        )
     if "query" in body:
+        if not isinstance(body["query"], str):
+            raise ApiError(400, "the 'query' field must be a string")
         return parse_query(body["query"])
     try:
         targets = tuple(

@@ -1,0 +1,196 @@
+"""Chaos suite: the system under injected storage faults.
+
+Two end-to-end properties proven here:
+
+1. **Fault equivalence** — concurrent imports and queries under a 5%
+   injected SQLITE_BUSY rate produce a GAM snapshot byte-identical to a
+   fault-free run, with zero caller-visible storage errors (the retry
+   layer absorbs every injected fault).
+2. **Crash resume** — an import killed deterministically mid-run resumes
+   with ``resume=True`` and converges to the same snapshot as an
+   uninterrupted import, without redoing checkpointed sources.
+
+Faults are injected at the statement boundary *before* execution, so a
+retried statement can never double-apply; that is what makes blind
+retries sound and these equivalence checks meaningful.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.core.genmapper import GenMapper
+from repro.gam.dump import canonical_snapshot
+from repro.gam.errors import GenMapperError
+from repro.obs import MetricsRegistry
+from repro.reliability import FaultInjector, FaultRule, ImportJournal, RetryPolicy
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """These tests inject their own faults with fixed seeds; ambient
+    ``REPRO_FAULTS`` (the CI chaos job) must not perturb them."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_SEED", raising=False)
+
+
+def fast_retry(registry=None, **overrides):
+    """Generous attempts, sub-millisecond real backoff: chaos-fast."""
+    defaults = dict(
+        max_attempts=10,
+        base_delay=0.0002,
+        max_delay=0.001,
+        max_elapsed=None,
+        registry=registry or MetricsRegistry(),
+    )
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+def snapshot_of_clean_import(universe_dir) -> str:
+    with GenMapper() as gm:
+        gm.integrate_directory(universe_dir)
+        return canonical_snapshot(gm.repository)
+
+
+@pytest.fixture(scope="module")
+def clean_snapshot(universe_dir):
+    """The fault-free reference snapshot of the synthetic universe."""
+    return snapshot_of_clean_import(universe_dir)
+
+
+class TestChaosEquivalence:
+    def test_import_under_busy_faults_matches_fault_free_run(
+        self, universe_dir, clean_snapshot
+    ):
+        registry = MetricsRegistry()
+        with GenMapper() as gm:
+            gm.db.retry_policy = fast_retry(registry)
+            gm.db.fault_injector = FaultInjector(
+                [FaultRule("busy", probability=0.05, times=None)],
+                seed=1234,
+                registry=registry,
+            )
+            gm.integrate_directory(universe_dir)
+            injected = gm.db.fault_injector.fired
+            gm.db.fault_injector = None
+            assert canonical_snapshot(gm.repository) == clean_snapshot
+        assert injected > 0, "chaos run injected no faults at all"
+        counters = registry.snapshot()["counters"]
+        assert counters["reliability.retry.attempts"] >= injected
+        assert "reliability.retry.giveups" not in counters
+
+    def test_concurrent_imports_and_queries_under_faults(
+        self, universe_dir, clean_snapshot
+    ):
+        registry = MetricsRegistry()
+        with GenMapper() as gm:
+            gm.db.retry_policy = fast_retry(registry)
+            gm.db.fault_injector = FaultInjector(
+                [FaultRule("busy", probability=0.05, times=None)],
+                seed=99,
+                registry=registry,
+            )
+            storage_errors: list[BaseException] = []
+            import_done = threading.Event()
+
+            def importer():
+                try:
+                    gm.integrate_directory(universe_dir, workers=3)
+                finally:
+                    import_done.set()
+
+            def querier():
+                while not import_done.is_set():
+                    try:
+                        gm.map("LocusLink", "GO")
+                        gm.repository.list_sources()
+                    except GenMapperError:
+                        # Domain errors mid-import (source not there yet,
+                        # no mapping yet, open breaker) are expected.
+                        pass
+                    except sqlite3.Error as exc:  # pragma: no cover
+                        storage_errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=importer)]
+            threads += [threading.Thread(target=querier) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert import_done.is_set()
+            assert not storage_errors, f"storage errors leaked: {storage_errors}"
+            injected = gm.db.fault_injector.fired
+            gm.db.fault_injector = None
+            assert canonical_snapshot(gm.repository) == clean_snapshot
+        assert injected > 0
+        assert registry.snapshot()["counters"]["reliability.retry.attempts"] > 0
+
+    def test_latency_faults_slow_but_do_not_corrupt(
+        self, universe_dir, clean_snapshot
+    ):
+        with GenMapper() as gm:
+            gm.db.fault_injector = FaultInjector(
+                [FaultRule("latency", probability=0.02, seconds=0.0005)],
+                seed=5,
+                registry=MetricsRegistry(),
+            )
+            gm.integrate_directory(universe_dir)
+            gm.db.fault_injector = None
+            assert canonical_snapshot(gm.repository) == clean_snapshot
+
+
+class TestCrashResume:
+    def count_guarded_statements(self, universe_dir) -> int:
+        """How many guarded statements a clean import executes."""
+        with GenMapper() as gm:
+            counter = FaultInjector(
+                [FaultRule("latency", seconds=0.0)], registry=MetricsRegistry()
+            )
+            gm.db.fault_injector = counter
+            gm.integrate_directory(universe_dir)
+            return counter.fired
+
+    def test_killed_import_resumes_to_identical_snapshot(
+        self, universe_dir, clean_snapshot
+    ):
+        total = self.count_guarded_statements(universe_dir)
+        assert total > 100
+        with GenMapper() as gm:
+            # Deterministic mid-run "kill": after half the statements a
+            # clean import needs, every further one fails, with no retry.
+            gm.db.retry_policy = RetryPolicy(max_attempts=1)
+            gm.db.fault_injector = FaultInjector(
+                [FaultRule("ioerror", after=total // 2, times=None)],
+                registry=MetricsRegistry(),
+            )
+            with pytest.raises(sqlite3.OperationalError):
+                gm.integrate_directory(universe_dir)
+            # Some sources finished and were checkpointed; some were not.
+            journal = ImportJournal(gm.db)
+            gm.db.fault_injector = None
+            done = len(journal.entries())
+            assert 0 < done < 11
+            # The interrupted source's transaction rolled back: nothing
+            # half-imported is visible.
+            partial = canonical_snapshot(gm.repository)
+            assert partial != clean_snapshot
+            # Resume with faults cleared: converges to the clean result.
+            reports = gm.integrate_directory(universe_dir, resume=True)
+            assert canonical_snapshot(gm.repository) == clean_snapshot
+            # Checkpointed sources were skipped, not redone.
+            skipped = [r for r in reports if r.new_objects == 0]
+            assert len(skipped) >= done
+
+    def test_resume_after_faultless_kill_is_pure_skip(self, universe_dir):
+        with GenMapper() as gm:
+            gm.integrate_directory(universe_dir)
+            before = canonical_snapshot(gm.repository)
+            reports = gm.integrate_directory(universe_dir, resume=True)
+            assert all(report.new_objects == 0 for report in reports)
+            assert all(report.total_associations == 0 for report in reports)
+            assert canonical_snapshot(gm.repository) == before

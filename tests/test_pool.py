@@ -322,3 +322,145 @@ class TestTransactions:
             assert counts == [1]
         finally:
             db.close()
+
+
+class TestLeaseSanitization:
+    """Regressions: a lease returned with an open transaction must never
+    reach the next thread dirty (abandoned ``BEGIN`` without rollback)."""
+
+    def test_explicit_release_rolls_back_open_transaction(self, tmp_path):
+        registry = MetricsRegistry()
+        pool = ConnectionPool(
+            str(tmp_path / "dirty.db"), max_size=1, registry=registry
+        )
+        try:
+            results = {}
+
+            def abandoner():
+                connection = pool.acquire()
+                connection.execute("CREATE TABLE IF NOT EXISTS t (x)")
+                connection.commit()
+                connection.execute("BEGIN")
+                connection.execute("INSERT INTO t VALUES (1)")
+                # Release mid-transaction without rollback or commit.
+                pool.release()
+                results["still_open"] = connection.in_transaction
+
+            def successor():
+                connection = pool.acquire()
+                results["connection"] = connection
+                results["in_txn"] = connection.in_transaction
+                results["rows"] = connection.execute(
+                    "SELECT count(*) FROM t"
+                ).fetchone()[0]
+
+            for target in (abandoner, successor):
+                thread = threading.Thread(target=target)
+                thread.start()
+                thread.join()
+            assert results["still_open"] is False  # sanitized at release
+            assert results["in_txn"] is False
+            assert results["rows"] == 0  # the abandoned insert is gone
+            counters = registry.snapshot()["counters"]
+            assert counters["db.pool.dirty_releases"] == 1
+        finally:
+            pool.close()
+
+    def test_dead_thread_dirty_lease_sanitized_on_reclaim(self, tmp_path):
+        registry = MetricsRegistry()
+        pool = ConnectionPool(
+            str(tmp_path / "dead.db"), max_size=1, registry=registry
+        )
+        try:
+
+            def dier():
+                connection = pool.acquire()
+                connection.execute("CREATE TABLE IF NOT EXISTS t (x)")
+                connection.commit()
+                connection.execute("BEGIN")
+                connection.execute("INSERT INTO t VALUES (1)")
+                # Thread dies holding the lease mid-transaction.
+
+            thread = threading.Thread(target=dier)
+            thread.start()
+            thread.join()
+            results = {}
+
+            def successor():
+                connection = pool.acquire()
+                results["in_txn"] = connection.in_transaction
+                results["rows"] = connection.execute(
+                    "SELECT count(*) FROM t"
+                ).fetchone()[0]
+
+            thread = threading.Thread(target=successor)
+            thread.start()
+            thread.join()
+            assert results["in_txn"] is False
+            assert results["rows"] == 0
+            assert registry.snapshot()["counters"]["db.pool.dirty_releases"] == 1
+        finally:
+            pool.close()
+
+    def test_unusable_lease_is_discarded_not_pooled(self, tmp_path):
+        registry = MetricsRegistry()
+        pool = ConnectionPool(
+            str(tmp_path / "broken.db"), max_size=2, registry=registry
+        )
+        try:
+            results = {}
+
+            def breaker():
+                connection = pool.acquire()
+                connection.close()  # now unusable: sanitize must discard it
+                pool.release()
+
+            thread = threading.Thread(target=breaker)
+            thread.start()
+            thread.join()
+            assert registry.snapshot()["counters"]["db.pool.discarded"] == 1
+            assert pool.size == 0
+
+            def successor():
+                connection = pool.acquire()
+                results["ok"] = connection.execute("SELECT 1").fetchone()[0]
+
+            thread = threading.Thread(target=successor)
+            thread.start()
+            thread.join()
+            assert results["ok"] == 1  # a fresh connection replaced it
+        finally:
+            pool.close()
+
+    def test_connect_guard_runs_for_each_new_connection(self, tmp_path):
+        calls = []
+        pool = ConnectionPool(
+            str(tmp_path / "guard.db"),
+            max_size=4,
+            connect_guard=lambda: calls.append(1),
+        )
+        try:
+            seen = []
+
+            def worker():
+                seen.append(pool.acquire())
+
+            threads = [threading.Thread(target=worker) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+                thread.join()
+            assert len(calls) == len(set(map(id, seen)))
+        finally:
+            pool.close()
+
+    def test_connect_guard_failure_propagates(self, tmp_path):
+        def guard():
+            raise sqlite3.OperationalError("unable to open database file")
+
+        pool = ConnectionPool(str(tmp_path / "g2.db"), connect_guard=guard)
+        try:
+            with pytest.raises(sqlite3.OperationalError):
+                pool.acquire()
+            assert pool.size == 0  # nothing half-created is pooled
+        finally:
+            pool.close()

@@ -293,3 +293,156 @@ class TestEavProperties:
         path = tmp_path_factory.mktemp("eav") / "prop.eav"
         write_eav(dataset, path)
         assert read_eav(path) == dataset
+
+
+# -- reliability --------------------------------------------------------------
+
+
+class TestReliabilityProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(accessions, accessions), min_size=1, max_size=12
+        ),
+        fault_at=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_import_is_atomic_per_source_under_faults(self, rows, fault_at):
+        """A fault anywhere in an import leaves the GAM either fully
+        imported or exactly as it was — never a half-imported source."""
+        import sqlite3
+
+        from repro.gam.database import GamDatabase
+        from repro.gam.dump import canonical_snapshot
+        from repro.gam.repository import GamRepository
+        from repro.importer.importer import GamImporter
+        from repro.obs import MetricsRegistry
+        from repro.reliability import FaultInjector, FaultRule, RetryPolicy
+
+        dataset = EavDataset(
+            "PropSource",
+            [EavRow(entity, "Hugo", value) for entity, value in rows],
+        )
+
+        def snapshot_after(inject: bool):
+            db = GamDatabase()
+            try:
+                repository = GamRepository(db)
+                empty = canonical_snapshot(repository)
+                if inject:
+                    db.retry_policy = RetryPolicy(max_attempts=1)
+                    db.fault_injector = FaultInjector(
+                        [FaultRule("ioerror", after=fault_at, times=None)],
+                        registry=MetricsRegistry(),
+                    )
+                failed = False
+                try:
+                    GamImporter(repository).import_dataset(dataset)
+                except sqlite3.OperationalError:
+                    failed = True
+                db.fault_injector = None
+                db.retry_policy = None
+                return canonical_snapshot(repository), empty, failed
+            finally:
+                db.close()
+
+        clean, _, clean_failed = snapshot_after(inject=False)
+        assert not clean_failed
+        faulty, empty, failed = snapshot_after(inject=True)
+        if failed:
+            assert faulty == empty  # rolled back: no partial source
+        else:
+            assert faulty == clean  # fault missed the window: full import
+
+    @given(
+        max_attempts=st.integers(min_value=1, max_value=8),
+        base_delay=st.floats(
+            min_value=1e-4, max_value=0.05, allow_nan=False
+        ),
+        multiplier=st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+        jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_jittered_retry_never_exceeds_budgets(
+        self, max_attempts, base_delay, multiplier, jitter, seed
+    ):
+        """However the jitter falls, a retry run never exceeds the attempt
+        budget and never sleeps longer than the deterministic schedule."""
+        import random
+        import sqlite3
+
+        from repro.reliability import RetryBudgetExceeded, RetryPolicy
+
+        slept = []
+        calls = []
+        policy = RetryPolicy(
+            max_attempts=max_attempts,
+            base_delay=base_delay,
+            max_delay=base_delay * 8,
+            multiplier=multiplier,
+            jitter=jitter,
+            max_elapsed=None,
+            sleep=slept.append,
+            rng=random.Random(seed),
+        )
+
+        def always_busy():
+            calls.append(1)
+            raise sqlite3.OperationalError("database is locked")
+
+        try:
+            policy.call(always_busy)
+            raise AssertionError("always-failing call cannot succeed")
+        except RetryBudgetExceeded as exc:
+            assert exc.attempts == max_attempts
+        assert len(calls) == max_attempts
+        assert len(slept) == max_attempts - 1
+        for attempt, delay in enumerate(slept, start=1):
+            assert 0.0 <= delay <= policy.backoff(attempt)
+        assert sum(slept) <= sum(
+            policy.backoff(n) for n in range(1, max_attempts)
+        )
+
+    @given(
+        max_elapsed=st.floats(
+            min_value=0.01, max_value=2.0, allow_nan=False
+        ),
+        base_delay=st.floats(
+            min_value=1e-3, max_value=0.5, allow_nan=False
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_retry_respects_time_budget(self, max_elapsed, base_delay, seed):
+        """Total time spent retrying (on a fake clock) never exceeds the
+        configured ``max_elapsed`` budget."""
+        import random
+        import sqlite3
+
+        from repro.reliability import RetryBudgetExceeded, RetryPolicy
+
+        clock = {"now": 0.0}
+
+        def sleeper(seconds):
+            clock["now"] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=1000,
+            base_delay=base_delay,
+            max_delay=base_delay * 4,
+            jitter=0.5,
+            max_elapsed=max_elapsed,
+            clock=lambda: clock["now"],
+            sleep=sleeper,
+            rng=random.Random(seed),
+        )
+        try:
+            policy.call(
+                lambda: (_ for _ in ()).throw(
+                    sqlite3.OperationalError("database is locked")
+                )
+            )
+            raise AssertionError("always-failing call cannot succeed")
+        except RetryBudgetExceeded:
+            pass
+        assert clock["now"] <= max_elapsed

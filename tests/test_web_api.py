@@ -173,6 +173,26 @@ class TestQueryEndpoints:
         )
         assert status == 400
 
+    def test_non_object_json_bodies_are_400_not_500(self, app):
+        # Valid JSON that isn't an object used to crash field access (500).
+        for body in (["ANNOTATE LocusLink WITH GO"], "just a string", 42):
+            status, payload = call(app, "POST", "/query", body=body)
+            assert status == 400, f"body {body!r} gave {status}"
+            assert "JSON object" in payload["error"]
+
+    def test_non_object_body_on_explain_is_400(self, app):
+        status, payload = call(app, "POST", "/query/explain", body=[1, 2])
+        assert status == 400
+        assert "JSON object" in payload["error"]
+
+    def test_non_string_query_field_is_400(self, app):
+        for bad in (["ANNOTATE"], {"q": 1}, 7):
+            status, payload = call(
+                app, "POST", "/query", body={"query": bad}
+            )
+            assert status == 400
+            assert "must be a string" in payload["error"]
+
 
 @pytest.fixture()
 def cached_app():
