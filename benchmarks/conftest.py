@@ -43,7 +43,7 @@ def bench_genmapper(bench_universe_dir):
     """A GenMapper loaded with the standard benchmark universe.
 
     The one-time integration is traced through the observability layer
-    (replacing the old ad-hoc ``util.Timer`` approach), so ``obs_registry``
+    (the ad-hoc ``util.Timer`` shim is long gone), so ``obs_registry``
     exposes parse/import stage latencies for benches to report via
     ``extra_info``.  Tracing is switched off again before yielding — the
     measured bench bodies must run uninstrumented.

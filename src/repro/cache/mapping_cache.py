@@ -32,6 +32,7 @@ from collections.abc import Callable, Sequence
 from repro.cache.lru import GenerationalLru
 from repro.gam.database import GamDatabase
 from repro.obs import MetricsRegistry, get_registry
+from repro.obs.events import incr_event
 
 #: Default maximum number of cached values.
 DEFAULT_MAX_ENTRIES = 256
@@ -171,6 +172,7 @@ class MappingCache:
         """Like :meth:`get_or_load` but also reports ``was_hit``."""
         generation = self.db.data_generation()
         value, was_hit = self._lru.get_or_load(key, generation, loader)
+        incr_event("cache_hits" if was_hit else "cache_misses")
         self._publish_metrics()
         return value, was_hit
 
@@ -186,6 +188,7 @@ class MappingCache:
         value, found = self._lru.stale_value(key)
         if found:
             self.registry.counter("cache.stale_serves").inc()
+            incr_event("cache_stale_serves")
         return value, found
 
     def is_cached(self, key: tuple) -> bool:

@@ -12,14 +12,19 @@ Mirrors the interactive workflow of paper Section 5.1 for the terminal::
     python -m repro.cli object LocusLink 353 --db /tmp/gam.db
 
 Any command accepts ``--profile`` (print a span tree of where the time
-went, to stderr) and ``--trace-out FILE`` (write the spans as JSONL); see
-``docs/observability.md``.  ``--cache-size N`` / ``--no-cache`` tune or
-disable the generation-aware mapping cache (``docs/performance.md``).
+went, to stderr), ``--trace-out FILE`` (write the spans as JSONL) and
+``--events-out FILE`` (emit one wide event per import/derivation/request
+as JSONL); see ``docs/observability.md``.  ``repro profile`` runs the
+sampling profiler over a synthetic workload and ``repro slow-log``
+inspects a running server's slow-query ring buffer.  ``--cache-size N``
+/ ``--no-cache`` tune or disable the generation-aware mapping cache
+(``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 from pathlib import Path
@@ -51,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="FILE",
         help="write the recorded spans as JSONL (implies --profile)",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="FILE",
+        help="append one wide event per request/import/derivation as"
+             " JSONL to FILE (same as REPRO_EVENTS; see"
+             " docs/observability.md)",
     )
     parser.add_argument(
         "--cache-size", type=int, default=None, metavar="N",
@@ -213,6 +225,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request time budget; overruns are shed with 503 +"
         " Retry-After (see docs/reliability.md)",
     )
+    cmd.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="capture requests slower than MS into the slow-query log"
+        " (same as REPRO_SLOW_MS; inspect via GET /debug/slow or"
+        " 'repro slow-log')",
+    )
+
+    cmd = commands.add_parser(
+        "slow-log",
+        help="fetch and render a running server's slow-query log",
+    )
+    cmd.add_argument(
+        "--url", default="http://127.0.0.1:8350",
+        help="base URL of the server (default: http://127.0.0.1:8350)",
+    )
+    cmd.add_argument("--limit", type=int, default=20,
+                     help="show at most this many entries (newest first)")
+    cmd.add_argument("--json", action="store_true",
+                     help="print the raw JSON payload instead of a table")
+
+    cmd = commands.add_parser(
+        "profile",
+        help="sampling-profile a scaled synthetic workload"
+             " (datagen -> import -> queries)",
+    )
+    cmd.add_argument("--folded-out", metavar="FILE",
+                     help="write folded stacks here (default: stdout);"
+                          " feed to flamegraph.pl / speedscope")
+    cmd.add_argument("--hz", type=float, default=None,
+                     help="sampling rate (default: REPRO_PROFILE_HZ or 100)")
+    cmd.add_argument("--genes", type=int, default=2000)
+    cmd.add_argument("--go-terms", type=int, default=600)
+    cmd.add_argument("--seed", type=int, default=7)
+    cmd.add_argument("--queries", type=int, default=5,
+                     help="ANNOTATE queries to run after the import")
     return parser
 
 
@@ -228,6 +275,13 @@ def main(argv: list[str] | None = None) -> int:
         tracer = get_tracer()
         tracer.clear()
         tracer.enable()
+    events_log = None
+    previous_events_log = None
+    if args.events_out:
+        from repro.obs import WideEventLog, set_event_log
+
+        events_log = WideEventLog(args.events_out)
+        previous_events_log = set_event_log(events_log)
     try:
         pool_size = getattr(args, "pool_size", None)
         with GenMapper(
@@ -244,6 +298,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if events_log is not None:
+            from repro.obs import set_event_log
+
+            events_log.close()
+            set_event_log(previous_events_log)
+            stats = events_log.stats()
+            print(
+                f"# wrote {stats['emitted']} wide events to"
+                f" {args.events_out}"
+                + (f" ({stats['dropped']} dropped)"
+                   if stats["dropped"] else ""),
+                file=sys.stderr,
+            )
         if tracer is not None:
             tracer.disable()
             print("\n# trace\n" + tracer.render_tree(), file=sys.stderr)
@@ -277,6 +344,8 @@ def _dispatch(genmapper: GenMapper, args: argparse.Namespace) -> int:
         "load": _cmd_load,
         "graph": _cmd_graph,
         "serve": _cmd_serve,
+        "slow-log": _cmd_slow_log,
+        "profile": _cmd_sampling_profile,
     }
     return handlers[args.command](genmapper, args)
 
@@ -539,6 +608,12 @@ def _cmd_serve(genmapper: GenMapper, args: argparse.Namespace) -> int:
     from repro.web.app import create_app
     from repro.web.server import make_threading_server
 
+    if args.slow_ms is not None:
+        from repro.obs import SlowQueryLog, set_slow_log
+
+        set_slow_log(SlowQueryLog(threshold_ms=args.slow_ms))
+        print(f"# slow-query log capturing requests over {args.slow_ms:g} ms"
+              " (GET /debug/slow)", file=sys.stderr)
     app = create_app(genmapper, request_timeout=args.request_timeout)
     with make_threading_server(args.host, args.port, app) as server:
         print(f"GenMapper API on http://{args.host}:{args.port}/sources")
@@ -546,6 +621,74 @@ def _cmd_serve(genmapper: GenMapper, args: argparse.Namespace) -> int:
             server.serve_forever()
         except KeyboardInterrupt:
             pass
+    return 0
+
+
+def _cmd_slow_log(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + f"/debug/slow?limit={args.limit}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    threshold = payload.get("threshold_ms")
+    print(
+        f"# slow-query log: threshold="
+        f"{f'{threshold:g} ms' if threshold is not None else 'disabled'}"
+        f" captured={payload.get('captured_total', 0)}"
+        f" retained={payload.get('retained', 0)}"
+    )
+    for entry in payload.get("entries", []):
+        print(
+            f"{entry.get('duration_ms', 0):>9.1f} ms"
+            f"  {entry.get('method', '?'):<5}{entry.get('route', '?'):<24}"
+            f" status={entry.get('status')}"
+            f" sql={entry.get('sql_count', 0)}"
+            f" trace={entry.get('trace_id')}"
+        )
+        stages = entry.get("stages_ms") or {}
+        for stage, ms in sorted(stages.items(), key=lambda kv: -kv[1]):
+            print(f"{'':>13}  {stage:<28} {ms:>8.1f} ms")
+    return 0
+
+
+def _cmd_sampling_profile(genmapper: GenMapper, args: argparse.Namespace) -> int:
+    from repro.datagen.emit import write_universe
+    from repro.datagen.universe import UniverseConfig, generate_universe
+    from repro.obs import SamplingProfiler
+
+    profiler = SamplingProfiler(hz=args.hz)
+    with profiler:
+        universe = generate_universe(
+            UniverseConfig(
+                seed=args.seed, n_genes=args.genes, n_go_terms=args.go_terms
+            )
+        )
+        with tempfile.TemporaryDirectory() as directory:
+            write_universe(universe, directory)
+            genmapper.integrate_directory(directory)
+        spec = parse_query("ANNOTATE LocusLink WITH Hugo AND GO")
+        for __ in range(max(0, args.queries)):
+            run_query(genmapper, spec)
+    folded = profiler.folded()
+    stats = profiler.stats()
+    note = (
+        f"# {stats['samples']} samples @ {stats['hz']:g} Hz,"
+        f" {stats['distinct_stacks']} distinct stacks"
+    )
+    if args.folded_out:
+        Path(args.folded_out).write_text(folded, encoding="utf-8")
+        print(f"{note} -> {args.folded_out}", file=sys.stderr)
+    else:
+        print(note, file=sys.stderr)
+        print(folded, end="")
     return 0
 
 

@@ -42,7 +42,7 @@ from repro.gam.records import Association, GamObject, Source
 from repro.gam.repository import GamRepository
 from repro.importer.importer import ImportReport
 from repro.importer.pipeline import IntegrationPipeline
-from repro.obs import get_tracer
+from repro.obs import annotate_event, event_scope, get_tracer
 from repro.operators.compose import EvidenceCombiner, compose, product_evidence
 from repro.operators.generate_view import TargetSpec, generate_view
 from repro.operators.mapping import Mapping
@@ -476,7 +476,9 @@ class GenMapper:
 
     def derive_subsumed(self, source: str) -> int:
         """Materialize the Subsumed mapping of a taxonomy source."""
-        __, inserted = derive_subsumed(self.repository, source)
+        with event_scope("derivation", operation="derive_subsumed", source=source):
+            __, inserted = derive_subsumed(self.repository, source)
+            annotate_event(rows=inserted)
         self._invalidate_graph()
         return inserted
 
@@ -523,7 +525,14 @@ class GenMapper:
 
     def materialize(self, mapping: Mapping) -> int:
         """Store an in-memory mapping as a Composed relationship."""
-        __, inserted = materialize_mapping(self.repository, mapping)
+        with event_scope(
+            "derivation",
+            operation="materialize",
+            source=mapping.source,
+            target=mapping.target,
+        ):
+            __, inserted = materialize_mapping(self.repository, mapping)
+            annotate_event(rows=inserted)
         self._invalidate_graph()
         return inserted
 

@@ -42,6 +42,7 @@ from pathlib import Path
 
 from repro.gam import schema as gam_schema
 from repro.gam.pool import DEFAULT_POOL_SIZE, ConnectionPool, is_memory_path
+from repro.obs.events import record_sql
 from repro.reliability.deadline import check_deadline
 from repro.reliability.faults import FaultInjector, injector_from_env
 from repro.reliability.retry import RetryPolicy, policy_from_env
@@ -180,6 +181,10 @@ class GamDatabase:
         run lock-free on the thread's own connection.
         """
         connection = self.pool.acquire()
+        # Statement boundary: the wide event of the surrounding request
+        # (if any) records the statement text + bound-parameter *count*;
+        # bind values never leave this layer (redaction by construction).
+        record_sql(sql, len(parameters))
         if _is_write_statement(sql):
             with self._write_lock:
                 cursor = self._run(
@@ -197,6 +202,7 @@ class GamDatabase:
         proceed while a writer holds a transaction open.
         """
         connection = self.pool.acquire()
+        record_sql(sql, len(parameters))
         return self._run(sql, lambda: connection.execute(sql, parameters))
 
     def executemany(self, sql: str, rows: object) -> sqlite3.Cursor:
@@ -211,6 +217,8 @@ class GamDatabase:
         # full row set, not whatever a half-consumed iterator has left.
         if not isinstance(rows, (list, tuple)):
             rows = list(rows)  # type: ignore[arg-type]
+        # For batches the recorded count is the number of parameter rows.
+        record_sql(sql, len(rows))
         with self._write_lock:
             # Holding the writer lock, an open transaction on this
             # connection can only be this thread's own.
@@ -252,6 +260,7 @@ class GamDatabase:
         or wraps itself in one ``BEGIN IMMEDIATE`` block.
         """
         connection = self.pool.acquire()
+        record_sql(sql, 0)  # row count unknown until the stream drains
         iterator = iter(rows)
 
         def _drain() -> int:

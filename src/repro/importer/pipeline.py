@@ -25,7 +25,7 @@ from repro.eav.store import EavDataset
 from repro.gam.errors import ImportError_, ParseError
 from repro.gam.repository import GamRepository
 from repro.importer.importer import GamImporter, ImportReport
-from repro.obs import get_registry, get_tracer
+from repro.obs import annotate_event, event_scope, get_registry, get_tracer
 from repro.parsers.base import SourceParser, get_parser
 from repro.reliability.checkpoint import ImportJournal, file_fingerprint
 
@@ -71,7 +71,11 @@ class IntegrationPipeline:
                 )
             parser = get_parser(source_name)
         tracer = get_tracer()
-        with tracer.span(
+        with event_scope(
+            "import",
+            source=source_name or type(parser).__name__,
+            file=path.name,
+        ), tracer.span(
             "pipeline.integrate_file",
             source=source_name or type(parser).__name__,
             file=path.name,
@@ -82,7 +86,7 @@ class IntegrationPipeline:
             report = self.importer.import_dataset(
                 dataset, content=parser.content, structure=parser.structure
             )
-        _record_import(report)
+            _record_import(report)
         return report
 
     def integrate_eav_file(self, path: str | Path) -> ImportReport:
@@ -92,7 +96,9 @@ class IntegrationPipeline:
         classification (content/structure) is reused so staging loses no
         metadata versus the direct parse-and-import path.
         """
-        with get_tracer().span("pipeline.integrate_eav_file", file=Path(path).name):
+        with event_scope("import", file=Path(path).name), get_tracer().span(
+            "pipeline.integrate_eav_file", file=Path(path).name
+        ):
             dataset = read_eav(path)
             from repro.parsers.base import has_parser
 
@@ -103,20 +109,21 @@ class IntegrationPipeline:
                 )
             else:
                 report = self.importer.import_dataset(dataset)
-        _record_import(report)
+            _record_import(report)
         return report
 
     def integrate_dataset(
         self, dataset: EavDataset, parser: SourceParser | None = None
     ) -> ImportReport:
         """Import an in-memory dataset (mainly for tests and examples)."""
-        if parser is None:
-            report = self.importer.import_dataset(dataset)
-        else:
-            report = self.importer.import_dataset(
-                dataset, content=parser.content, structure=parser.structure
-            )
-        _record_import(report)
+        with event_scope("import", source=dataset.source_name):
+            if parser is None:
+                report = self.importer.import_dataset(dataset)
+            else:
+                report = self.importer.import_dataset(
+                    dataset, content=parser.content, structure=parser.structure
+                )
+            _record_import(report)
         return report
 
     def integrate_directory(
@@ -322,7 +329,15 @@ class IntegrationPipeline:
 
 
 def _record_import(report: ImportReport) -> None:
-    """Feed one import's outcome into the default metrics registry."""
+    """Feed one import's outcome into the default metrics registry and
+    the surrounding wide event (when an import scope is open)."""
+    annotate_event(
+        source=report.source.name,
+        release=report.source.release,
+        new_objects=report.new_objects,
+        new_associations=report.total_associations,
+        skipped_rows=report.skipped_rows,
+    )
     registry = get_registry()
     registry.counter("pipeline_imports_total", source=report.source.name).inc()
     registry.counter("pipeline_objects_imported_total").inc(report.new_objects)

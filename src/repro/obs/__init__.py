@@ -1,9 +1,32 @@
-"""Observability: tracing spans, metrics, and WSGI instrumentation.
+"""Observability: tracing spans, metrics, wide events, slow-query log,
+SLO tracking, Prometheus exposition, and a sampling profiler.
 
 The subsystem every performance claim in this repo reports through — see
 ``docs/observability.md`` for the API guide and endpoint reference.
 """
 
+from repro.obs.events import (
+    EVENTS_ENV_VAR,
+    EventState,
+    WideEventLog,
+    add_stage,
+    annotate_event,
+    current_event,
+    event_scope,
+    event_stage,
+    get_event_log,
+    incr_event,
+    record_sql,
+    set_event_log,
+)
+from repro.obs.exposition import (
+    OPENMETRICS_CONTENT_TYPE,
+    TEXT_CONTENT_TYPE,
+    ExpositionError,
+    render_openmetrics,
+    render_text,
+    validate_openmetrics,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -13,20 +36,62 @@ from repro.obs.metrics import (
     get_registry,
 )
 from repro.obs.middleware import ObservabilityMiddleware, route_template
+from repro.obs.profiler import (
+    PROFILE_HZ_ENV_VAR,
+    SamplingProfiler,
+    profile_for,
+)
+from repro.obs.slo import SloTracker, get_slo_tracker, set_slo_tracker
+from repro.obs.slowlog import (
+    SLOW_MS_ENV_VAR,
+    SlowQueryLog,
+    get_slow_log,
+    set_slow_log,
+    threshold_from_env,
+)
 from repro.obs.trace import Span, Tracer, get_tracer, set_tracer, traced
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "EVENTS_ENV_VAR",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROFILE_HZ_ENV_VAR",
+    "SLOW_MS_ENV_VAR",
+    "TEXT_CONTENT_TYPE",
     "Counter",
+    "EventState",
+    "ExpositionError",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObservabilityMiddleware",
+    "SamplingProfiler",
+    "SloTracker",
+    "SlowQueryLog",
     "Span",
     "Tracer",
+    "WideEventLog",
+    "add_stage",
+    "annotate_event",
+    "current_event",
+    "event_scope",
+    "event_stage",
+    "get_event_log",
     "get_registry",
+    "get_slo_tracker",
+    "get_slow_log",
     "get_tracer",
+    "incr_event",
+    "profile_for",
+    "record_sql",
+    "render_openmetrics",
+    "render_text",
     "route_template",
+    "set_event_log",
+    "set_slo_tracker",
+    "set_slow_log",
     "set_tracer",
+    "threshold_from_env",
     "traced",
+    "validate_openmetrics",
 ]

@@ -1,0 +1,348 @@
+"""Wide events: one structured record per unit of served work.
+
+The aggregate metrics of :mod:`repro.obs.metrics` answer "how is the
+service doing"; a **wide event** answers "what happened to *this*
+request".  Every HTTP request, import and derivation gets exactly one
+JSON object carrying everything known about it — trace id, route, query
+spec digest, cache hit/stale counts, breaker state, retry count,
+deadline budget left, row counts, per-stage timings and how many SQL
+statements ran — written as one JSONL line through a bounded,
+non-blocking writer (:class:`WideEventLog`).
+
+Three cooperating pieces:
+
+* :class:`WideEventLog` — the sink.  ``emit`` never blocks the serving
+  thread: records go onto a bounded queue drained by a daemon writer
+  thread; when the queue is full the record is *dropped and counted*
+  (``obs.events.dropped``) instead of applying backpressure to the
+  request path.
+* :func:`event_scope` — a context manager that opens the *current* wide
+  event.  The scope lives in a ``contextvars.ContextVar``, so any code
+  running under it — the cache, the retry policy, the statement
+  boundary — can annotate the event without parameter threading.
+* the annotation helpers — :func:`annotate_event`, :func:`incr_event`,
+  :func:`add_stage`, :func:`event_stage`, :func:`record_sql`.  Each is a
+  no-op costing one ``ContextVar.get`` when no scope is active, which is
+  what keeps the disabled path within the ~100 ns overhead budget
+  measured by ``tests/test_obs.py``.
+
+The process-default sink is configured from the ``REPRO_EVENTS``
+environment variable (a file path) or installed explicitly
+(``--events-out`` on ``repro serve`` / ``repro import`` /
+``python -m repro.web``).  With no sink installed, scopes still collect
+annotations — the slow-query log (:mod:`repro.obs.slowlog`) reads the
+same state — but nothing is written.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import os
+import queue
+import threading
+import time
+import uuid
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Environment variable naming the wide-event JSONL output path.
+EVENTS_ENV_VAR = "REPRO_EVENTS"
+
+#: Hard cap on SQL statements retained per event (the slow log shows
+#: them; an import touching 100k rows must not build a 100k-entry list).
+MAX_SQL_STATEMENTS = 50
+
+#: Hard cap on queued-but-unwritten events before new ones are dropped.
+DEFAULT_MAX_QUEUE = 4096
+
+_SHUTDOWN = object()
+
+
+class WideEventLog:
+    """Bounded, non-blocking JSONL event writer.
+
+    ``emit`` enqueues and returns immediately; a daemon thread owns the
+    file handle and does all I/O.  A full queue drops the event and
+    bumps ``obs.events.dropped`` — observability must never become the
+    bottleneck it is meant to diagnose.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        registry: MetricsRegistry | None = None,
+        start: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._registry = registry
+        self._lock = threading.Lock()
+        self.emitted = 0
+        self.dropped = 0
+        self.write_errors = 0
+        self._worker: threading.Thread | None = None
+        self._closed = False
+        if start:
+            self.start()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def start(self) -> "WideEventLog":
+        """Start the writer thread (idempotent; tests defer it to fill
+        the queue deterministically)."""
+        with self._lock:
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._drain, name="repro-events", daemon=True
+                )
+                self._worker.start()
+        return self
+
+    def emit(self, record: dict) -> bool:
+        """Enqueue one event; returns False when it was dropped."""
+        if self._closed:
+            return False
+        try:
+            self._queue.put_nowait(record)
+        except queue.Full:
+            with self._lock:
+                self.dropped += 1
+            self.registry.counter("obs.events.dropped").inc()
+            return False
+        with self._lock:
+            self.emitted += 1
+        self.registry.counter("obs.events.emitted").inc()
+        return True
+
+    def _drain(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            while True:
+                record = self._queue.get()
+                if record is _SHUTDOWN:
+                    handle.flush()
+                    return
+                try:
+                    handle.write(json.dumps(record, default=str) + "\n")
+                    handle.flush()
+                except Exception:
+                    with self._lock:
+                        self.write_errors += 1
+                    self.registry.counter("obs.events.write_errors").inc()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Flush queued events and stop the writer thread."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            worker = self._worker
+        if worker is None:
+            return
+        try:
+            self._queue.put(_SHUTDOWN, timeout=timeout)
+        except queue.Full:
+            return
+        worker.join(timeout=timeout)
+
+    def stats(self) -> dict:
+        """Plain-data counters (tests, ``GET /metrics`` JSON block)."""
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+                "write_errors": self.write_errors,
+                "queued": self._queue.qsize(),
+            }
+
+
+# -- the current event ---------------------------------------------------------
+
+
+class EventState:
+    """The mutable in-flight wide event the annotation helpers write to."""
+
+    __slots__ = ("kind", "fields", "counts", "stages", "sql", "started_at",
+                 "slow_capture", "_t0")
+
+    def __init__(self, kind: str, fields: dict) -> None:
+        self.kind = kind
+        self.fields = fields
+        self.counts: dict[str, float] = {}
+        self.stages: dict[str, float] = {}
+        #: ``(sql, bound_params)`` pairs — statement text only, bound
+        #: values are never retained (redaction by construction).
+        self.sql: list[tuple[str, int]] = []
+        self.started_at = time.time()
+        #: Optional thunk the slow-query log calls to fetch the query
+        #: plan — installed by the ``/query`` handler, executed only for
+        #: requests that actually exceeded the threshold.
+        self.slow_capture = None
+        self._t0 = time.perf_counter()
+
+    def annotate(self, **fields: object) -> "EventState":
+        self.fields.update(fields)
+        return self
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def to_record(self, duration_s: float | None = None) -> dict:
+        """The final JSONL-ready event record."""
+        record: dict = {
+            "event": self.kind,
+            "ts": round(self.started_at, 6),
+            "duration_ms": round(
+                (self.elapsed() if duration_s is None else duration_s) * 1000, 3
+            ),
+        }
+        record.update(self.fields)
+        for name, value in self.counts.items():
+            record[name] = value
+        if self.stages:
+            record["stages_ms"] = {
+                name: round(seconds * 1000, 3)
+                for name, seconds in self.stages.items()
+            }
+        if self.sql:
+            record["sql_statements"] = len(self.sql)
+        return record
+
+
+_CURRENT: contextvars.ContextVar[EventState | None] = contextvars.ContextVar(
+    "repro_wide_event", default=None
+)
+
+
+def current_event() -> EventState | None:
+    """The in-flight wide event of this context, if a scope is open."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def event_scope(
+    kind: str,
+    trace_id: str | None = None,
+    emit: bool = True,
+    log: "WideEventLog | None" = None,
+    **fields: object,
+) -> Iterator[EventState]:
+    """Open a wide event for the duration of the block.
+
+    On exit the event is emitted to ``log`` (the process default when
+    omitted) unless ``emit=False`` — the WSGI middleware manages emission
+    itself so it can stamp the final HTTP status first.  A missing sink
+    is fine: annotations still accumulate for the slow-query log.
+    """
+    state = EventState(kind, dict(fields))
+    state.fields["trace_id"] = trace_id or uuid.uuid4().hex[:16]
+    token = _CURRENT.set(state)
+    try:
+        yield state
+    except BaseException as exc:
+        state.fields.setdefault("error", f"{type(exc).__name__}: {exc}")
+        raise
+    finally:
+        _CURRENT.reset(token)
+        if emit:
+            sink = log if log is not None else get_event_log()
+            if sink is not None:
+                sink.emit(state.to_record())
+
+
+def annotate_event(**fields: object) -> None:
+    """Merge fields into the current wide event (no-op outside a scope)."""
+    state = _CURRENT.get()
+    if state is not None:
+        state.fields.update(fields)
+
+
+def incr_event(name: str, amount: float = 1) -> None:
+    """Add to a numeric field of the current wide event (cache hits,
+    retries, ...); no-op outside a scope."""
+    state = _CURRENT.get()
+    if state is not None:
+        state.counts[name] = state.counts.get(name, 0) + amount
+
+
+def add_stage(name: str, seconds: float) -> None:
+    """Accumulate per-stage time into the current wide event."""
+    state = _CURRENT.get()
+    if state is not None:
+        state.stages[name] = state.stages.get(name, 0.0) + seconds
+
+
+@contextlib.contextmanager
+def event_stage(name: str) -> Iterator[None]:
+    """Time a block into the current event's per-stage breakdown."""
+    state = _CURRENT.get()
+    if state is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        state.stages[name] = (
+            state.stages.get(name, 0.0) + time.perf_counter() - t0
+        )
+
+
+def record_sql(sql: str, bound_params: int = 0) -> None:
+    """Record one executed statement against the current wide event.
+
+    Called from the storage layer's statement boundary.  Only the SQL
+    *text* is kept (bind values never leave the database layer — that is
+    the redaction guarantee) plus the bound-parameter count; retention
+    is capped at :data:`MAX_SQL_STATEMENTS` while the total keeps
+    counting.
+    """
+    state = _CURRENT.get()
+    if state is None:
+        return
+    state.counts["sql_count"] = state.counts.get("sql_count", 0) + 1
+    if len(state.sql) < MAX_SQL_STATEMENTS:
+        state.sql.append((sql, bound_params))
+
+
+# -- the process-default sink --------------------------------------------------
+
+_EVENT_LOG: WideEventLog | None = None
+_EVENT_LOG_RESOLVED = False
+_EVENT_LOG_LOCK = threading.Lock()
+
+
+def get_event_log() -> WideEventLog | None:
+    """The process-default wide-event sink, or None.
+
+    Resolved lazily on first use: when ``REPRO_EVENTS`` names a path, a
+    :class:`WideEventLog` appending to it is installed.
+    """
+    global _EVENT_LOG, _EVENT_LOG_RESOLVED
+    if not _EVENT_LOG_RESOLVED:
+        with _EVENT_LOG_LOCK:
+            if not _EVENT_LOG_RESOLVED:
+                path = os.environ.get(EVENTS_ENV_VAR, "").strip()
+                if path:
+                    _EVENT_LOG = WideEventLog(path)
+                _EVENT_LOG_RESOLVED = True
+    return _EVENT_LOG
+
+
+def set_event_log(log: WideEventLog | None) -> WideEventLog | None:
+    """Install (or clear) the process-default sink; returns the previous
+    one so tests and CLI entry points can restore it."""
+    global _EVENT_LOG, _EVENT_LOG_RESOLVED
+    with _EVENT_LOG_LOCK:
+        previous = _EVENT_LOG
+        _EVENT_LOG = log
+        _EVENT_LOG_RESOLVED = True
+    return previous

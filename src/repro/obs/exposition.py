@@ -1,0 +1,371 @@
+"""Prometheus/OpenMetrics text exposition for the metrics registry.
+
+``GET /metrics`` historically served a JSON snapshot; a real Prometheus
+server speaks the text formats.  This module renders the registry in
+both dialects and ships the strict parser CI uses to validate a live
+scrape:
+
+* :func:`render_text` — classic Prometheus text format 0.0.4
+  (``text/plain; version=0.0.4``): ``# TYPE`` headers, one sample per
+  line, cumulative histogram buckets.
+* :func:`render_openmetrics` — OpenMetrics 1.0
+  (``application/openmetrics-text``): counter samples carry the
+  ``_total`` suffix, the output terminates with ``# EOF``, and
+  histogram buckets may carry **exemplars** — ``# {trace_id="..."}
+  value ts`` — linking a latency bucket to the trace id of one request
+  that landed in it.  Grafana's "trace to logs" jump from a heatmap
+  cell to the matching wide event is exactly this mechanism.
+* :func:`validate_openmetrics` — a strict line-level parser that raises
+  :class:`ExpositionError` on malformed output (bad names, missing
+  ``# EOF``, non-cumulative buckets, undeclared families, broken
+  exemplar syntax).  CI scrapes a live server and runs every byte
+  through it.
+
+Registry metric names use dots (``obs.events.dropped``); exposition
+sanitises them to the Prometheus charset (``obs_events_dropped``).  The
+JSON snapshot keeps the dotted names — the two surfaces are decoupled
+on purpose.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Content type of the classic text format.
+TEXT_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Content type of OpenMetrics 1.0.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+class ExpositionError(ValueError):
+    """A violation of the exposition format, with the offending line."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(f"{prefix}{message}")
+        self.line_no = line_no
+
+
+def sanitize_name(name: str) -> str:
+    """Map a registry metric name onto the Prometheus name charset."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        name = key if _LABEL_NAME_RE.match(key) else sanitize_name(key)
+        parts.append(f'{name}="{_escape_label_value(str(labels[key]))}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float | str) -> str:
+    return bound if isinstance(bound, str) else _format_value(float(bound))
+
+
+def _render(registry: MetricsRegistry, openmetrics: bool) -> str:
+    lines: list[str] = []
+    declared: set[str] = set()
+
+    # Group labelled series into metric families.  OpenMetrics counter
+    # families drop the ``_total`` suffix (samples re-add it); text
+    # format 0.0.4 keeps sample name == declared name.
+    grouped: dict[tuple[str, str], list[tuple[dict, object]]] = {}
+    for kind, name, labels, metric in registry.collect():
+        family = sanitize_name(name)
+        if openmetrics and kind == "counter" and family.endswith("_total"):
+            family = family[: -len("_total")]
+        grouped.setdefault((family, kind), []).append((labels, metric))
+
+    for (family, kind), series in sorted(grouped.items()):
+        if family in declared:
+            # Two registry names sanitised onto the same family with
+            # different kinds — skip rather than emit invalid output.
+            continue
+        declared.add(family)
+        lines.append(f"# TYPE {family} {kind}")
+        for labels, metric in series:
+            if kind == "counter":
+                sample = f"{family}_total" if openmetrics else family
+                lines.append(
+                    f"{sample}{_format_labels(labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+            elif kind == "gauge":
+                lines.append(
+                    f"{family}{_format_labels(labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+            else:
+                _render_histogram(
+                    lines, family, labels, metric, openmetrics
+                )
+    if openmetrics:
+        lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _render_histogram(
+    lines: list[str],
+    family: str,
+    labels: dict[str, str],
+    metric: Histogram,
+    openmetrics: bool,
+) -> None:
+    export = metric.export_buckets()
+    for bound, cumulative, exemplar in export["buckets"]:
+        with_le = dict(labels)
+        with_le["le"] = _format_bound(bound)
+        line = f"{family}_bucket{_format_labels(with_le)} {cumulative}"
+        if openmetrics and exemplar is not None:
+            ex_label, ex_value, ex_ts = exemplar
+            line += (
+                f' # {{trace_id="{_escape_label_value(ex_label)}"}}'
+                f" {repr(float(ex_value))} {repr(round(float(ex_ts), 3))}"
+            )
+        lines.append(line)
+    lines.append(
+        f"{family}_sum{_format_labels(labels)} "
+        f"{repr(float(export['sum']))}"
+    )
+    lines.append(f"{family}_count{_format_labels(labels)} {export['count']}")
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """Prometheus text format 0.0.4 (no exemplars, no ``# EOF``)."""
+    return _render(registry, openmetrics=False)
+
+
+def render_openmetrics(registry: MetricsRegistry) -> str:
+    """OpenMetrics 1.0 with exemplars, terminated by ``# EOF``."""
+    return _render(registry, openmetrics=True)
+
+
+# -- strict validation (used by CI's scrape check and the tests) ---------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ #]+)"
+    r"(?P<exemplar> # \{[^}]*\} [^ ]+( [^ ]+)?)?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def _parse_labels(text: str, line_no: int) -> dict[str, str]:
+    body = text[1:-1]
+    if not body:
+        return {}
+    labels: dict[str, str] = {}
+    remainder = body
+    while remainder:
+        match = _LABEL_PAIR_RE.match(remainder)
+        if not match:
+            raise ExpositionError(f"malformed label set {text!r}", line_no)
+        name, value = match.group(1), match.group(2)
+        if name in labels:
+            raise ExpositionError(f"duplicate label {name!r}", line_no)
+        labels[name] = value
+        remainder = remainder[match.end():]
+        if remainder.startswith(","):
+            remainder = remainder[1:]
+        elif remainder:
+            raise ExpositionError(f"malformed label set {text!r}", line_no)
+    return labels
+
+
+def _float(text: str, what: str, line_no: int) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(f"non-numeric {what} {text!r}", line_no) from None
+
+
+def _family_of(sample: str, families: dict[str, str]) -> tuple[str, str] | None:
+    """Resolve a sample name to its declared (family, kind)."""
+    if sample in families:
+        return sample, families[sample]
+    for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+        if sample.endswith(suffix):
+            family = sample[: -len(suffix)]
+            if family in families:
+                return family, families[family]
+    return None
+
+
+#: suffixes each metric type may emit samples under (OpenMetrics 1.0).
+_ALLOWED_SUFFIXES = {
+    "counter": {"_total", "_created"},
+    "gauge": {""},
+    "histogram": {"_bucket", "_sum", "_count", "_created"},
+    "summary": {"", "_sum", "_count", "_created"},
+    "unknown": {""},
+}
+
+
+def validate_openmetrics(text: str) -> dict:
+    """Strictly validate OpenMetrics text; returns parse statistics.
+
+    Raises :class:`ExpositionError` on the first violation.  Checks:
+    mandatory final ``# EOF``; metric/label name charsets; families
+    declared (``# TYPE``) before samples and only once; sample suffixes
+    legal for the declared type; numeric values; histogram buckets
+    carrying ``le``, cumulative-monotone, ending at ``+Inf`` and
+    agreeing with ``_count``; well-formed exemplars only on ``_bucket``
+    and ``_total`` samples.
+    """
+    if not text.endswith("\n"):
+        raise ExpositionError("exposition must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise ExpositionError("missing terminal '# EOF'")
+    families: dict[str, str] = {}
+    samples = 0
+    exemplars = 0
+    seen_samples: set[str] = set()
+    # (family, frozen non-le labels) -> list of (le, cumulative)
+    histo_buckets: dict[tuple, list[tuple[float, float]]] = {}
+    histo_counts: dict[tuple, float] = {}
+
+    for line_no, line in enumerate(lines, start=1):
+        if line == "# EOF":
+            if line_no != len(lines):
+                raise ExpositionError("content after '# EOF'", line_no)
+            continue
+        if not line:
+            raise ExpositionError("blank line", line_no)
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#":
+                raise ExpositionError(f"malformed comment {line!r}", line_no)
+            keyword = parts[1]
+            if keyword == "TYPE":
+                if len(parts) != 4:
+                    raise ExpositionError("malformed TYPE line", line_no)
+                family, kind = parts[2], parts[3]
+                if not _NAME_RE.match(family):
+                    raise ExpositionError(
+                        f"invalid metric name {family!r}", line_no
+                    )
+                if kind not in _ALLOWED_SUFFIXES:
+                    raise ExpositionError(
+                        f"unknown metric type {kind!r}", line_no
+                    )
+                if family in families:
+                    raise ExpositionError(
+                        f"family {family!r} declared twice", line_no
+                    )
+                families[family] = kind
+            elif keyword in ("HELP", "UNIT"):
+                continue
+            else:
+                raise ExpositionError(
+                    f"unknown comment keyword {keyword!r}", line_no
+                )
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ExpositionError(f"malformed sample {line!r}", line_no)
+        sample_name = match.group("name")
+        resolved = _family_of(sample_name, families)
+        if resolved is None:
+            raise ExpositionError(
+                f"sample {sample_name!r} has no declared family", line_no
+            )
+        family, kind = resolved
+        suffix = sample_name[len(family):]
+        if suffix not in _ALLOWED_SUFFIXES[kind]:
+            raise ExpositionError(
+                f"sample suffix {suffix!r} illegal for {kind}", line_no
+            )
+        labels = _parse_labels(match.group("labels") or "{}", line_no)
+        value = _float(match.group("value"), "sample value", line_no)
+        identity = f"{sample_name}|{sorted(labels.items())}"
+        if identity in seen_samples:
+            raise ExpositionError(f"duplicate sample {line!r}", line_no)
+        seen_samples.add(identity)
+        samples += 1
+
+        exemplar_text = match.group("exemplar")
+        if exemplar_text is not None:
+            if suffix not in ("_bucket", "_total"):
+                raise ExpositionError(
+                    "exemplar on a non-bucket/non-counter sample", line_no
+                )
+            ex_parts = exemplar_text[len(" # "):].split(" ")
+            _parse_labels(ex_parts[0], line_no)
+            _float(ex_parts[1], "exemplar value", line_no)
+            if len(ex_parts) == 3:
+                _float(ex_parts[2], "exemplar timestamp", line_no)
+            exemplars += 1
+
+        if suffix == "_bucket":
+            if "le" not in labels:
+                raise ExpositionError("bucket sample without 'le'", line_no)
+            bound = (
+                float("inf")
+                if labels["le"] == "+Inf"
+                else _float(labels["le"], "'le' bound", line_no)
+            )
+            ident = (
+                family,
+                tuple(sorted((k, v) for k, v in labels.items() if k != "le")),
+            )
+            histo_buckets.setdefault(ident, []).append((bound, value))
+        elif suffix == "_count" and kind == "histogram":
+            ident = (family, tuple(sorted(labels.items())))
+            histo_counts[ident] = value
+
+    for ident, buckets in histo_buckets.items():
+        bounds = [bound for bound, __ in buckets]
+        if bounds != sorted(bounds):
+            raise ExpositionError(
+                f"buckets of {ident[0]!r} not in ascending 'le' order"
+            )
+        counts = [count for __, count in buckets]
+        if counts != sorted(counts):
+            raise ExpositionError(
+                f"buckets of {ident[0]!r} not cumulative"
+            )
+        if bounds[-1] != float("inf"):
+            raise ExpositionError(f"{ident[0]!r} missing le=\"+Inf\" bucket")
+        total = histo_counts.get(ident)
+        if total is not None and total != counts[-1]:
+            raise ExpositionError(
+                f"{ident[0]!r} _count disagrees with +Inf bucket"
+            )
+
+    return {
+        "families": len(families),
+        "samples": samples,
+        "exemplars": exemplars,
+    }

@@ -20,6 +20,7 @@ so contention stays per-metric, not registry-wide.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Sequence
 
 #: Default histogram boundaries (seconds): spans sub-millisecond operator
@@ -95,7 +96,8 @@ class Histogram:
     everything above the last boundary.
     """
 
-    __slots__ = ("buckets", "counts", "count", "total", "min", "max", "_lock")
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max",
+                 "exemplars", "_lock")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         if not buckets or list(buckets) != sorted(buckets):
@@ -106,9 +108,15 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        #: Per-bucket ``(label, value, unix_ts)`` of the most recent
+        #: observation that carried an exemplar (e.g. a trace id) —
+        #: rendered as OpenMetrics exemplars by ``exposition.py``.
+        self.exemplars: list[tuple[str, float, float] | None] = [None] * (
+            len(self.buckets) + 1
+        )
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         index = self._bucket_index(value)
         with self._lock:
             self.counts[index] += 1
@@ -118,6 +126,8 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if exemplar is not None:
+                self.exemplars[index] = (str(exemplar), float(value), time.time())
 
     def _bucket_index(self, value: float) -> int:
         for index, bound in enumerate(self.buckets):
@@ -156,6 +166,27 @@ class Histogram:
                 cumulative += bucket_count
             return self.max if self.max is not None else 0.0
 
+    def export_buckets(self) -> dict:
+        """Cumulative bucket counts for Prometheus exposition.
+
+        Returns ``{"buckets": [(le, cumulative, exemplar), ...], "count",
+        "sum"}`` where ``le`` is the upper bound as a float or the string
+        ``"+Inf"`` for the overflow bucket, under one consistent lock.
+        """
+        with self._lock:
+            counts = list(self.counts)
+            exemplars = list(self.exemplars)
+            count, total = self.count, self.total
+        buckets: list[tuple[float | str, int, tuple | None]] = []
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            bound: float | str = (
+                self.buckets[index] if index < len(self.buckets) else "+Inf"
+            )
+            buckets.append((bound, cumulative, exemplars[index]))
+        return {"buckets": buckets, "count": count, "sum": total}
+
     def summary(self) -> dict:
         """Plain-data digest: count, sum, min/max/mean, p50/p95/p99."""
         with self._lock:
@@ -184,6 +215,9 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: key -> (base name, labels) so exposition can regroup labelled
+        #: series into metric families without re-parsing the keys.
+        self._meta: dict[str, tuple[str, dict[str, str]]] = {}
 
     # -- get-or-create -----------------------------------------------------
 
@@ -193,6 +227,7 @@ class MetricsRegistry:
             metric = self._counters.get(key)
             if metric is None:
                 metric = self._counters[key] = Counter()
+                self._meta[key] = (name, labels)
         return metric
 
     def gauge(self, name: str, **labels: str) -> Gauge:
@@ -201,6 +236,7 @@ class MetricsRegistry:
             metric = self._gauges.get(key)
             if metric is None:
                 metric = self._gauges[key] = Gauge()
+                self._meta[key] = (name, labels)
         return metric
 
     def histogram(
@@ -214,6 +250,7 @@ class MetricsRegistry:
             metric = self._histograms.get(key)
             if metric is None:
                 metric = self._histograms[key] = Histogram(buckets)
+                self._meta[key] = (name, labels)
         return metric
 
     # -- reading -----------------------------------------------------------
@@ -253,12 +290,33 @@ class MetricsRegistry:
             for key, metric in sorted(histograms.items())
         }
 
+    def collect(self) -> list[tuple[str, str, dict[str, str], object]]:
+        """Every live metric as ``(kind, name, labels, metric)`` tuples.
+
+        The structured companion to :meth:`snapshot`: exposition needs
+        the base name and label dict separately (to group series into
+        families) and the live Histogram objects (for bucket counts and
+        exemplars), not the flattened summary keys.
+        """
+        with self._lock:
+            rows: list[tuple[str, str, dict[str, str], object]] = []
+            for kind, store in (
+                ("counter", self._counters),
+                ("gauge", self._gauges),
+                ("histogram", self._histograms),
+            ):
+                for key in sorted(store):
+                    name, labels = self._meta.get(key, (key, {}))
+                    rows.append((kind, name, dict(labels), store[key]))
+        return rows
+
     def reset(self) -> None:
         """Drop every metric (tests and benchmark isolation)."""
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._meta.clear()
 
 
 #: The process-wide default registry used by all instrumentation.

@@ -1,4 +1,5 @@
-"""WSGI observability middleware: request IDs, latency, status counters.
+"""WSGI observability middleware: request IDs, latency, status counters,
+wide events, SLO accounting and slow-request capture.
 
 Wraps any WSGI app (see :func:`repro.web.app.create_app`) and, for every
 request:
@@ -9,10 +10,23 @@ request:
 * records ``http_requests_total{method,route,status}`` counters and a
   ``http_request_seconds{route}`` latency histogram, labelling by *route
   template* (``/sources/{name}``, not ``/sources/GO``) to keep metric
-  cardinality bounded;
+  cardinality bounded; each latency observation carries the request id
+  as an **exemplar**, so OpenMetrics scrapes can jump from a bucket to
+  the matching wide event;
 * tracks ``http_requests_in_flight`` as a gauge;
+* feeds the request's outcome (5xx? slower than threshold?) to the
+  :class:`~repro.obs.slo.SloTracker`;
+* when a wide-event sink or slow-query log is active, opens a wide event
+  (``event=http_request``) whose trace id *is* the request id — handlers
+  and lower layers annotate it through ``repro.obs.events`` — emits it
+  after the final status is known, and hands slow requests to the
+  slow-query log for plan capture;
 * opens an ``http.request`` span when the tracer is enabled, so a traced
   server shows handler work nested under the request.
+
+When neither a sink nor a slow-log threshold is configured, no event
+state is allocated at all — the per-request overhead stays within the
+budget asserted by ``tests/test_obs.py``.
 
 Errors raised by the wrapped app are counted under status 500 and
 re-raised for the server to handle.
@@ -24,11 +38,23 @@ import time
 import uuid
 from collections.abc import Callable, Iterable
 
+from repro.obs.events import (
+    _CURRENT,
+    EventState,
+    WideEventLog,
+    get_event_log,
+)
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.slo import SloTracker, get_slo_tracker
+from repro.obs.slowlog import SlowQueryLog, get_slow_log
 from repro.obs.trace import Tracer, get_tracer
 
 #: Histogram buckets for HTTP latency (seconds).
 HTTP_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+#: Sentinel distinguishing "use the process default" from "explicitly
+#: disabled" for the injectable collaborators.
+_UNSET = object()
 
 
 def route_template(method: str, path: str) -> str:
@@ -51,8 +77,15 @@ def route_template(method: str, path: str) -> str:
             return "/sources/{name}/objects"
     elif head == "objects" and len(segments) == 3:
         return "/objects/{source}/{accession}"
-    elif head in ("map", "paths", "stats", "metrics", "health") and len(segments) == 1:
+    elif head in ("map", "paths", "stats", "metrics", "health", "slo") and (
+        len(segments) == 1
+    ):
         return f"/{head}"
+    elif head == "debug" and len(segments) == 2 and segments[1] in (
+        "slow",
+        "profile",
+    ):
+        return f"/debug/{segments[1]}"
     elif head == "query":
         if len(segments) == 1:
             return "/query"
@@ -62,17 +95,24 @@ def route_template(method: str, path: str) -> str:
 
 
 class ObservabilityMiddleware:
-    """WSGI wrapper adding request IDs, metrics and an optional span."""
+    """WSGI wrapper adding request IDs, metrics, wide events, SLO
+    accounting, slow capture and an optional span."""
 
     def __init__(
         self,
         app: Callable,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        event_log: WideEventLog | None | object = _UNSET,
+        slow_log: SlowQueryLog | None | object = _UNSET,
+        slo: SloTracker | None | object = _UNSET,
     ) -> None:
         self.app = app
         self._registry = registry
         self._tracer = tracer
+        self._event_log = event_log
+        self._slow_log = slow_log
+        self._slo = slo
 
     @property
     def registry(self) -> MetricsRegistry:
@@ -81,6 +121,24 @@ class ObservabilityMiddleware:
     @property
     def tracer(self) -> Tracer:
         return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def event_log(self) -> WideEventLog | None:
+        if self._event_log is _UNSET:
+            return get_event_log()
+        return self._event_log  # type: ignore[return-value]
+
+    @property
+    def slow_log(self) -> SlowQueryLog | None:
+        if self._slow_log is _UNSET:
+            return get_slow_log()
+        return self._slow_log  # type: ignore[return-value]
+
+    @property
+    def slo(self) -> SloTracker | None:
+        if self._slo is _UNSET:
+            return get_slo_tracker()
+        return self._slo  # type: ignore[return-value]
 
     def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
         registry = self.registry
@@ -99,6 +157,17 @@ class ObservabilityMiddleware:
                 (exc_info,) if exc_info is not None else ()
             ))
 
+        event_log = self.event_log
+        slow_log = self.slow_log
+        slo = self.slo
+        state = token = None
+        if event_log is not None or (slow_log is not None and slow_log.enabled):
+            state = EventState(
+                "http_request",
+                {"trace_id": request_id, "method": method, "route": route},
+            )
+            token = _CURRENT.set(state)
+
         in_flight = registry.gauge("http_requests_in_flight")
         in_flight.inc()
         started = time.perf_counter()
@@ -116,15 +185,34 @@ class ObservabilityMiddleware:
             else:
                 response = self.app(environ, observed_start_response)
             return response
+        except BaseException as exc:
+            if state is not None:
+                state.fields.setdefault(
+                    "error", f"{type(exc).__name__}: {exc}"
+                )
+            raise
         finally:
             elapsed = time.perf_counter() - started
             in_flight.dec()
+            status = status_code["value"]
             registry.counter(
                 "http_requests_total",
                 method=method,
                 route=route,
-                status=status_code["value"],
+                status=status,
             ).inc()
             registry.histogram(
                 "http_request_seconds", buckets=HTTP_BUCKETS, route=route
-            ).observe(elapsed)
+            ).observe(elapsed, exemplar=request_id)
+            if slo is not None:
+                slo.record(status.isdigit() and int(status) < 500, elapsed)
+            if state is not None:
+                _CURRENT.reset(token)
+                state.fields["status"] = (
+                    int(status) if status.isdigit() else status
+                )
+                if slow_log is not None and slow_log.should_capture(elapsed):
+                    state.fields["slow"] = True
+                    slow_log.capture_from_event(state, elapsed)
+                if event_log is not None:
+                    event_log.emit(state.to_record(duration_s=elapsed))

@@ -1,0 +1,184 @@
+"""Sampling profiler: periodic stack walks, flamegraph-ready folded output.
+
+Deterministic tracing (``cProfile``) slows the traced code several-fold
+and so cannot run in a serving process; a **sampling** profiler walks
+every thread's current Python frames ``hz`` times a second from a side
+thread (:func:`sys._current_frames`) and counts how often each stack was
+seen.  Cost scales with the sampling rate and stack depth, not with the
+amount of work profiled, so 100 Hz is safe on a live server.
+
+Output is the *folded stack* format consumed by Brendan Gregg's
+``flamegraph.pl`` and by speedscope: one line per distinct stack,
+``frame;frame;...;frame <count>``, root first.  Multiply a line's count
+by the sampling period to estimate time spent there.
+
+Entry points:
+
+* ``repro profile`` — profiles a scaled ``repro.datagen`` build + import
+  + query run and writes the folded stacks (``--folded-out``);
+* ``GET /debug/profile?seconds=N`` — profiles the live server for N
+  seconds and returns the folded stacks as plain text;
+* :class:`SamplingProfiler` directly, as a context manager, anywhere.
+
+When the profiler is *not* running there is nothing to pay for: no
+thread, no per-request hook — the disabled-path budget measured in
+``tests/test_obs.py`` holds trivially.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from types import FrameType
+
+#: Environment variable overriding the default sampling rate (samples/s).
+PROFILE_HZ_ENV_VAR = "REPRO_PROFILE_HZ"
+
+#: Default sampling rate.
+DEFAULT_HZ = 100.0
+
+#: Hard cap on frames retained per stack (deeper stacks are truncated at
+#: the root end so the leaf — where time is actually spent — survives).
+MAX_STACK_DEPTH = 128
+
+
+def hz_from_env(default: float = DEFAULT_HZ) -> float:
+    """Sampling rate from ``REPRO_PROFILE_HZ`` (clamped to [1, 1000])."""
+    raw = os.environ.get(PROFILE_HZ_ENV_VAR, "").strip()
+    if raw:
+        try:
+            default = float(raw)
+        except ValueError:
+            pass
+    return min(1000.0, max(1.0, default))
+
+
+def frame_label(frame: FrameType) -> str:
+    """``module:function`` label for one frame, stable across runs."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{code.co_name}"
+
+
+def stack_key(frame: FrameType | None) -> tuple[str, ...]:
+    """The folded-stack identity of a frame chain, root first."""
+    labels: list[str] = []
+    while frame is not None and len(labels) < MAX_STACK_DEPTH:
+        labels.append(frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+class SamplingProfiler:
+    """Walk all threads' frames every ``1/hz`` seconds and count stacks.
+
+    Usable as a context manager::
+
+        with SamplingProfiler(hz=200) as prof:
+            expensive_work()
+        print(prof.folded())
+    """
+
+    def __init__(self, hz: float | None = None) -> None:
+        self.hz = hz_from_env() if hz is None else min(1000.0, max(1.0, hz))
+        self.interval = 1.0 / self.hz
+        self._counts: dict[tuple[str, ...], int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._worker: threading.Thread | None = None
+        self.samples = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._worker is not None:
+            return self
+        self._stop.clear()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        worker = self._worker
+        if worker is None:
+            return self
+        self._stop.set()
+        worker.join(timeout=5.0)
+        self._worker = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None
+
+    # -- sampling ----------------------------------------------------------
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            self.sample_once(skip_thread=own_id)
+
+    def sample_once(self, skip_thread: int | None = None) -> int:
+        """Take one sample of every thread (the profiler thread itself is
+        skipped — it would otherwise dominate its own report)."""
+        frames = sys._current_frames()
+        taken = 0
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id == skip_thread:
+                    continue
+                key = stack_key(frame)
+                if key:
+                    self._counts[key] = self._counts.get(key, 0) + 1
+                    taken += 1
+            self.samples += 1
+        return taken
+
+    # -- reporting ---------------------------------------------------------
+
+    def folded(self) -> str:
+        """Folded-stack report: ``frame;frame;... count`` per line,
+        hottest stacks first."""
+        with self._lock:
+            counts = dict(self._counts)
+        lines = [
+            f"{';'.join(stack)} {count}"
+            for stack, count in sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hz": self.hz,
+                "samples": self.samples,
+                "distinct_stacks": len(self._counts),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self.samples = 0
+
+
+def profile_for(seconds: float, hz: float | None = None) -> SamplingProfiler:
+    """Run a profiler for ``seconds`` wall time and return it (blocking;
+    the work being profiled runs on *other* threads — this is what the
+    ``GET /debug/profile`` endpoint uses against the live server)."""
+    profiler = SamplingProfiler(hz=hz)
+    done = threading.Event()
+    with profiler:
+        done.wait(max(0.0, seconds))
+    return profiler

@@ -1,0 +1,253 @@
+"""SLO tracking: rolling multi-window objectives and burn rates.
+
+Operators do not alert on raw error counts; they alert on **error-budget
+burn**.  The :class:`SloTracker` watches the live request stream and,
+over rolling windows (5 minutes and 1 hour by default), computes
+
+* **availability** — the fraction of requests that did not fail with a
+  server error (5xx; client errors are the client's budget, not ours),
+  against a target like 99.9%;
+* **latency attainment** — the fraction of requests faster than a
+  threshold (default 500 ms), against a target like 99%.
+
+For each objective the tracker reports the **burn rate**: the observed
+miss rate divided by the error budget ``1 - target``.  Burn rate 1.0
+means the budget is being spent exactly as fast as it accrues; 14.4 on
+the 1h window is the classic page-now threshold.  Multi-window burn
+rates are exactly what makes chaos runs legible — inject 5% busy faults
+and watch the 5m burn spike while the 1h window absorbs it.
+
+The implementation is a per-second ring of ``(count, errors, slow)``
+triples sized to the largest window: ``record`` is O(1) per request,
+``snapshot`` walks at most 3600 slots and only runs when ``GET /slo``
+or ``GET /metrics`` asks.  The clock is injectable, so the window math
+is tested on a fake clock with zero sleeping.
+
+Snapshots also publish ``slo.burn_rate{window=...,objective=...}``
+gauges (plus availability/attainment gauges) into the metrics registry,
+so Prometheus alerting rules can consume the same numbers the JSON
+endpoint shows.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections.abc import Callable
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Default rolling windows (label -> seconds), smallest first.
+DEFAULT_WINDOWS: dict[str, int] = {"5m": 300, "1h": 3600}
+
+#: Environment overrides for the objectives.
+AVAILABILITY_ENV_VAR = "REPRO_SLO_AVAILABILITY"
+LATENCY_MS_ENV_VAR = "REPRO_SLO_LATENCY_MS"
+LATENCY_TARGET_ENV_VAR = "REPRO_SLO_LATENCY_TARGET"
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+class SloTracker:
+    """Rolling-window availability/latency objectives over the request
+    stream, with burn rates."""
+
+    def __init__(
+        self,
+        availability_target: float = 0.999,
+        latency_threshold_ms: float = 500.0,
+        latency_target: float = 0.99,
+        windows: dict[str, int] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if not 0.0 < availability_target < 1.0:
+            raise ValueError("availability_target must be in (0, 1)")
+        if not 0.0 < latency_target < 1.0:
+            raise ValueError("latency_target must be in (0, 1)")
+        if latency_threshold_ms <= 0:
+            raise ValueError("latency_threshold_ms must be positive")
+        self.availability_target = float(availability_target)
+        self.latency_threshold_ms = float(latency_threshold_ms)
+        self.latency_target = float(latency_target)
+        self.windows = dict(windows) if windows else dict(DEFAULT_WINDOWS)
+        if not self.windows or any(s < 1 for s in self.windows.values()):
+            raise ValueError("windows must map labels to positive seconds")
+        self.clock = clock
+        self._registry = registry
+        self._size = max(self.windows.values())
+        self._stamps = [-1] * self._size
+        self._counts = [0] * self._size
+        self._errors = [0] * self._size
+        self._slow = [0] * self._size
+        self._lock = threading.Lock()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, ok: bool, duration_s: float) -> None:
+        """Account one finished request: O(1), called per request."""
+        second = int(self.clock())
+        index = second % self._size
+        slow = duration_s * 1000.0 > self.latency_threshold_ms
+        with self._lock:
+            if self._stamps[index] != second:
+                # The slot last held a second that rolled out of every
+                # window a full ring ago; recycle it.
+                self._stamps[index] = second
+                self._counts[index] = 0
+                self._errors[index] = 0
+                self._slow[index] = 0
+            self._counts[index] += 1
+            if not ok:
+                self._errors[index] += 1
+            if slow:
+                self._slow[index] += 1
+
+    # -- reading -----------------------------------------------------------
+
+    def _window_totals(self, now: int, span: int) -> tuple[int, int, int]:
+        requests = errors = slow = 0
+        for second in range(now - span + 1, now + 1):
+            index = second % self._size
+            if self._stamps[index] == second:
+                requests += self._counts[index]
+                errors += self._errors[index]
+                slow += self._slow[index]
+        return requests, errors, slow
+
+    def snapshot(
+        self,
+        publish: bool = True,
+        registry: MetricsRegistry | None = None,
+    ) -> dict:
+        """Objectives, per-window attainment and burn rates.
+
+        ``publish=True`` (default) also sets the ``slo.*`` gauges in the
+        metrics registry (``registry`` overrides the tracker's own — the
+        web layer points it at the registry being scraped) so the same
+        numbers are scrapeable.
+        """
+        now = int(self.clock())
+        availability_budget = 1.0 - self.availability_target
+        latency_budget = 1.0 - self.latency_target
+        windows: dict[str, dict] = {}
+        with self._lock:
+            totals = {
+                label: self._window_totals(now, span)
+                for label, span in self.windows.items()
+            }
+        for label, span in sorted(self.windows.items(), key=lambda kv: kv[1]):
+            requests, errors, slow = totals[label]
+            if requests:
+                availability = 1.0 - errors / requests
+                attainment = 1.0 - slow / requests
+                availability_burn = (errors / requests) / availability_budget
+                latency_burn = (slow / requests) / latency_budget
+            else:
+                availability = attainment = 1.0
+                availability_burn = latency_burn = 0.0
+            windows[label] = {
+                "seconds": span,
+                "requests": requests,
+                "errors": errors,
+                "slow": slow,
+                "availability": round(availability, 6),
+                "availability_burn_rate": round(availability_burn, 4),
+                "latency_attainment": round(attainment, 6),
+                "latency_burn_rate": round(latency_burn, 4),
+                "availability_ok": availability >= self.availability_target,
+                "latency_ok": attainment >= self.latency_target,
+            }
+        payload = {
+            "objectives": {
+                "availability_target": self.availability_target,
+                "latency_threshold_ms": self.latency_threshold_ms,
+                "latency_target": self.latency_target,
+            },
+            "windows": windows,
+        }
+        if publish:
+            self._publish(
+                windows, registry if registry is not None else self.registry
+            )
+        return payload
+
+    def _publish(
+        self, windows: dict[str, dict], registry: MetricsRegistry
+    ) -> None:
+        for label, data in windows.items():
+            registry.gauge(
+                "slo.burn_rate", window=label, objective="availability"
+            ).set(data["availability_burn_rate"])
+            registry.gauge(
+                "slo.burn_rate", window=label, objective="latency"
+            ).set(data["latency_burn_rate"])
+            registry.gauge("slo.availability", window=label).set(
+                data["availability"]
+            )
+            registry.gauge("slo.latency_attainment", window=label).set(
+                data["latency_attainment"]
+            )
+
+    def reset(self) -> None:
+        """Forget all recorded traffic (tests)."""
+        with self._lock:
+            for index in range(self._size):
+                self._stamps[index] = -1
+                self._counts[index] = 0
+                self._errors[index] = 0
+                self._slow[index] = 0
+
+
+def tracker_from_env(
+    registry: MetricsRegistry | None = None,
+) -> SloTracker:
+    """A tracker with objectives from ``REPRO_SLO_*`` (or the defaults)."""
+    return SloTracker(
+        availability_target=min(
+            0.999999, max(1e-6, _env_float(AVAILABILITY_ENV_VAR, 0.999))
+        ),
+        latency_threshold_ms=max(1.0, _env_float(LATENCY_MS_ENV_VAR, 500.0)),
+        latency_target=min(
+            0.999999, max(1e-6, _env_float(LATENCY_TARGET_ENV_VAR, 0.99))
+        ),
+        registry=registry,
+    )
+
+
+# -- the process-default tracker -----------------------------------------------
+
+_TRACKER: SloTracker | None = None
+_TRACKER_LOCK = threading.Lock()
+
+
+def get_slo_tracker() -> SloTracker:
+    """The process-default SLO tracker (objectives from ``REPRO_SLO_*``)."""
+    global _TRACKER
+    if _TRACKER is None:
+        with _TRACKER_LOCK:
+            if _TRACKER is None:
+                _TRACKER = tracker_from_env()
+    return _TRACKER
+
+
+def set_slo_tracker(tracker: SloTracker | None) -> SloTracker | None:
+    """Swap the process-default tracker; returns the previous one."""
+    global _TRACKER
+    with _TRACKER_LOCK:
+        previous = _TRACKER
+        _TRACKER = tracker
+    return previous

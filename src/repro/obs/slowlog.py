@@ -1,0 +1,194 @@
+"""The slow-query log: full diagnostic capture for outlier requests.
+
+Aggregate latency histograms show *that* p99 moved; the slow-query log
+shows *why*: any request whose wall time exceeds a threshold
+(``REPRO_SLOW_MS``, or ``--slow-ms`` on the servers) is captured with
+
+* its trace id (= the ``X-Request-ID`` of the response, = the
+  ``trace_id`` of its wide event and of the ``/metrics`` exemplars),
+* the ``/query/explain``-style plan (computed on capture, so only slow
+  requests pay for it),
+* the observed per-stage timings collected by the wide-event scope,
+* every SQL statement the request executed — statement text and
+  bound-parameter *count* only; bind values are redacted by
+  construction (they are never recorded in the first place).
+
+Entries live in a bounded ring buffer (:class:`SlowQueryLog`): the
+newest ``capacity`` entries are retained, older ones are evicted, and a
+monotonic total keeps counting.  Inspect via ``GET /debug/slow`` or
+``repro slow-log``.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import re
+import threading
+import time
+
+from repro.obs.events import EventState
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Environment variable holding the slow threshold in milliseconds.
+SLOW_MS_ENV_VAR = "REPRO_SLOW_MS"
+
+#: Default ring-buffer capacity (retained entries).
+DEFAULT_CAPACITY = 64
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def redact_statement(sql: str, bound_params: int) -> dict:
+    """One captured statement, whitespace-collapsed, binds redacted.
+
+    The storage layer only ever hands over the statement text and the
+    *number* of bound parameters — the values themselves (accessions,
+    uploaded identifiers) stay out of the log.
+    """
+    return {
+        "sql": _WHITESPACE.sub(" ", sql).strip(),
+        "bound_params": int(bound_params),
+    }
+
+
+class SlowQueryLog:
+    """Bounded ring buffer of slow-request captures.
+
+    ``threshold_ms=None`` disables capture (the default); the servers
+    enable it from ``REPRO_SLOW_MS`` / ``--slow-ms``.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("slow-log capacity must be >= 1")
+        self.threshold_ms = threshold_ms
+        self.capacity = int(capacity)
+        self._entries: collections.deque = collections.deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._registry = registry
+        self.captured_total = 0
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def should_capture(self, duration_s: float) -> bool:
+        """Does a request of this duration cross the threshold?"""
+        return (
+            self.threshold_ms is not None
+            and duration_s * 1000.0 >= self.threshold_ms
+        )
+
+    def capture_from_event(
+        self, state: EventState, duration_s: float
+    ) -> dict:
+        """Build and record a capture from a finished wide-event scope.
+
+        The plan thunk (installed by the ``/query`` handler) runs *here*
+        — on the slow path only — so fast requests never pay for
+        planning twice.
+        """
+        plan = None
+        if state.slow_capture is not None:
+            try:
+                plan = state.slow_capture()
+            except Exception as exc:  # capture must never fail the request
+                plan = {"error": f"{type(exc).__name__}: {exc}"}
+        entry = {
+            "captured_at": round(time.time(), 6),
+            "trace_id": state.fields.get("trace_id"),
+            "route": state.fields.get("route"),
+            "method": state.fields.get("method"),
+            "status": state.fields.get("status"),
+            "duration_ms": round(duration_s * 1000, 3),
+            "threshold_ms": self.threshold_ms,
+            "stages_ms": {
+                name: round(seconds * 1000, 3)
+                for name, seconds in state.stages.items()
+            },
+            "sql": [redact_statement(sql, n) for sql, n in state.sql],
+            "sql_count": int(state.counts.get("sql_count", 0)),
+            "plan": plan,
+        }
+        if "spec_digest" in state.fields:
+            entry["spec_digest"] = state.fields["spec_digest"]
+        self.record(entry)
+        return entry
+
+    def record(self, entry: dict) -> None:
+        """Append a capture, evicting the oldest beyond capacity."""
+        with self._lock:
+            self._entries.append(entry)
+            self.captured_total += 1
+        self.registry.counter("obs.slowlog.captured").inc()
+
+    def entries(self, limit: int | None = None) -> list[dict]:
+        """Retained captures, newest first."""
+        with self._lock:
+            items = list(self._entries)
+        items.reverse()
+        return items if limit is None else items[: max(0, int(limit))]
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+        return dropped
+
+    def stats(self) -> dict:
+        with self._lock:
+            retained = len(self._entries)
+        return {
+            "threshold_ms": self.threshold_ms,
+            "capacity": self.capacity,
+            "captured_total": self.captured_total,
+            "retained": retained,
+        }
+
+
+# -- the process-default log ---------------------------------------------------
+
+_SLOW_LOG: SlowQueryLog | None = None
+_SLOW_LOG_LOCK = threading.Lock()
+
+
+def threshold_from_env() -> float | None:
+    """The ``REPRO_SLOW_MS`` threshold, or None when unset/invalid."""
+    raw = os.environ.get(SLOW_MS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+def get_slow_log() -> SlowQueryLog:
+    """The process-default slow-query log (always present; capture is
+    enabled only when a threshold is configured)."""
+    global _SLOW_LOG
+    if _SLOW_LOG is None:
+        with _SLOW_LOG_LOCK:
+            if _SLOW_LOG is None:
+                _SLOW_LOG = SlowQueryLog(threshold_ms=threshold_from_env())
+    return _SLOW_LOG
+
+
+def set_slow_log(log: SlowQueryLog | None) -> SlowQueryLog | None:
+    """Swap the process-default slow log; returns the previous one."""
+    global _SLOW_LOG
+    with _SLOW_LOG_LOCK:
+        previous = _SLOW_LOG
+        _SLOW_LOG = log
+    return previous

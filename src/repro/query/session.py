@@ -20,7 +20,7 @@ from repro.core.genmapper import GenMapper
 from repro.gam.enums import CombineMethod, RelType
 from repro.gam.errors import QuerySpecError, UnknownSourceError
 from repro.gam.records import Association
-from repro.obs import get_registry, get_tracer
+from repro.obs import annotate_event, event_stage, get_registry, get_tracer
 from repro.operators.views import AnnotationView
 from repro.pathfinder.search import MappingPath
 from repro.query.spec import QuerySpec, QueryTarget
@@ -261,7 +261,7 @@ def run_query(
         targets=len(spec.targets),
         engine=engine,
     ) as span:
-        with deadline_scope(timeout):
+        with deadline_scope(timeout), event_stage("query.run"):
             view = genmapper.generate_view(
                 spec.source,
                 targets=[target.to_target_spec() for target in spec.targets],
@@ -270,5 +270,6 @@ def run_query(
                 engine=engine,
             )
         span.tag(rows=len(view))
+    annotate_event(rows=len(view), engine=engine, query_source=spec.source)
     get_registry().counter("queries_total", engine=engine).inc()
     return view

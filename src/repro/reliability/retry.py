@@ -29,6 +29,7 @@ import time
 from collections.abc import Callable
 
 from repro.obs import MetricsRegistry, get_registry
+from repro.obs.events import incr_event
 from repro.reliability.deadline import current_deadline
 
 #: Lower-cased substrings of ``sqlite3.OperationalError`` messages that
@@ -140,6 +141,7 @@ class RetryPolicy:
                 if started is None:
                     started = self.clock()
                 registry.counter("reliability.retry.attempts").inc()
+                incr_event("retries")
                 if attempt >= self.max_attempts:
                     registry.counter("reliability.retry.giveups").inc()
                     raise RetryBudgetExceeded(attempt, exc) from exc

@@ -1,5 +1,12 @@
-"""Small shared utilities."""
+"""Small shared utilities.
 
-from repro.util.timer import Timer
+The deprecated ``Timer`` shim that used to live here was removed; time
+code with spans on the default tracer instead::
 
-__all__ = ["Timer"]
+    from repro.obs import get_tracer
+
+    with get_tracer().span("my.stage") as span:
+        ...
+"""
+
+__all__: list[str] = []

@@ -45,12 +45,31 @@ def main(argv: list[str] | None = None) -> int:
         help="enable tracing spans (adds observed_stage_timings to"
         " /query/explain and span.* histograms to /metrics)",
     )
+    parser.add_argument(
+        "--events-out", metavar="FILE",
+        help="append one wide event per request as JSONL to FILE"
+        " (same as REPRO_EVENTS; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="capture requests slower than MS into the slow-query log"
+        " (same as REPRO_SLOW_MS; inspect via GET /debug/slow)",
+    )
     args = parser.parse_args(argv)
 
     if args.trace:
         from repro.obs import get_tracer
 
         get_tracer().enable()
+
+    if args.events_out:
+        from repro.obs import WideEventLog, set_event_log
+
+        set_event_log(WideEventLog(args.events_out))
+    if args.slow_ms is not None:
+        from repro.obs import SlowQueryLog, set_slow_log
+
+        set_slow_log(SlowQueryLog(threshold_ms=args.slow_ms))
 
     genmapper = GenMapper(
         args.db,

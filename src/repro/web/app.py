@@ -21,14 +21,28 @@ Endpoint                              Returns
                                       cache status) and observed stage
                                       timings when tracing is enabled
 ``GET /stats``                        deployment statistics (Section 5)
-``GET /metrics``                      live counters/gauges/histograms plus
-                                      a ``cache`` stats block
+``GET /metrics``                      content-negotiated: JSON snapshot
+                                      (default, plus ``cache``/``slo``
+                                      blocks), Prometheus text 0.0.4
+                                      (``Accept: text/plain``), or
+                                      OpenMetrics with exemplars
+                                      (``Accept: application/openmetrics-
+                                      text``); ``?format=json|prometheus|
+                                      openmetrics`` overrides
+``GET /slo``                          rolling availability/latency SLO
+                                      windows with burn rates
+``GET /debug/slow``                   the slow-query log ring buffer
+``GET /debug/profile?seconds=5``      sampling-profiler folded stacks of
+                                      the live process (plain text)
 ``GET /health``                       liveness probe (status + source count)
 ====================================  =========================================
 
 Every response carries an ``X-Request-ID`` header (honouring the one a
-client sends) and every request is measured into the metrics registry by
-:class:`repro.obs.ObservabilityMiddleware` — see ``docs/observability.md``.
+client sends); error payloads repeat it as ``request_id`` so client
+reports correlate with wide events and the slow-query log.  Every
+request is measured into the metrics registry — and, when a sink is
+configured, emitted as one wide event — by
+:class:`repro.obs.ObservabilityMiddleware`; see ``docs/observability.md``.
 
 Use :func:`create_app` to get the WSGI callable and serve it with any WSGI
 server (``python -m repro.web`` runs ``wsgiref.simple_server``); tests
@@ -43,18 +57,38 @@ from collections.abc import Callable, Iterable
 from urllib.parse import parse_qs
 
 from repro.cache import MappingCache
+from repro.cache.mapping_cache import spec_digest
 from repro.core.genmapper import GenMapper
 from repro.gam.enums import CombineMethod
 from repro.gam.errors import GenMapperError
-from repro.obs import MetricsRegistry, ObservabilityMiddleware, Tracer
+from repro.obs import (
+    OPENMETRICS_CONTENT_TYPE,
+    TEXT_CONTENT_TYPE,
+    MetricsRegistry,
+    ObservabilityMiddleware,
+    Tracer,
+    annotate_event,
+    current_event,
+    get_event_log,
+    get_slo_tracker,
+    get_slow_log,
+    profile_for,
+    render_openmetrics,
+    render_text,
+)
 from repro.obs import get_registry as _default_registry
 from repro.obs import get_tracer as _default_tracer
+from repro.obs.middleware import _UNSET
 from repro.query.language import parse_query
 from repro.query.plan import plan_query
 from repro.query.session import run_query
 from repro.query.spec import QuerySpec, QueryTarget
 from repro.reliability.breaker import CircuitOpenError, capture_degraded
-from repro.reliability.deadline import DeadlineExceeded, deadline_scope
+from repro.reliability.deadline import (
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+)
 from repro.reliability.retry import RetryBudgetExceeded
 
 StartResponse = Callable[[str, list[tuple[str, str]]], None]
@@ -79,11 +113,24 @@ class ApiError(Exception):
         self.status = status
 
 
+class RawResponse:
+    """A non-JSON response body (Prometheus text, folded profiles)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: str | bytes, content_type: str) -> None:
+        self.body = body.encode("utf-8") if isinstance(body, str) else body
+        self.content_type = content_type
+
+
 def create_app(
     genmapper: GenMapper,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     request_timeout: float | None = None,
+    event_log=_UNSET,
+    slow_log=_UNSET,
+    slo=_UNSET,
 ) -> Callable:
     """Build the WSGI application bound to one GenMapper instance.
 
@@ -91,6 +138,10 @@ def create_app(
     :class:`~repro.obs.ObservabilityMiddleware`, so every request gets a
     request ID and is measured into ``registry`` (the process default
     unless one is passed — tests inject private instances).
+    ``event_log``, ``slow_log`` and ``slo`` likewise default to the
+    process-wide instances (configured via ``REPRO_EVENTS`` /
+    ``REPRO_SLOW_MS`` / ``REPRO_SLO_*``); pass explicit instances — or
+    ``None`` to disable — for isolation.
 
     ``request_timeout`` bounds every request to a time budget (seconds);
     a request may tighten — never extend — it with an
@@ -102,13 +153,16 @@ def create_app(
 
     def app(environ: dict, start_response: StartResponse) -> Iterable[bytes]:
         extra_headers: list[tuple[str, str]] = []
+        degraded = {"degraded": False, "reasons": ()}
         try:
             # Nested scopes keep the tighter deadline, so the header can
             # only shrink the server-configured budget.
+            environ["repro.middleware"] = middleware
             with capture_degraded() as degraded, deadline_scope(
                 request_timeout
             ), deadline_scope(_header_timeout(environ)):
                 status, payload = _route(genmapper, environ, registry, tracer)
+                _annotate_outcome(genmapper)
             if degraded["degraded"] and isinstance(payload, dict):
                 payload["degraded"] = True
                 payload["degraded_reasons"] = list(degraded["reasons"])
@@ -134,18 +188,57 @@ def create_app(
                 environ.get("PATH_INFO", "/"),
             )
             status, payload = 500, {"error": f"internal server error: {exc}"}
-        body = json.dumps(payload, indent=2).encode("utf-8")
+        if status >= 400 and isinstance(payload, dict):
+            # Error payloads repeat the request id (and any degraded
+            # reasons) so client-side reports correlate with wide events.
+            payload.setdefault(
+                "request_id", environ.get("repro.request_id")
+            )
+            if degraded["degraded"]:
+                payload.setdefault("degraded", True)
+                payload.setdefault(
+                    "degraded_reasons", list(degraded["reasons"])
+                )
+        if isinstance(payload, RawResponse):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload, indent=2).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
         start_response(
             _STATUS.get(status, f"{status} Error"),
             [
-                ("Content-Type", "application/json; charset=utf-8"),
+                ("Content-Type", content_type),
                 ("Content-Length", str(len(body))),
                 *extra_headers,
             ],
         )
         return [body]
 
-    return ObservabilityMiddleware(app, registry=registry, tracer=tracer)
+    middleware = ObservabilityMiddleware(
+        app,
+        registry=registry,
+        tracer=tracer,
+        event_log=event_log,
+        slow_log=slow_log,
+        slo=slo,
+    )
+    return middleware
+
+
+def _annotate_outcome(genmapper: GenMapper) -> None:
+    """Stamp reliability context onto the request's wide event (no-op
+    when no event scope is active)."""
+    if current_event() is None:
+        return
+    deadline = current_deadline()
+    if deadline is not None:
+        annotate_event(
+            deadline_remaining_ms=round(deadline.remaining() * 1000, 1)
+        )
+    breaker = getattr(genmapper, "breaker", None)
+    if breaker is not None:
+        annotate_event(breaker_state=breaker.state)
 
 
 def _header_timeout(environ: dict) -> float | None:
@@ -167,6 +260,34 @@ def _header_timeout(environ: dict) -> float | None:
     return value
 
 
+def _metrics_format(environ: dict, query: dict) -> str:
+    """Negotiate the ``/metrics`` representation.
+
+    ``?format=`` wins; otherwise the ``Accept`` header decides.  The
+    default stays JSON — the shape existing consumers (tests, scripts)
+    rely on — while Prometheus scrapers, which advertise
+    ``application/openmetrics-text`` and/or ``text/plain;version=0.0.4``,
+    get the text formats.
+    """
+    fmt = (query.get("format", [""])[0] or "").strip().lower()
+    if fmt == "json":
+        return "json"
+    if fmt == "openmetrics":
+        return "openmetrics"
+    if fmt in ("prometheus", "text"):
+        return "text"
+    if fmt:
+        raise ApiError(400, f"unknown metrics format {fmt!r}")
+    accept = environ.get("HTTP_ACCEPT", "") or ""
+    if "application/openmetrics-text" in accept:
+        return "openmetrics"
+    if "application/json" in accept:
+        return "json"
+    if "text/plain" in accept:
+        return "text"
+    return "json"
+
+
 def _route(
     genmapper: GenMapper,
     environ: dict,
@@ -179,12 +300,38 @@ def _route(
     segments = [segment for segment in path.split("/") if segment]
     registry = registry if registry is not None else _default_registry()
     tracer = tracer if tracer is not None else _default_tracer()
+    middleware = environ.get("repro.middleware")
 
     if method == "GET":
         if segments == ["metrics"]:
-            payload = registry.snapshot()
-            payload["cache"] = genmapper.cache_stats()
+            return _metrics_response(
+                genmapper, environ, query, registry, middleware
+            )
+        if segments == ["slo"]:
+            slo = middleware.slo if middleware is not None else get_slo_tracker()
+            if slo is None:
+                raise ApiError(404, "SLO tracking is disabled")
+            return 200, slo.snapshot(publish=True, registry=registry)
+        if segments == ["debug", "slow"]:
+            slow = (
+                middleware.slow_log if middleware is not None else get_slow_log()
+            )
+            if slow is None:
+                raise ApiError(404, "the slow-query log is disabled")
+            limit = int(query.get("limit", ["50"])[0])
+            payload = slow.stats()
+            payload["entries"] = slow.entries(limit)
             return 200, payload
+        if segments == ["debug", "profile"]:
+            seconds = float(query.get("seconds", ["5"])[0])
+            seconds = min(30.0, max(0.05, seconds))
+            hz = query.get("hz", [None])[0]
+            profiler = profile_for(
+                seconds, hz=float(hz) if hz else None
+            )
+            return 200, RawResponse(
+                profiler.folded(), "text/plain; charset=utf-8"
+            )
         if segments == ["health"]:
             return 200, {
                 "status": "ok",
@@ -195,6 +342,40 @@ def _route(
     if method == "POST":
         return _route_post(genmapper, segments, environ, registry, tracer)
     raise ApiError(405, f"method {method} not allowed")
+
+
+def _metrics_response(
+    genmapper: GenMapper,
+    environ: dict,
+    query: dict,
+    registry: MetricsRegistry,
+    middleware: ObservabilityMiddleware | None,
+) -> tuple[int, object]:
+    fmt = _metrics_format(environ, query)
+    slo = middleware.slo if middleware is not None else get_slo_tracker()
+    if fmt in ("text", "openmetrics"):
+        # Publish the SLO gauges into the scraped registry first so
+        # slo.burn_rate & co. appear in the same exposition.
+        if slo is not None:
+            slo.snapshot(publish=True, registry=registry)
+        if fmt == "openmetrics":
+            return 200, RawResponse(
+                render_openmetrics(registry), OPENMETRICS_CONTENT_TYPE
+            )
+        return 200, RawResponse(render_text(registry), TEXT_CONTENT_TYPE)
+    payload = registry.snapshot()
+    payload["cache"] = genmapper.cache_stats()
+    if slo is not None:
+        payload["slo"] = slo.snapshot(publish=False)
+    event_log = (
+        middleware.event_log if middleware is not None else get_event_log()
+    )
+    if event_log is not None:
+        payload["events"] = event_log.stats()
+    slow = middleware.slow_log if middleware is not None else get_slow_log()
+    if slow is not None and slow.enabled:
+        payload["slowlog"] = slow.stats()
+    return 200, payload
 
 
 def _route_get(
@@ -274,6 +455,48 @@ def _route_get(
     raise ApiError(404, f"no such resource: /{'/'.join(segments)}")
 
 
+def _query_spec_digest(spec: QuerySpec) -> str:
+    """A stable short digest identifying the query shape — stamped on
+    wide events and slow-log entries so repeated offenders group."""
+    return spec_digest(
+        spec.source,
+        tuple(sorted(spec.accessions)) if spec.accessions else None,
+        tuple(
+            (
+                target.name,
+                tuple(sorted(target.accessions)) if target.accessions else None,
+                target.negated,
+                target.via,
+            )
+            for target in spec.targets
+        ),
+        spec.combine.value,
+    )
+
+
+def _plan_payload(genmapper: GenMapper, spec: QuerySpec) -> dict:
+    """The ``/query/explain`` plan + cache block (shared with the
+    slow-query log, which captures it for over-threshold requests)."""
+    plan = plan_query(genmapper, spec)
+    payload = {
+        "source": plan.source,
+        "combine": plan.combine,
+        "executable": plan.executable,
+        "targets": [
+            {
+                "target": target.target,
+                "kind": target.kind,
+                "path": list(target.path),
+                "estimated_associations": target.estimated_associations,
+                "negated": target.negated,
+            }
+            for target in plan.targets
+        ],
+    }
+    payload["cache"] = _explain_cache(genmapper, spec)
+    return payload
+
+
 def _route_post(
     genmapper: GenMapper,
     segments: list[str],
@@ -284,24 +507,14 @@ def _route_post(
     if segments not in (["query"], ["query", "explain"]):
         raise ApiError(404, f"no such resource: /{'/'.join(segments)}")
     spec = _parse_body_spec(environ)
+    state = current_event()
+    if state is not None:
+        state.fields["spec_digest"] = _query_spec_digest(spec)
+        # Deferred plan capture: only requests that actually cross the
+        # slow threshold pay for planning a second time.
+        state.slow_capture = lambda: _plan_payload(genmapper, spec)
     if segments == ["query", "explain"]:
-        plan = plan_query(genmapper, spec)
-        payload = {
-            "source": plan.source,
-            "combine": plan.combine,
-            "executable": plan.executable,
-            "targets": [
-                {
-                    "target": target.target,
-                    "kind": target.kind,
-                    "path": list(target.path),
-                    "estimated_associations": target.estimated_associations,
-                    "negated": target.negated,
-                }
-                for target in plan.targets
-            ],
-        }
-        payload["cache"] = _explain_cache(genmapper, spec)
+        payload = _plan_payload(genmapper, spec)
         if tracer.enabled:
             # Observed per-stage latency summaries (seconds) collected by
             # the span instrumentation since tracing was enabled — the

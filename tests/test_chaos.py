@@ -17,6 +17,7 @@ retries sound and these equivalence checks meaningful.
 
 from __future__ import annotations
 
+import json
 import sqlite3
 import threading
 
@@ -142,6 +143,52 @@ class TestChaosEquivalence:
             gm.integrate_directory(universe_dir)
             gm.db.fault_injector = None
             assert canonical_snapshot(gm.repository) == clean_snapshot
+
+
+class TestChaosWideEvents:
+    def test_wide_events_stay_well_formed_under_busy_faults(
+        self, universe_dir, tmp_path
+    ):
+        """Every wide event written during a chaotic import is a complete
+        JSONL record, and the injected faults show up as retry counts
+        inside the events rather than corrupting them."""
+        from repro.obs import WideEventLog, set_event_log
+
+        registry = MetricsRegistry()
+        path = tmp_path / "events.jsonl"
+        log = WideEventLog(path, registry=registry)
+        previous = set_event_log(log)
+        try:
+            with GenMapper() as gm:
+                gm.db.retry_policy = fast_retry(registry)
+                gm.db.fault_injector = FaultInjector(
+                    [FaultRule("busy", probability=0.02, times=None)],
+                    seed=321,
+                    registry=registry,
+                )
+                gm.integrate_directory(universe_dir)
+                injected = gm.db.fault_injector.fired
+                gm.db.fault_injector = None
+        finally:
+            set_event_log(previous)
+            log.close()
+        assert injected > 0, "chaos run injected no faults at all"
+        assert log.stats()["dropped"] == 0
+
+        records = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        imports = [r for r in records if r["event"] == "import"]
+        assert len(imports) >= 5
+        for record in records:
+            assert record["trace_id"]
+            assert record["duration_ms"] >= 0
+        for record in imports:
+            assert record["source"]
+            assert record["sql_count"] >= 1
+        # The retry layer annotated the events it saved.
+        assert sum(r.get("retries", 0) for r in records) >= 1
 
 
 class TestCrashResume:

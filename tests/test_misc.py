@@ -1,27 +1,15 @@
-"""Small remaining-coverage tests: Timer, web __main__, CLI parser tree."""
-
-import time
+"""Small remaining-coverage tests: web __main__, CLI parser tree."""
 
 import pytest
 
-from repro.util.timer import Timer
 
+class TestTimerShimRemoved:
+    def test_timer_is_gone(self):
+        import repro.util
 
-class TestTimer:
-    def test_measures_elapsed(self):
-        with Timer() as timer:
-            time.sleep(0.01)
-        assert timer.elapsed >= 0.01
-
-    def test_reusable(self):
-        timer = Timer()
-        with timer:
-            pass
-        first = timer.elapsed
-        with timer:
-            time.sleep(0.005)
-        assert timer.elapsed >= 0.005
-        assert timer.elapsed != first or first == 0.0
+        assert not hasattr(repro.util, "Timer")
+        with pytest.raises(ModuleNotFoundError):
+            import repro.util.timer  # noqa: F401
 
 
 class TestWebMain:

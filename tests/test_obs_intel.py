@@ -1,0 +1,768 @@
+"""Tests for the query intelligence plane: wide events, the slow-query
+log, Prometheus/OpenMetrics exposition with exemplars, SLO burn rates and
+the sampling profiler — plus their web surface."""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    OPENMETRICS_CONTENT_TYPE,
+    TEXT_CONTENT_TYPE,
+    ExpositionError,
+    MetricsRegistry,
+    SamplingProfiler,
+    SloTracker,
+    SlowQueryLog,
+    Tracer,
+    WideEventLog,
+    add_stage,
+    annotate_event,
+    current_event,
+    event_scope,
+    incr_event,
+    profile_for,
+    record_sql,
+    render_openmetrics,
+    render_text,
+    validate_openmetrics,
+)
+from repro.obs.events import MAX_SQL_STATEMENTS, EventState
+from repro.obs.slowlog import redact_statement, threshold_from_env
+from repro.web.app import create_app
+
+
+# -- wide events ---------------------------------------------------------------
+
+
+class TestWideEventRoundTrip:
+    def test_scope_emits_one_schema_complete_jsonl_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = WideEventLog(path, registry=MetricsRegistry())
+        with event_scope(
+            "import", log=log, source="GO", file="go.obo"
+        ) as state:
+            incr_event("cache_hits")
+            incr_event("retries", 2)
+            add_stage("parse", 0.25)
+            record_sql("INSERT INTO objects VALUES (?, ?)", 2)
+            annotate_event(release="2026-08")
+        log.close()
+
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["event"] == "import"
+        assert re.fullmatch(r"[0-9a-f]{16}", record["trace_id"])
+        assert record["trace_id"] == state.fields["trace_id"]
+        assert record["duration_ms"] >= 0
+        assert record["source"] == "GO"
+        assert record["file"] == "go.obo"
+        assert record["release"] == "2026-08"
+        assert record["cache_hits"] == 1
+        assert record["retries"] == 2
+        assert record["sql_count"] == 1
+        assert record["sql_statements"] == 1
+        assert record["stages_ms"] == {"parse": 250.0}
+
+    def test_scope_records_error_and_reraises(self, tmp_path):
+        log = WideEventLog(tmp_path / "e.jsonl", registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="boom"):
+            with event_scope("import", log=log):
+                raise ValueError("boom")
+        log.close()
+        record = json.loads((tmp_path / "e.jsonl").read_text())
+        assert record["error"] == "ValueError: boom"
+
+    def test_helpers_are_noops_outside_a_scope(self):
+        assert current_event() is None
+        annotate_event(rows=3)
+        incr_event("cache_hits")
+        add_stage("parse", 0.1)
+        record_sql("SELECT 1", 0)
+        assert current_event() is None
+
+    def test_sql_retention_is_capped_but_counting_continues(self):
+        with event_scope("import", emit=False) as state:
+            for i in range(MAX_SQL_STATEMENTS + 10):
+                record_sql(f"SELECT {i}", 0)
+        assert len(state.sql) == MAX_SQL_STATEMENTS
+        assert state.counts["sql_count"] == MAX_SQL_STATEMENTS + 10
+
+    def test_nested_scopes_restore_the_outer_event(self):
+        with event_scope("import", emit=False) as outer:
+            with event_scope("derivation", emit=False) as inner:
+                assert current_event() is inner
+            assert current_event() is outer
+
+
+class TestWideEventLogBackpressure:
+    def test_full_queue_drops_and_counts_instead_of_blocking(self, tmp_path):
+        registry = MetricsRegistry()
+        log = WideEventLog(
+            tmp_path / "e.jsonl", max_queue=2, registry=registry, start=False
+        )
+        assert log.emit({"n": 1}) is True
+        assert log.emit({"n": 2}) is True
+        assert log.emit({"n": 3}) is False  # queue full, writer not started
+        stats = log.stats()
+        assert stats["emitted"] == 2
+        assert stats["dropped"] == 1
+        counters = registry.snapshot()["counters"]
+        assert counters["obs.events.emitted"] == 2.0
+        assert counters["obs.events.dropped"] == 1.0
+        log.start()
+        log.close()
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "e.jsonl").read_text().splitlines()
+        ]
+        assert [r["n"] for r in records] == [1, 2]
+
+    def test_emit_after_close_is_refused(self, tmp_path):
+        log = WideEventLog(tmp_path / "e.jsonl", registry=MetricsRegistry())
+        log.close()
+        assert log.emit({"n": 1}) is False
+
+
+# -- slow-query log ------------------------------------------------------------
+
+
+class TestSlowQueryLog:
+    def test_ring_buffer_evicts_oldest_beyond_capacity(self):
+        log = SlowQueryLog(
+            threshold_ms=0.0, capacity=3, registry=MetricsRegistry()
+        )
+        for n in range(5):
+            log.record({"n": n})
+        assert [e["n"] for e in log.entries()] == [4, 3, 2]
+        assert [e["n"] for e in log.entries(limit=2)] == [4, 3]
+        stats = log.stats()
+        assert stats["captured_total"] == 5
+        assert stats["retained"] == 3
+        assert stats["capacity"] == 3
+
+    def test_threshold_gates_capture(self):
+        disabled = SlowQueryLog(registry=MetricsRegistry())
+        assert not disabled.enabled
+        assert not disabled.should_capture(10.0)
+        log = SlowQueryLog(threshold_ms=100.0, registry=MetricsRegistry())
+        assert log.enabled
+        assert not log.should_capture(0.05)
+        assert log.should_capture(0.1)
+        assert log.should_capture(2.0)
+
+    def test_redaction_keeps_statement_text_only(self):
+        entry = redact_statement(
+            "SELECT *\n   FROM objects\n   WHERE accession = ?", 1
+        )
+        assert entry == {
+            "sql": "SELECT * FROM objects WHERE accession = ?",
+            "bound_params": 1,
+        }
+
+    def test_capture_from_event_includes_plan_stages_and_redacted_sql(self):
+        log = SlowQueryLog(threshold_ms=1.0, registry=MetricsRegistry())
+        state = EventState(
+            "http_request",
+            {"trace_id": "abc123", "route": "/query", "method": "POST",
+             "status": 200, "spec_digest": "feed"},
+        )
+        state.stages["query.run"] = 0.04
+        state.counts["sql_count"] = 2
+        state.sql.append(("SELECT 1   WHERE x = ?", 1))
+        state.slow_capture = lambda: {"plan": ["Map", "Compose"]}
+        entry = log.capture_from_event(state, duration_s=0.05)
+        assert entry["trace_id"] == "abc123"
+        assert entry["duration_ms"] == 50.0
+        assert entry["stages_ms"] == {"query.run": 40.0}
+        assert entry["sql"] == [{"sql": "SELECT 1 WHERE x = ?", "bound_params": 1}]
+        assert entry["sql_count"] == 2
+        assert entry["plan"] == {"plan": ["Map", "Compose"]}
+        assert entry["spec_digest"] == "feed"
+        assert log.entries()[0] is entry
+
+    def test_failing_plan_thunk_never_fails_the_capture(self):
+        log = SlowQueryLog(threshold_ms=1.0, registry=MetricsRegistry())
+        state = EventState("http_request", {"trace_id": "t"})
+
+        def explode():
+            raise RuntimeError("planner crashed")
+
+        state.slow_capture = explode
+        entry = log.capture_from_event(state, duration_s=0.01)
+        assert entry["plan"] == {"error": "RuntimeError: planner crashed"}
+
+    def test_threshold_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOW_MS", raising=False)
+        assert threshold_from_env() is None
+        monkeypatch.setenv("REPRO_SLOW_MS", "250")
+        assert threshold_from_env() == 250.0
+        monkeypatch.setenv("REPRO_SLOW_MS", "not-a-number")
+        assert threshold_from_env() is None
+        monkeypatch.setenv("REPRO_SLOW_MS", "-5")
+        assert threshold_from_env() is None
+
+
+# -- exposition ----------------------------------------------------------------
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("http_requests_total", method="GET", route="/query").inc(3)
+    registry.counter("obs.events.dropped").inc()
+    registry.gauge("http_requests_in_flight").set(1)
+    histogram = registry.histogram(
+        "http_request_seconds", buckets=(0.1, 1.0), route="/query"
+    )
+    histogram.observe(0.05, exemplar="abc123")
+    histogram.observe(2.5)
+    return registry
+
+
+class TestExposition:
+    def test_text_format_keeps_sample_name_equal_to_family(self):
+        text = render_text(populated_registry())
+        assert "# TYPE http_requests_total counter" in text
+        assert 'http_requests_total{method="GET",route="/query"} 3' in text
+        # dotted registry names are sanitised to the Prometheus charset
+        assert "obs_events_dropped 1" in text
+        assert "# EOF" not in text
+        assert "# {" not in text  # exemplars are OpenMetrics-only
+
+    def test_openmetrics_counters_drop_then_readd_total_suffix(self):
+        text = render_openmetrics(populated_registry())
+        assert "# TYPE http_requests counter" in text
+        assert 'http_requests_total{method="GET",route="/query"} 3' in text
+        assert text.endswith("# EOF\n")
+
+    def test_openmetrics_exemplar_links_bucket_to_trace_id(self):
+        text = render_openmetrics(populated_registry())
+        exemplar_lines = [line for line in text.splitlines() if " # {" in line]
+        assert len(exemplar_lines) == 1
+        assert re.fullmatch(
+            r'http_request_seconds_bucket\{le="0\.1",route="/query"\} 1'
+            r' # \{trace_id="abc123"\} 0\.05 \d+(\.\d+)?',
+            exemplar_lines[0],
+        )
+
+    def test_rendered_openmetrics_passes_strict_validation(self):
+        stats = validate_openmetrics(render_openmetrics(populated_registry()))
+        assert stats["families"] >= 4
+        assert stats["exemplars"] == 1
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_text(populated_registry())
+        buckets = re.findall(
+            r'http_request_seconds_bucket\{le="([^"]+)",route="/query"\} (\d+)',
+            text,
+        )
+        assert buckets == [("0.1", "1"), ("1", "1"), ("+Inf", "2")]
+        assert 'http_request_seconds_count{route="/query"} 2' in text
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ("# TYPE a counter\na_total 1\n", "EOF"),
+            ("orphan 1\n# EOF\n", "no declared family"),
+            ("# TYPE a counter\na_total x\n# EOF\n", "non-numeric"),
+            (
+                "# TYPE a counter\na_total 1\na_total 1\n# EOF\n",
+                "duplicate sample",
+            ),
+            (
+                "# TYPE a histogram\n"
+                'a_bucket{le="1"} 5\na_bucket{le="+Inf"} 3\n'
+                "a_sum 1.0\na_count 3\n# EOF\n",
+                "not cumulative",
+            ),
+            (
+                "# TYPE a histogram\n"
+                'a_bucket{le="1"} 1\n'
+                "a_sum 1.0\na_count 1\n# EOF\n",
+                "\\+Inf",
+            ),
+            ("# TYPE a gauge\na 1 # {x=\"y\"} 1\n# EOF\n", "exemplar"),
+        ],
+    )
+    def test_validator_rejects_malformed_exposition(self, text, message):
+        with pytest.raises(ExpositionError, match=message):
+            validate_openmetrics(text)
+
+
+# -- SLO tracking --------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSloTracker:
+    def tracker(self, clock, **overrides):
+        defaults = dict(
+            availability_target=0.999,
+            latency_threshold_ms=100.0,
+            latency_target=0.99,
+            clock=clock,
+            registry=MetricsRegistry(),
+        )
+        defaults.update(overrides)
+        return SloTracker(**defaults)
+
+    def test_burn_rate_is_miss_rate_over_budget(self):
+        clock = FakeClock()
+        tracker = self.tracker(clock)
+        for __ in range(99):
+            tracker.record(ok=True, duration_s=0.01)
+        tracker.record(ok=False, duration_s=0.01)
+        window = tracker.snapshot(publish=False)["windows"]["5m"]
+        assert window["requests"] == 100
+        assert window["errors"] == 1
+        assert window["availability"] == 0.99
+        # miss rate 0.01 against a 0.001 budget: burning 10x too fast.
+        assert window["availability_burn_rate"] == 10.0
+        assert not window["availability_ok"]
+
+    def test_latency_objective_counts_slow_requests(self):
+        clock = FakeClock()
+        tracker = self.tracker(clock)
+        for __ in range(98):
+            tracker.record(ok=True, duration_s=0.05)
+        tracker.record(ok=True, duration_s=0.25)  # slow
+        tracker.record(ok=True, duration_s=0.25)  # slow
+        window = tracker.snapshot(publish=False)["windows"]["5m"]
+        assert window["slow"] == 2
+        assert window["latency_attainment"] == 0.98
+        assert window["latency_burn_rate"] == 2.0
+        assert not window["latency_ok"]
+
+    def test_no_traffic_means_no_burn(self):
+        tracker = self.tracker(FakeClock())
+        window = tracker.snapshot(publish=False)["windows"]["1h"]
+        assert window["requests"] == 0
+        assert window["availability"] == 1.0
+        assert window["availability_burn_rate"] == 0.0
+        assert window["availability_ok"]
+
+    def test_errors_roll_out_of_the_small_window_first(self):
+        clock = FakeClock()
+        tracker = self.tracker(clock)
+        tracker.record(ok=False, duration_s=0.01)
+        clock.advance(400)  # past the 5m window, inside the 1h window
+        tracker.record(ok=True, duration_s=0.01)
+        windows = tracker.snapshot(publish=False)["windows"]
+        assert windows["5m"]["requests"] == 1
+        assert windows["5m"]["errors"] == 0
+        assert windows["5m"]["availability_burn_rate"] == 0.0
+        assert windows["1h"]["requests"] == 2
+        assert windows["1h"]["errors"] == 1
+
+    def test_slots_recycle_after_a_full_ring(self):
+        clock = FakeClock()
+        tracker = self.tracker(clock)
+        tracker.record(ok=False, duration_s=0.01)
+        clock.advance(3600)  # same ring slot, one full rotation later
+        tracker.record(ok=True, duration_s=0.01)
+        windows = tracker.snapshot(publish=False)["windows"]
+        assert windows["1h"]["requests"] == 1
+        assert windows["1h"]["errors"] == 0
+
+    def test_snapshot_publishes_burn_rate_gauges(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        tracker = self.tracker(clock, registry=registry)
+        for __ in range(9):
+            tracker.record(ok=True, duration_s=0.01)
+        tracker.record(ok=False, duration_s=0.5)
+        tracker.snapshot(publish=True)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["slo.burn_rate{objective=availability,window=5m}"] == 100.0
+        assert gauges["slo.burn_rate{objective=latency,window=5m}"] == 10.0
+        assert gauges["slo.availability{window=5m}"] == 0.9
+        assert gauges["slo.latency_attainment{window=5m}"] == 0.9
+
+    def test_snapshot_can_publish_into_an_override_registry(self):
+        scraped = MetricsRegistry()
+        tracker = self.tracker(FakeClock())
+        tracker.record(ok=True, duration_s=0.01)
+        tracker.snapshot(publish=True, registry=scraped)
+        assert "slo.availability{window=5m}" in scraped.snapshot()["gauges"]
+        assert tracker.registry.snapshot()["gauges"] == {}
+
+
+# -- sampling profiler ---------------------------------------------------------
+
+
+def _spin_until(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(500))
+
+
+class TestSamplingProfiler:
+    def test_sample_once_records_root_first_stacks(self):
+        profiler = SamplingProfiler(hz=100)
+        taken = profiler.sample_once()
+        assert taken >= 1  # at least this thread
+        folded = profiler.folded()
+        assert folded.endswith("\n")
+        for line in folded.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert all(":" in frame for frame in stack.split(";"))
+        # this test function is on the sampled main-thread stack,
+        # leaf-ward of the runner frames (root-first ordering).
+        assert "test_sample_once_records_root_first_stacks" in folded
+
+    def test_profile_for_catches_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin_until, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = profile_for(0.3, hz=200)
+        finally:
+            stop.set()
+            worker.join(timeout=5)
+        assert profiler.samples > 0
+        assert not profiler.running
+        assert "_spin_until" in profiler.folded()
+        stats = profiler.stats()
+        assert stats["hz"] == 200
+        assert stats["distinct_stacks"] >= 1
+
+    def test_reset_clears_counts(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler.sample_once()
+        profiler.reset()
+        assert profiler.folded() == ""
+        assert profiler.stats()["samples"] == 0
+
+    def test_hz_is_clamped(self, monkeypatch):
+        assert SamplingProfiler(hz=100000).hz == 1000.0
+        assert SamplingProfiler(hz=0.001).hz == 1.0
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "250")
+        assert SamplingProfiler().hz == 250.0
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "junk")
+        assert SamplingProfiler().hz == 100.0
+
+
+# -- the web surface -----------------------------------------------------------
+
+
+def call_raw(app, method, path, query="", body=None, headers=None):
+    """Invoke a WSGI app; returns (status, headers, raw body bytes)."""
+    raw = json.dumps(body).encode() if body is not None else b""
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "CONTENT_LENGTH": str(len(raw)),
+        "wsgi.input": io.BytesIO(raw),
+    }
+    if headers:
+        environ.update(headers)
+    captured = {}
+
+    def start_response(status, response_headers, exc_info=None):
+        captured["status"] = int(status.split()[0])
+        captured["headers"] = dict(response_headers)
+
+    chunks = app(environ, start_response)
+    return captured["status"], captured["headers"], b"".join(chunks)
+
+
+def call(app, method, path, query="", body=None, headers=None):
+    status, response_headers, raw = call_raw(
+        app, method, path, query=query, body=body, headers=headers
+    )
+    return status, response_headers, json.loads(raw.decode("utf-8"))
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def intel_app(paper_genmapper, registry, tmp_path):
+    """App with every intelligence-plane collaborator explicit and
+    isolated: wide events to a temp file, capture-everything slow log,
+    fake-clocked SLO tracker."""
+    event_log = WideEventLog(tmp_path / "events.jsonl", registry=registry)
+    slow_log = SlowQueryLog(threshold_ms=0.0, registry=registry)
+    slo = SloTracker(registry=registry)
+    app = create_app(
+        paper_genmapper,
+        registry=registry,
+        tracer=Tracer(enabled=False, registry=registry),
+        event_log=event_log,
+        slow_log=slow_log,
+        slo=slo,
+    )
+    yield app, event_log, slow_log, slo, tmp_path / "events.jsonl"
+    event_log.close()
+
+
+class TestMetricsNegotiation:
+    def test_default_stays_json_with_new_blocks(self, intel_app):
+        app = intel_app[0]
+        call(app, "GET", "/sources")
+        __, headers, payload = call(app, "GET", "/metrics")
+        assert headers["Content-Type"].startswith("application/json")
+        assert "counters" in payload
+        assert payload["slo"]["objectives"]["availability_target"] == 0.999
+        assert payload["events"]["dropped"] == 0
+        assert payload["slowlog"]["capacity"] > 0
+
+    def test_format_prometheus_serves_text_004(self, intel_app):
+        app = intel_app[0]
+        call(app, "GET", "/sources")
+        status, headers, body = call_raw(
+            app, "GET", "/metrics", query="format=prometheus"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == TEXT_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "# TYPE http_requests_total counter" in text
+        assert "slo_burn_rate" in text
+        assert "# EOF" not in text
+
+    def test_accept_header_negotiates_openmetrics(self, intel_app):
+        app = intel_app[0]
+        call(app, "GET", "/sources")
+        status, headers, body = call_raw(
+            app,
+            "GET",
+            "/metrics",
+            headers={"HTTP_ACCEPT": "application/openmetrics-text"},
+        )
+        assert status == 200
+        assert headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+        stats = validate_openmetrics(body.decode("utf-8"))
+        assert stats["samples"] > 0
+
+    def test_unknown_format_is_400_with_request_id(self, intel_app):
+        app = intel_app[0]
+        status, headers, payload = call(
+            app, "GET", "/metrics", query="format=xml"
+        )
+        assert status == 400
+        assert "unknown metrics format" in payload["error"]
+        assert payload["request_id"] == headers["X-Request-ID"]
+
+
+class TestSloEndpoint:
+    def test_slo_reports_windows_and_burn(self, intel_app):
+        app, __, __, __, __ = intel_app
+        call(app, "GET", "/sources")
+        status, __, payload = call(app, "GET", "/slo")
+        assert status == 200
+        assert set(payload["windows"]) == {"5m", "1h"}
+        window = payload["windows"]["5m"]
+        assert window["requests"] >= 1
+        assert window["availability_burn_rate"] == 0.0
+
+    def test_slo_snapshot_publishes_into_scraped_registry(
+        self, intel_app, registry
+    ):
+        app = intel_app[0]
+        call(app, "GET", "/slo")
+        __, __, body = call_raw(
+            app, "GET", "/metrics", query="format=openmetrics"
+        )
+        assert "slo_burn_rate" in body.decode("utf-8")
+
+    def test_slo_disabled_is_404(self, paper_genmapper, registry):
+        app = create_app(
+            paper_genmapper,
+            registry=registry,
+            tracer=Tracer(enabled=False, registry=registry),
+            event_log=None,
+            slow_log=None,
+            slo=None,
+        )
+        status, headers, payload = call(app, "GET", "/slo")
+        assert status == 404
+        assert payload["request_id"] == headers["X-Request-ID"]
+
+    def test_burn_rate_rises_on_server_errors(
+        self, paper_genmapper, registry, monkeypatch
+    ):
+        slo = SloTracker(registry=registry)
+        app = create_app(
+            paper_genmapper,
+            registry=registry,
+            tracer=Tracer(enabled=False, registry=registry),
+            event_log=None,
+            slow_log=None,
+            slo=slo,
+        )
+        call(app, "GET", "/sources")
+        from repro.web import app as web_app
+
+        def explode(genmapper, environ, registry, tracer):
+            raise RuntimeError("injected server error")
+
+        monkeypatch.setattr(web_app, "_route", explode)
+        status, __, __ = call(app, "GET", "/sources")
+        assert status == 500
+        window = slo.snapshot(publish=False)["windows"]["5m"]
+        assert window["errors"] == 1
+        assert window["availability_burn_rate"] > 1.0
+
+    def test_client_errors_do_not_burn_availability(self, intel_app):
+        app = intel_app[0]
+        call(app, "GET", "/no/such/route/anywhere")
+        __, __, payload = call(app, "GET", "/slo")
+        assert payload["windows"]["5m"]["errors"] == 0
+
+
+class TestSlowEndpointCorrelation:
+    def test_slow_query_correlates_with_wide_event_and_exemplar(
+        self, intel_app
+    ):
+        app, event_log, slow_log, __, events_path = intel_app
+        status, headers, payload = call(
+            app,
+            "POST",
+            "/query",
+            body={"query": "ANNOTATE LocusLink WITH Hugo AND GO"},
+        )
+        assert status == 200
+        request_id = headers["X-Request-ID"]
+
+        # 1. the slow log captured it (threshold 0: everything is slow)
+        __, __, debug = call(app, "GET", "/debug/slow")
+        entry = next(
+            e for e in debug["entries"] if e["trace_id"] == request_id
+        )
+        assert entry["route"] == "/query"
+        assert entry["status"] == 200
+        assert entry["duration_ms"] > 0
+        assert entry["sql_count"] > 0
+        for statement in entry["sql"]:
+            assert set(statement) == {"sql", "bound_params"}
+            assert "353" not in statement["sql"]  # binds never appear
+        assert "query.run" in entry["stages_ms"]
+        assert isinstance(entry["plan"], dict) and entry["plan"]
+        assert entry["spec_digest"]
+
+        # 2. the wide event of the same request carries the same ids
+        event_log.close()
+        records = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        record = next(r for r in records if r["trace_id"] == request_id)
+        assert record["event"] == "http_request"
+        assert record["route"] == "/query"
+        assert record["status"] == 200
+        assert record["slow"] is True
+        assert record["spec_digest"] == entry["spec_digest"]
+        assert record["sql_count"] == entry["sql_count"]
+        assert record["rows"] >= 1
+        assert "breaker_state" in record
+
+        # 3. and the /metrics exemplar for the /query bucket links to it
+        __, __, body = call_raw(
+            app, "GET", "/metrics", query="format=openmetrics"
+        )
+        text = body.decode("utf-8")
+        assert f'trace_id="{request_id}"' in text
+        validate_openmetrics(text)
+
+    def test_debug_slow_limit_and_stats(self, intel_app):
+        app = intel_app[0]
+        for __ in range(3):
+            call(app, "GET", "/sources")
+        __, __, debug = call(app, "GET", "/debug/slow", query="limit=2")
+        assert len(debug["entries"]) == 2
+        assert debug["captured_total"] >= 3
+        assert debug["threshold_ms"] == 0.0
+
+    def test_fast_requests_are_not_captured(
+        self, paper_genmapper, registry
+    ):
+        slow_log = SlowQueryLog(threshold_ms=60_000.0, registry=registry)
+        app = create_app(
+            paper_genmapper,
+            registry=registry,
+            tracer=Tracer(enabled=False, registry=registry),
+            event_log=None,
+            slow_log=slow_log,
+            slo=None,
+        )
+        call(app, "GET", "/sources")
+        __, __, debug = call(app, "GET", "/debug/slow")
+        assert debug["entries"] == []
+        assert debug["captured_total"] == 0
+
+
+class TestProfileEndpoint:
+    def test_profile_returns_folded_plain_text(self, intel_app):
+        app = intel_app[0]
+        status, headers, body = call_raw(
+            app, "GET", "/debug/profile", query="seconds=0.05&hz=500"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        for line in body.decode("utf-8").splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert stack
+
+    def test_profile_seconds_is_clamped(self, intel_app):
+        app = intel_app[0]
+        started = time.perf_counter()
+        status, __, __ = call_raw(
+            app, "GET", "/debug/profile", query="seconds=0"
+        )
+        assert status == 200
+        assert time.perf_counter() - started < 5.0
+
+
+class TestErrorPayloads:
+    def test_404_payload_carries_request_id(self, intel_app):
+        app = intel_app[0]
+        status, headers, payload = call(app, "GET", "/definitely/not/here")
+        assert status == 404
+        assert payload["request_id"] == headers["X-Request-ID"]
+
+    def test_400_payload_carries_request_id(self, intel_app):
+        app = intel_app[0]
+        status, headers, payload = call(app, "POST", "/query")
+        assert status == 400
+        assert payload["request_id"] == headers["X-Request-ID"]
+
+    def test_500_payload_carries_request_id(
+        self, paper_genmapper, registry, monkeypatch
+    ):
+        app = create_app(
+            paper_genmapper,
+            registry=registry,
+            tracer=Tracer(enabled=False, registry=registry),
+            event_log=None,
+            slow_log=None,
+            slo=None,
+        )
+        from repro.web import app as web_app
+
+        def explode(genmapper, environ, registry, tracer):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(web_app, "_route", explode)
+        status, headers, payload = call(app, "GET", "/sources")
+        assert status == 500
+        assert payload["request_id"] == headers["X-Request-ID"]
