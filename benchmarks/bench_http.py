@@ -1,0 +1,254 @@
+"""Experiment: the HTTP edge under heavy reads (docs/http_api.md).
+
+Two claims are measured and enforced here:
+
+1. **Streaming bounds serialization memory** — serving a large object
+   listing as chunked JSON must allocate a small fraction of what the
+   buffered ``json.dumps`` path allocates for the same byte-identical
+   body.  Peaks are measured with ``tracemalloc`` over the WSGI callable
+   driven directly (no sockets), so only serialization differs.
+2. **Conditional GET revalidation is (nearly) free** — a warm repeat
+   request presenting ``If-None-Match`` must answer ``304`` at a small
+   fraction of the full-body ``200`` latency: the handler, repository
+   and serializer are all skipped.
+
+The bench bodies run through pytest-benchmark so CI snapshots land in
+the combined ``BENCH_*.json`` artifact (``BENCH_pr7_http.json``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import tracemalloc
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.web.app import create_app
+
+#: Streamed serialization peak must stay below this fraction of the
+#: buffered peak for the same body (observed: well under 10%).
+MAX_STREAM_PEAK_FRACTION = 0.5
+
+#: A warm 304 must beat the equivalent full 200 by at least this factor
+#: (conservative; the 304 does no routing, no repository work, no body).
+MIN_304_SPEEDUP = 2.0
+
+
+@pytest.fixture(scope="module")
+def edge(bench_genmapper):
+    """The WSGI app plus the largest source of the benchmark universe."""
+    app = create_app(
+        bench_genmapper,
+        registry=MetricsRegistry(),
+        event_log=None,
+        slow_log=None,
+        slo=None,
+    )
+    largest = max(
+        bench_genmapper.sources(),
+        key=lambda s: bench_genmapper.repository.count_objects(s),
+    )
+    return app, largest.name
+
+
+def _call(app, method, path, query="", headers=None):
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "REMOTE_ADDR": "127.0.0.1",
+        "wsgi.input": io.BytesIO(b""),
+    }
+    for name, value in (headers or {}).items():
+        environ["HTTP_" + name.upper().replace("-", "_")] = value
+    captured = {}
+
+    def start_response(status, response_headers, exc_info=None):
+        captured["status"] = int(status.split()[0])
+        captured["headers"] = dict(response_headers)
+
+    body_iter = app(environ, start_response)
+    size = 0
+    for chunk in body_iter:
+        size += len(chunk)
+    close = getattr(body_iter, "close", None)
+    if close is not None:
+        close()
+    return captured["status"], captured["headers"], size
+
+
+def _peak_allocated(fn) -> int:
+    tracemalloc.start()
+    try:
+        fn()
+        __, peak = tracemalloc.get_traced_memory()
+        return peak
+    finally:
+        tracemalloc.stop()
+
+
+def _best_of(fn, repetitions: int = 7) -> float:
+    best = float("inf")
+    for __ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- claim 1: streamed serialization memory is bounded ----------------------
+
+
+def test_streamed_listing_peak_memory(edge, benchmark):
+    app, source = edge
+    path = f"/sources/{source}/objects"
+
+    def buffered():
+        status, __, size = _call(app, "GET", path, "limit=0&stream=0")
+        assert status == 200
+        return size
+
+    def streamed():
+        status, __, size = _call(app, "GET", path, "limit=0&stream=1")
+        assert status == 200
+        return size
+
+    body_bytes = buffered()
+    assert streamed() == body_bytes  # byte-identical bodies
+    buffered_peak = _peak_allocated(buffered)
+    streamed_peak = _peak_allocated(streamed)
+    benchmark.extra_info["experiment"] = "stream_peak_memory"
+    benchmark.extra_info["body_bytes"] = body_bytes
+    benchmark.extra_info["buffered_peak_bytes"] = buffered_peak
+    benchmark.extra_info["streamed_peak_bytes"] = streamed_peak
+    benchmark.extra_info["peak_fraction"] = round(
+        streamed_peak / buffered_peak, 4
+    )
+    benchmark(streamed)
+    assert streamed_peak < buffered_peak * MAX_STREAM_PEAK_FRACTION, (
+        f"streamed serialization peaked at {streamed_peak} bytes,"
+        f" >= {MAX_STREAM_PEAK_FRACTION:.0%} of the buffered"
+        f" {buffered_peak} bytes"
+    )
+
+
+def test_streamed_map_matches_buffered(edge, bench_genmapper, benchmark):
+    app, __ = edge
+    sources = [s.name for s in bench_genmapper.sources()]
+    query = None
+    for a in sources:
+        for b in sources:
+            if a == b:
+                continue
+            try:
+                if len(bench_genmapper.map(a, b)) >= 100:
+                    query = f"source={a}&target={b}"
+                    break
+            except Exception:
+                continue
+        if query:
+            break
+    assert query, "benchmark universe has no sizable mapping"
+    status, __, buffered_size = _call(app, "GET", "/map", f"{query}&stream=0")
+    assert status == 200
+    status, __, streamed_size = _call(app, "GET", "/map", f"{query}&stream=1")
+    assert status == 200
+    assert streamed_size == buffered_size
+    benchmark.extra_info["experiment"] = "stream_map"
+    benchmark.extra_info["body_bytes"] = buffered_size
+    benchmark(lambda: _call(app, "GET", "/map", f"{query}&stream=1"))
+
+
+# -- claim 2: conditional GET revalidation --------------------------------
+
+
+def test_warm_304_beats_full_200(edge, benchmark):
+    app, source = edge
+    path = f"/sources/{source}/objects"
+    query = "limit=500"
+    status, headers, __ = _call(app, "GET", path, query)
+    assert status == 200
+    etag = headers["ETag"]
+
+    def full():
+        status, __, ___ = _call(app, "GET", path, query)
+        assert status == 200
+
+    def revalidate():
+        status, __, size = _call(
+            app, "GET", path, query, headers={"If-None-Match": etag}
+        )
+        assert status == 304
+        assert size == 0
+
+    full_latency = _best_of(full)
+    not_modified_latency = _best_of(revalidate, 20)
+    benchmark.extra_info["experiment"] = "conditional_get"
+    benchmark.extra_info["full_200_s"] = round(full_latency, 6)
+    benchmark.extra_info["warm_304_s"] = round(not_modified_latency, 6)
+    benchmark.extra_info["speedup"] = round(
+        full_latency / not_modified_latency, 2
+    )
+    benchmark(revalidate)
+    assert full_latency / not_modified_latency >= MIN_304_SPEEDUP, (
+        f"304 revalidation ({not_modified_latency * 1e6:.0f}us) is not"
+        f" {MIN_304_SPEEDUP}x faster than the full 200"
+        f" ({full_latency * 1e6:.0f}us)"
+    )
+
+
+def test_rate_limit_check_overhead(edge, bench_genmapper, benchmark):
+    """The admission check itself must be negligible: a limited app's
+    /stats latency within noise of the unlimited app's."""
+    from repro.reliability.ratelimit import RateLimiter
+
+    app, __ = edge
+    limited = create_app(
+        bench_genmapper,
+        registry=MetricsRegistry(),
+        rate_limiter=RateLimiter(1e9, registry=MetricsRegistry()),
+        event_log=None,
+        slow_log=None,
+        slo=None,
+    )
+    plain = _best_of(lambda: _call(app, "GET", "/stats"), 20)
+    gated = _best_of(lambda: _call(limited, "GET", "/stats"), 20)
+    benchmark.extra_info["experiment"] = "rate_limit_overhead"
+    benchmark.extra_info["plain_s"] = round(plain, 6)
+    benchmark.extra_info["limited_s"] = round(gated, 6)
+    benchmark(lambda: _call(limited, "GET", "/stats"))
+    # Generous bound: the check is two dict ops + float math under a lock.
+    assert gated < plain * 3 + 0.001
+
+
+def test_stream_decision_consistency(edge):
+    """Sanity riding along with the benches: the JSON of a streamed and a
+    buffered run of the same query parse identically (not just equal
+    bytes — guards against accidental double-encoding)."""
+    app, source = edge
+    path = f"/sources/{source}/objects"
+    environ_query = "limit=50"
+
+    def body_of(stream_flag):
+        environ = {
+            "REQUEST_METHOD": "GET",
+            "PATH_INFO": path,
+            "QUERY_STRING": f"{environ_query}&stream={stream_flag}",
+            "wsgi.input": io.BytesIO(b""),
+        }
+        chunks = app(environ, lambda *a, **k: None)
+        raw = b"".join(chunks)
+        close = getattr(chunks, "close", None)
+        if close is not None:
+            close()
+        return raw
+
+    buffered = body_of(0)
+    streamed = body_of(1)
+    assert buffered == streamed
+    payload = json.loads(streamed)
+    assert len(payload["objects"]) == 50
+    assert payload["next"]

@@ -287,3 +287,44 @@ class GenerationalLru:
                 entries=len(self._entries),
                 bytes_=self._bytes,
             )
+
+
+class BoundedLruMap:
+    """A plain bounded mapping with move-to-end recency eviction.
+
+    The minimal mechanical core shared by bounded per-key state holders
+    that need none of :class:`GenerationalLru`'s machinery (generations,
+    single-flight, byte accounting) — e.g. the HTTP edge's per-client
+    token buckets (:class:`repro.reliability.ratelimit.RateLimiter`),
+    where an unbounded client map would let address-spoofing clients grow
+    the process without limit.
+
+    Not thread-safe: callers hold their own lock around every access.
+    """
+
+    __slots__ = ("max_entries", "evictions", "_entries")
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.evictions = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key: object) -> object | None:
+        """The stored value (refreshing its recency), or None."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def set(self, key: object, value: object) -> None:
+        """Store a value, evicting the least recently used past the bound."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

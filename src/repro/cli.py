@@ -231,6 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
         " (same as REPRO_SLOW_MS; inspect via GET /debug/slow or"
         " 'repro slow-log')",
     )
+    cmd.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="per-client token-bucket rate limit in requests/second;"
+        " floods get 429 + Retry-After (same as REPRO_RATE_LIMIT)",
+    )
+    cmd.add_argument(
+        "--rate-burst", type=float, default=None, metavar="TOKENS",
+        help="token-bucket burst ceiling (default: 2x the rate;"
+        " same as REPRO_RATE_BURST)",
+    )
+    cmd.add_argument(
+        "--stream-threshold", type=int, default=None, metavar="ROWS",
+        help="stream responses with at least ROWS rows in bounded chunks"
+        " (default: REPRO_STREAM_THRESHOLD or 1000)",
+    )
 
     cmd = commands.add_parser(
         "slow-log",
@@ -614,7 +629,16 @@ def _cmd_serve(genmapper: GenMapper, args: argparse.Namespace) -> int:
         set_slow_log(SlowQueryLog(threshold_ms=args.slow_ms))
         print(f"# slow-query log capturing requests over {args.slow_ms:g} ms"
               " (GET /debug/slow)", file=sys.stderr)
-    app = create_app(genmapper, request_timeout=args.request_timeout)
+    app = create_app(
+        genmapper,
+        request_timeout=args.request_timeout,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        stream_threshold=args.stream_threshold,
+    )
+    if args.rate_limit is not None:
+        print(f"# rate limiting: {args.rate_limit:g} req/s per client"
+              " (429 + Retry-After past the burst)", file=sys.stderr)
     with make_threading_server(args.host, args.port, app) as server:
         print(f"GenMapper API on http://{args.host}:{args.port}/sources")
         try:

@@ -205,6 +205,30 @@ class GamDatabase:
         record_sql(sql, len(parameters))
         return self._run(sql, lambda: connection.execute(sql, parameters))
 
+    def execute_read_iter(
+        self,
+        sql: str,
+        parameters: tuple = (),
+        batch_size: int = 512,
+    ) -> Iterator[sqlite3.Row]:
+        """Iterate a read-only statement's rows with bounded memory.
+
+        The streaming counterpart of :meth:`execute_read`: rows are
+        drained from the cursor in ``batch_size`` batches instead of one
+        ``fetchall``, so the HTTP edge can serialize an arbitrarily large
+        listing while holding O(batch) rows resident
+        (``docs/http_api.md``).  The request deadline is re-checked
+        between batches — a consumer that overruns its budget aborts at
+        the next batch boundary rather than draining to completion.
+        """
+        cursor = self.execute_read(sql, parameters)
+        while True:
+            rows = cursor.fetchmany(batch_size)
+            if not rows:
+                return
+            check_deadline()
+            yield from rows
+
     def executemany(self, sql: str, rows: object) -> sqlite3.Cursor:
         """Execute a statement for every parameter row, atomically.
 

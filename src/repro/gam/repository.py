@@ -341,6 +341,61 @@ class GamRepository:
         rows = self.db.execute(sql, params).fetchall()
         return [self._object_from_row(row) for row in rows]
 
+    def objects_page(
+        self,
+        source: "int | str | Source",
+        limit: int,
+        after: str | None = None,
+        offset: int = 0,
+    ) -> list[GamObject]:
+        """One accession-ordered page of a source's objects.
+
+        The HTTP edge's pagination query, pushed down to the unique
+        ``(source_id, accession)`` index instead of slicing a fully
+        loaded object list: ``after`` seeks past an accession (keyset
+        pagination — O(page) regardless of position), while ``offset``
+        is the legacy skip-scan (O(offset + page), kept for clients that
+        jump to arbitrary pages).  ``after`` wins when both are given.
+        """
+        src = self.get_source(source)
+        if after is not None:
+            rows = self.db.execute_read(
+                "SELECT * FROM object WHERE source_id = ? AND accession > ?"
+                " ORDER BY accession LIMIT ?",
+                (src.source_id, after, limit),
+            ).fetchall()
+        else:
+            rows = self.db.execute_read(
+                "SELECT * FROM object WHERE source_id = ?"
+                " ORDER BY accession LIMIT ? OFFSET ?",
+                (src.source_id, limit, offset),
+            ).fetchall()
+        return [self._object_from_row(row) for row in rows]
+
+    def iter_objects_of(
+        self, source: "int | str | Source", after: str | None = None
+    ) -> Iterator[GamObject]:
+        """Stream a source's objects in accession order, bounded memory.
+
+        Backs the edge's unbounded listings (``limit=0``): rows come off
+        the index via :meth:`GamDatabase.execute_read_iter` in batches,
+        never materializing the whole source.
+        """
+        src = self.get_source(source)
+        if after is not None:
+            rows = self.db.execute_read_iter(
+                "SELECT * FROM object WHERE source_id = ? AND accession > ?"
+                " ORDER BY accession",
+                (src.source_id, after),
+            )
+        else:
+            rows = self.db.execute_read_iter(
+                "SELECT * FROM object WHERE source_id = ? ORDER BY accession",
+                (src.source_id,),
+            )
+        for row in rows:
+            yield self._object_from_row(row)
+
     def accessions_of(self, source: "int | str | Source") -> set[str]:
         """The accession set of a source."""
         src = self.get_source(source)

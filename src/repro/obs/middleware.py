@@ -30,6 +30,12 @@ budget asserted by ``tests/test_obs.py``.
 
 Errors raised by the wrapped app are counted under status 500 and
 re-raised for the server to handle.
+
+Buffered (list) bodies account the request the moment the app returns,
+as before.  For streamed bodies — generators whose serialization happens
+while the server writes chunks — finalization (latency, counters, SLO,
+wide-event emit) is deferred until the body is exhausted or closed, so
+measured latency covers the full response, not just the handler.
 """
 
 from __future__ import annotations
@@ -92,6 +98,43 @@ def route_template(method: str, path: str) -> str:
         if len(segments) == 2 and segments[1] == "explain":
             return "/query/explain"
     return "/{unknown}"
+
+
+class _FinalizingBody:
+    """A streamed WSGI body that runs a finalizer exactly once when the
+    body is exhausted, fails, or is closed by the server.
+
+    WSGI servers iterate the returned body and then call ``close()``;
+    wrapping keeps the middleware's accounting correct for generator
+    bodies whose serialization happens *after* the wrapped app returned.
+    """
+
+    __slots__ = ("_body", "_finalize", "_state")
+
+    def __init__(self, body, finalize: Callable[[], None], state) -> None:
+        self._body = body
+        self._finalize = finalize
+        self._state = state
+
+    def __iter__(self):
+        try:
+            yield from self._body
+        except BaseException as exc:
+            if self._state is not None:
+                self._state.fields.setdefault(
+                    "error", f"{type(exc).__name__}: {exc}"
+                )
+            self._finalize()
+            raise
+        self._finalize()
+
+    def close(self) -> None:
+        try:
+            close = getattr(self._body, "close", None)
+            if close is not None:
+                close()
+        finally:
+            self._finalize()
 
 
 class ObservabilityMiddleware:
@@ -177,21 +220,16 @@ class ObservabilityMiddleware:
             if tracer.enabled
             else None
         )
-        try:
-            if span_context is not None:
-                with span_context as span:
-                    response = self.app(environ, observed_start_response)
-                    span.tag(status=status_code["value"])
-            else:
-                response = self.app(environ, observed_start_response)
-            return response
-        except BaseException as exc:
-            if state is not None:
-                state.fields.setdefault(
-                    "error", f"{type(exc).__name__}: {exc}"
-                )
-            raise
-        finally:
+
+        finalized = False
+
+        def finalize() -> None:
+            # Idempotent: a streamed body may be closed after exhaustion,
+            # and an error path may finalize before the server's close().
+            nonlocal finalized
+            if finalized:
+                return
+            finalized = True
             elapsed = time.perf_counter() - started
             in_flight.dec()
             status = status_code["value"]
@@ -207,7 +245,6 @@ class ObservabilityMiddleware:
             if slo is not None:
                 slo.record(status.isdigit() and int(status) < 500, elapsed)
             if state is not None:
-                _CURRENT.reset(token)
                 state.fields["status"] = (
                     int(status) if status.isdigit() else status
                 )
@@ -216,3 +253,35 @@ class ObservabilityMiddleware:
                     slow_log.capture_from_event(state, elapsed)
                 if event_log is not None:
                     event_log.emit(state.to_record(duration_s=elapsed))
+
+        try:
+            if span_context is not None:
+                with span_context as span:
+                    response = self.app(environ, observed_start_response)
+                    span.tag(status=status_code["value"])
+            else:
+                response = self.app(environ, observed_start_response)
+        except BaseException as exc:
+            if state is not None:
+                state.fields.setdefault(
+                    "error", f"{type(exc).__name__}: {exc}"
+                )
+            if token is not None:
+                _CURRENT.reset(token)
+            finalize()
+            raise
+        # The contextvar must be reset here, in the request thread, even
+        # when the body streams: annotations all happen during the
+        # handler; only serialization is lazy.  (Resetting from whatever
+        # context later consumes a generator body would raise.)
+        if token is not None:
+            _CURRENT.reset(token)
+        if isinstance(response, (list, tuple)):
+            # Fully buffered body: the request is done now.
+            finalize()
+            return response
+        # Streamed body: a request is not "done" until its last chunk is
+        # written (or the client goes away) — latency, SLO and the wide
+        # event must cover serialization, so finalization rides on the
+        # body's exhaustion/close instead of the handler's return.
+        return _FinalizingBody(response, finalize, state)

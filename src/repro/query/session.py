@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from pathlib import Path
 
+from repro.cache.mapping_cache import spec_digest
 from repro.core.genmapper import GenMapper
 from repro.gam.enums import CombineMethod, RelType
 from repro.gam.errors import QuerySpecError, UnknownSourceError
@@ -240,6 +241,31 @@ class QuerySession:
     def _require_source(self) -> None:
         if self._source is None:
             raise QuerySpecError("select a source first")
+
+
+def spec_digest_of(spec: QuerySpec) -> str:
+    """A stable short digest identifying one query's shape.
+
+    Shared by the web layer (wide events, slow-log grouping, the
+    ``ETag`` of cacheable responses) and anything else that needs to
+    group repeated executions of the same logical query: two specs with
+    the same source, accession set, target list and combine method
+    digest identically regardless of where they were built.
+    """
+    return spec_digest(
+        spec.source,
+        tuple(sorted(spec.accessions)) if spec.accessions else None,
+        tuple(
+            (
+                target.name,
+                tuple(sorted(target.accessions)) if target.accessions else None,
+                target.negated,
+                target.via,
+            )
+            for target in spec.targets
+        ),
+        spec.combine.value,
+    )
 
 
 def run_query(

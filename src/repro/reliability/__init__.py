@@ -11,7 +11,10 @@ See ``docs/reliability.md`` for the architecture; the short version:
 * :mod:`repro.reliability.breaker` — circuit breaker + degraded-mode
   (stale-cache) serving signals;
 * :mod:`repro.reliability.checkpoint` — crash-safe, resumable directory
-  imports.
+  imports;
+* :mod:`repro.reliability.ratelimit` — per-client token buckets backing
+  the HTTP edge's 429 + ``Retry-After`` admission control
+  (``REPRO_RATE_LIMIT``).
 """
 
 from repro.reliability.breaker import (
@@ -42,6 +45,12 @@ from repro.reliability.faults import (
     injector_from_env,
     parse_fault_rules,
 )
+from repro.reliability.ratelimit import (
+    RATE_LIMIT_ENV_VAR,
+    RateDecision,
+    RateLimiter,
+    limiter_from_env,
+)
 from repro.reliability.retry import (
     RETRYABLE_MARKERS,
     RetryBudgetExceeded,
@@ -57,6 +66,7 @@ __all__ = [
     "FAULTS_ENV_VAR",
     "HALF_OPEN",
     "OPEN",
+    "RATE_LIMIT_ENV_VAR",
     "RETRYABLE_MARKERS",
     "CircuitBreaker",
     "CircuitOpenError",
@@ -66,6 +76,8 @@ __all__ = [
     "FaultRule",
     "FaultSpecError",
     "ImportJournal",
+    "RateDecision",
+    "RateLimiter",
     "RetryBudgetExceeded",
     "RetryPolicy",
     "capture_degraded",
@@ -75,6 +87,7 @@ __all__ = [
     "file_fingerprint",
     "injector_from_env",
     "is_retryable",
+    "limiter_from_env",
     "mark_degraded",
     "parse_fault_rules",
     "policy_from_env",

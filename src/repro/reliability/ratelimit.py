@@ -1,0 +1,189 @@
+"""Per-client token-bucket rate limiting for the HTTP edge.
+
+A service meant to carry heavy read traffic cannot let one aggressive
+client starve everyone else: the edge admits each request by charging a
+token from the calling client's bucket.  Buckets refill continuously at
+``rate`` tokens per second up to a ``burst`` ceiling, so short bursts
+pass untouched while sustained flooding is shed with ``429`` and a
+precise ``Retry-After`` (seconds until the next token accrues).
+
+Two design points worth calling out:
+
+* **Bounded client state** — buckets live in a
+  :class:`repro.cache.lru.BoundedLruMap`; a client flood (or spoofed
+  addresses) can recycle bucket slots but never grow the process.  An
+  evicted-and-recreated bucket starts full, which only ever errs in the
+  client's favour.
+* **Breaker integration** — when the repository circuit breaker (see
+  :mod:`repro.reliability.breaker`) is not closed, the edge charges
+  ``degraded_cost`` tokens per request instead of one, shrinking every
+  client's effective rate while the storage layer recovers.  Shedding at
+  the edge is cheaper than queueing onto an open breaker: the 429 + the
+  breaker's own 503s both push clients into backoff instead of a retry
+  stampede.
+
+The clock is injectable so tests advance a fake clock instead of
+sleeping.  Decisions are mirrored into the metrics registry
+(``edge.rate_allowed`` / ``edge.rate_limited`` counters and the
+``edge.rate_clients`` gauge) and the web layer annotates them onto the
+request's wide event (``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections.abc import Callable
+
+from repro.cache.lru import BoundedLruMap
+from repro.obs import MetricsRegistry, get_registry
+
+#: Environment switch: requests per second per client (float; unset = off).
+RATE_LIMIT_ENV_VAR = "REPRO_RATE_LIMIT"
+
+#: Environment override for the bucket ceiling (defaults to ~2s of rate).
+RATE_BURST_ENV_VAR = "REPRO_RATE_BURST"
+
+#: Default bound on distinct client buckets kept resident.
+DEFAULT_MAX_CLIENTS = 4096
+
+#: Default token cost per request while the circuit breaker is not closed.
+DEFAULT_DEGRADED_COST = 4.0
+
+
+class RateDecision:
+    """The outcome of one admission check."""
+
+    __slots__ = ("allowed", "retry_after", "tokens")
+
+    def __init__(self, allowed: bool, retry_after: float, tokens: float) -> None:
+        self.allowed = allowed
+        #: Seconds until the charged cost would be affordable (0 when allowed).
+        self.retry_after = retry_after
+        #: Tokens left in the bucket after the decision.
+        self.tokens = tokens
+
+
+class _Bucket:
+    __slots__ = ("tokens", "updated")
+
+    def __init__(self, tokens: float, updated: float) -> None:
+        self.tokens = tokens
+        self.updated = updated
+
+
+class RateLimiter:
+    """Thread-safe per-client token buckets.
+
+    Parameters
+    ----------
+    rate:
+        Sustained tokens per second granted to each client (> 0).
+    burst:
+        Bucket ceiling — the largest charge a fully idle client can make
+        at once.  Defaults to two seconds of ``rate`` (at least 1).
+    degraded_cost:
+        Tokens charged per request while the circuit breaker reports a
+        non-closed state (>= 1).
+    max_clients:
+        Bound on distinct buckets kept resident (LRU-recycled past it).
+    clock:
+        Monotonic seconds source; injectable for tests.
+    registry:
+        Metrics registry; the process default unless injected.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        degraded_cost: float = DEFAULT_DEGRADED_COST,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        clock: Callable[[], float] = time.monotonic,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0 tokens/second")
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst) if burst is not None else 2.0 * rate)
+        self.degraded_cost = max(1.0, float(degraded_cost))
+        self.clock = clock
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._buckets = BoundedLruMap(max_clients)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def check(self, client: str, cost: float = 1.0) -> RateDecision:
+        """Charge ``cost`` tokens from ``client``'s bucket.
+
+        Returns an allowed decision when the bucket holds enough tokens
+        (charging them), otherwise a denied decision carrying the seconds
+        until the cost would be affordable — the ``Retry-After`` value.
+        A denied check charges nothing: rejected clients lose no ground
+        for having asked.
+        """
+        cost = max(0.0, float(cost))
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = _Bucket(tokens=self.burst, updated=now)
+                self._buckets.set(client, bucket)
+            else:
+                elapsed = max(0.0, now - bucket.updated)
+                bucket.tokens = min(self.burst, bucket.tokens + elapsed * self.rate)
+                bucket.updated = now
+            if bucket.tokens >= cost:
+                bucket.tokens -= cost
+                decision = RateDecision(True, 0.0, bucket.tokens)
+            else:
+                retry_after = (cost - bucket.tokens) / self.rate
+                decision = RateDecision(False, retry_after, bucket.tokens)
+            clients = len(self._buckets)
+        registry = self.registry
+        if decision.allowed:
+            registry.counter("edge.rate_allowed").inc()
+        else:
+            registry.counter("edge.rate_limited").inc()
+        registry.gauge("edge.rate_clients").set(clients)
+        return decision
+
+    def stats(self) -> dict:
+        """Plain-data configuration + occupancy block (``/metrics``)."""
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "degraded_cost": self.degraded_cost,
+                "clients": len(self._buckets),
+                "max_clients": self._buckets.max_entries,
+                "evicted_clients": self._buckets.evictions,
+            }
+
+
+def limiter_from_env(
+    registry: MetricsRegistry | None = None,
+) -> RateLimiter | None:
+    """The limiter ``REPRO_RATE_LIMIT`` / ``REPRO_RATE_BURST`` configure,
+    or None when rate limiting is off (the default)."""
+    raw = os.environ.get(RATE_LIMIT_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        rate = float(raw)
+    except ValueError:
+        return None
+    if rate <= 0:
+        return None
+    burst: float | None = None
+    raw_burst = os.environ.get(RATE_BURST_ENV_VAR)
+    if raw_burst:
+        try:
+            burst = float(raw_burst)
+        except ValueError:
+            burst = None
+    return RateLimiter(rate, burst=burst, registry=registry)

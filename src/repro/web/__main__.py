@@ -55,6 +55,23 @@ def main(argv: list[str] | None = None) -> int:
         help="capture requests slower than MS into the slow-query log"
         " (same as REPRO_SLOW_MS; inspect via GET /debug/slow)",
     )
+    parser.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="per-client token-bucket rate limit in requests/second;"
+        " floods get 429 + Retry-After (same as REPRO_RATE_LIMIT;"
+        " see docs/http_api.md)",
+    )
+    parser.add_argument(
+        "--rate-burst", type=float, default=None, metavar="TOKENS",
+        help="token-bucket burst ceiling (default: 2x the rate;"
+        " same as REPRO_RATE_BURST)",
+    )
+    parser.add_argument(
+        "--stream-threshold", type=int, default=None, metavar="ROWS",
+        help="stream responses with at least ROWS rows in bounded chunks"
+        " (default: REPRO_STREAM_THRESHOLD or 1000; ?stream=1|0"
+        " overrides per request)",
+    )
     args = parser.parse_args(argv)
 
     if args.trace:
@@ -89,7 +106,13 @@ def main(argv: list[str] | None = None) -> int:
             genmapper.integrate_directory(directory)
         print(f"demo universe loaded: {genmapper.stats()['objects']} objects")
 
-    app = create_app(genmapper, request_timeout=args.request_timeout)
+    app = create_app(
+        genmapper,
+        request_timeout=args.request_timeout,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        stream_threshold=args.stream_threshold,
+    )
     with make_threading_server(args.host, args.port, app) as server:
         print(f"GenMapper API on http://{args.host}:{args.port}/sources")
         try:

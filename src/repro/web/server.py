@@ -22,7 +22,20 @@ class ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
     daemon_threads = True
 
 
-class QuietRequestHandler(WSGIRequestHandler):
+class StreamingRequestHandler(WSGIRequestHandler):
+    """Request handler tuned for chunk-at-a-time response bodies.
+
+    Streamed responses (see ``repro.web.streaming``) are written as a
+    sequence of ~32 KB chunks; with Nagle's algorithm on, small trailing
+    writes sit in the kernel until an ACK arrives, adding up to an RTT
+    of tail latency per response.  ``TCP_NODELAY`` flushes each chunk as
+    soon as the handler yields it.
+    """
+
+    disable_nagle_algorithm = True
+
+
+class QuietRequestHandler(StreamingRequestHandler):
     """Request handler that suppresses per-request stderr logging."""
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
@@ -37,7 +50,7 @@ def make_threading_server(
     ``quiet=True`` suppresses the per-request access log — used by tests
     and benchmarks that spin up a real socket server.
     """
-    handler = QuietRequestHandler if quiet else WSGIRequestHandler
+    handler = QuietRequestHandler if quiet else StreamingRequestHandler
     return make_server(
         host, port, app, server_class=ThreadingWSGIServer, handler_class=handler
     )

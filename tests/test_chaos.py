@@ -241,3 +241,100 @@ class TestCrashResume:
             assert all(report.new_objects == 0 for report in reports)
             assert all(report.total_associations == 0 for report in reports)
             assert canonical_snapshot(gm.repository) == before
+
+
+class TestChaosRateLimit:
+    def test_rate_limited_edge_under_faults_stays_well_behaved(
+        self, universe_dir
+    ):
+        """Concurrent clients hammering a rate-limited edge under injected
+        storage faults see only 200/304/429/503 — never a 500 — and every
+        client eventually gets through once its bucket refills."""
+        import io
+
+        from repro.reliability.ratelimit import RateLimiter
+        from repro.web.app import create_app
+
+        registry = MetricsRegistry()
+        clock = {"now": 0.0}
+        clock_lock = threading.Lock()
+
+        def fake_clock():
+            with clock_lock:
+                return clock["now"]
+
+        with GenMapper() as gm:
+            gm.integrate_directory(universe_dir)
+            gm.db.retry_policy = fast_retry(registry)
+            gm.db.fault_injector = FaultInjector(
+                [FaultRule("busy", probability=0.02, times=None)],
+                seed=4242,
+                registry=registry,
+            )
+            limiter = RateLimiter(
+                rate=5.0, burst=10.0, clock=fake_clock, registry=registry
+            )
+            app = create_app(
+                gm,
+                registry=registry,
+                rate_limiter=limiter,
+                event_log=None,
+                slow_log=None,
+                slo=None,
+            )
+
+            def hit(client: str, path: str, query: str = "") -> int:
+                environ = {
+                    "REQUEST_METHOD": "GET",
+                    "PATH_INFO": path,
+                    "QUERY_STRING": query,
+                    "REMOTE_ADDR": client,
+                    "wsgi.input": io.BytesIO(b""),
+                }
+                captured = {}
+
+                def start_response(status, headers, exc_info=None):
+                    captured["status"] = int(status.split()[0])
+
+                body = app(environ, start_response)
+                b"".join(body)
+                close = getattr(body, "close", None)
+                if close is not None:
+                    close()
+                return captured["status"]
+
+            statuses: dict[str, list[int]] = {}
+            lock = threading.Lock()
+
+            def client_thread(client: str) -> None:
+                seen = []
+                for _ in range(30):
+                    seen.append(hit(client, "/map", "source=LocusLink&target=GO"))
+                with lock:
+                    statuses[client] = seen
+
+            threads = [
+                threading.Thread(target=client_thread, args=(f"10.0.0.{i}",))
+                for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            gm.db.fault_injector = None
+
+            all_statuses = [s for seen in statuses.values() for s in seen]
+            assert len(all_statuses) == 120
+            assert set(all_statuses) <= {200, 429, 503}, sorted(set(all_statuses))
+            for client, seen in statuses.items():
+                assert 200 in seen, f"{client} never got through"
+                assert 429 in seen, f"{client} was never limited (burst 10, 30 hits)"
+            # Shed clients recover: refill the buckets and retry.
+            with clock_lock:
+                clock["now"] += 10.0
+            assert all(
+                hit(f"10.0.0.{i}", "/stats") == 200 for i in range(4)
+            )
+            counters = registry.snapshot()["counters"]
+            assert counters["edge.rate_limited"] > 0
+            assert counters["edge.rate_allowed"] > 0
