@@ -154,3 +154,63 @@ def test_bench_generation_probe(benchmark, cached_genmapper):
     — the price every cached call pays for write safety."""
     benchmark(cached_genmapper.db.data_generation)
     benchmark.extra_info["experiment"] = "Cache: generation probe overhead"
+
+
+# -- scoped invalidation under a mixed read/write workload ------------------
+
+#: Minimum warm hit-rate the untouched pairs must keep while another
+#: source is being re-imported (pre-vector, every write nuked the whole
+#: cache and this would be ~0).
+MIN_MIXED_HIT_RATE = 0.9
+
+
+def test_mixed_workload_untouched_hit_rate(cached_genmapper):
+    """Re-importing one source must not cool warm entries of untouched
+    source pairs: reads of other mappings keep hitting while writes land.
+
+    This is the generation-vector payoff (docs/performance.md): before
+    scoped invalidation every committed write bumped the one global
+    generation and the first read of *any* key afterwards reloaded.
+    """
+    gm = cached_genmapper
+    # Pairs disjoint from the re-imported mapping's endpoint sources
+    # (NetAffx and Unigene) — these must stay warm throughout.
+    untouched_pairs = [
+        ("LocusLink", "GO"),
+        ("LocusLink", "Hugo"),
+        ("LocusLink", "Location"),
+    ]
+    for pair in untouched_pairs:
+        gm.map(*pair)  # prime
+    rel = gm.repository.ensure_source_rel("NetAffx", "Unigene", "FACT")
+    probes = [assoc for assoc in gm.map("NetAffx", "Unigene")][:20]
+
+    before = gm.cache_stats()
+    # Interleave: each write batch simulates one chunk of a NetAffx
+    # re-import; between chunks, readers keep querying untouched pairs.
+    for round_number in range(10):
+        gm.repository.add_associations(
+            rel,
+            [
+                (
+                    assoc.source_accession,
+                    assoc.target_accession,
+                    min(1.0, assoc.evidence + round_number * 1e-6),
+                )
+                for assoc in probes
+            ],
+        )
+        for pair in untouched_pairs:
+            gm.map(*pair)
+    after = gm.cache_stats()
+
+    reads = 10 * len(untouched_pairs)
+    hits = after["hits"] - before["hits"]
+    hit_rate = hits / reads
+    assert hit_rate >= MIN_MIXED_HIT_RATE, (
+        f"untouched-pair hit rate {hit_rate:.2f} under mixed workload"
+        f" (expected >= {MIN_MIXED_HIT_RATE}); scoped invalidation broken"
+    )
+    # And the touched pair itself must NOT be served stale.
+    refreshed = gm.map("NetAffx", "Unigene")
+    assert len(refreshed) >= len(probes)

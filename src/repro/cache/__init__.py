@@ -4,6 +4,7 @@ See ``docs/performance.md`` for the architecture (cache keys, the
 generation protocol, single-flight) and tuning flags.
 """
 
+from repro.cache.deps import capture_dependencies, capturing, record_dependency
 from repro.cache.lru import GenerationalLru, LruCacheStats
 from repro.cache.mapping_cache import (
     CACHE_ENV_VAR,
@@ -26,6 +27,9 @@ __all__ = [
     "LruCacheStats",
     "MappingCache",
     "cache_enabled_by_env",
+    "capture_dependencies",
+    "capturing",
+    "record_dependency",
     "cache_size_from_env",
     "estimate_size",
     "spec_digest",

@@ -150,7 +150,13 @@ class GenerationalLru:
             with self._lock:
                 entry = self._entries.get(key)
                 if entry is not None:
-                    if entry.generation == generation and not entry.stale:
+                    # ``>=``, not ``==``: generations are monotonic, so an
+                    # entry stamped at-or-after the required generation is
+                    # fresh.  Scoped lookups (MappingCache) pass the max
+                    # generation of only the entry's dependency sources,
+                    # which may trail the global clock the entry was
+                    # stamped with.
+                    if entry.generation >= generation and not entry.stale:
                         self._entries.move_to_end(key)
                         self._hits += 1
                         return entry.value, True
@@ -187,13 +193,26 @@ class GenerationalLru:
         no recency update) — used by ``/query/explain``."""
         with self._lock:
             entry = self._entries.get(key)
-            return entry is not None and entry.generation == generation
+            return entry is not None and entry.generation >= generation
+
+    def peek_generation(self, key: CacheKey) -> int | None:
+        """The resident entry's generation stamp, or None (no counters).
+
+        Lets :class:`repro.cache.MappingCache` classify an imminent
+        invalidation as *scoped* (a dependency source moved) versus
+        global before the reload happens.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.stale:
+                return None
+            return entry.generation
 
     def get(self, key: CacheKey, generation: int) -> object | None:
         """The cached value at this generation, or None (counts hit/miss)."""
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None and entry.generation == generation and not entry.stale:
+            if entry is not None and entry.generation >= generation and not entry.stale:
                 self._entries.move_to_end(key)
                 self._hits += 1
                 return entry.value

@@ -16,6 +16,17 @@ process, detected through SQLite's ``PRAGMA data_version`` — moves the
 generation forward, so the next lookup sees a stale stamp and reloads.
 No caller ever has to flush anything.
 
+Invalidation is **scoped** wherever possible: each entry remembers the
+set of sources its loader actually read (captured through
+:mod:`repro.cache.deps`), and freshness is judged against the max
+per-source generation of only those sources
+(:meth:`repro.gam.database.GamDatabase.generation_of`).  Re-importing
+one source therefore leaves warm entries for untouched source pairs
+intact; only writes that cannot be attributed (raw SQL outside a
+:meth:`~repro.gam.database.GamDatabase.write_scope`, external-process
+commits) fall back to invalidating everything via the global floor.
+Scoped invalidations are counted under ``cache.scoped_invalidations``.
+
 Hits, misses, evictions and invalidations are mirrored into the
 observability registry (``cache.hit`` / ``cache.miss`` /
 ``cache.eviction`` / ``cache.invalidation`` counters plus the
@@ -29,6 +40,7 @@ import hashlib
 import os
 from collections.abc import Callable, Sequence
 
+from repro.cache.deps import capture_dependencies, record_dependency
 from repro.cache.lru import GenerationalLru
 from repro.gam.database import GamDatabase
 from repro.obs import MetricsRegistry, get_registry
@@ -134,6 +146,10 @@ class MappingCache:
         # Metrics are deltas against the last published LRU counters so
         # shared registries (the process default) stay monotonic.
         self._published = {"hit": 0, "miss": 0, "eviction": 0, "invalidation": 0}
+        # Source names each key's loader read, captured on load (kept
+        # across eviction so a reloaded key validates scoped immediately).
+        self._deps: dict[tuple, frozenset[str]] = {}
+        self._scoped_invalidations = 0
 
     @property
     def registry(self) -> MetricsRegistry:
@@ -169,9 +185,48 @@ class MappingCache:
     def lookup(
         self, key: tuple, loader: Callable[[], object]
     ) -> tuple[object, bool]:
-        """Like :meth:`get_or_load` but also reports ``was_hit``."""
+        """Like :meth:`get_or_load` but also reports ``was_hit``.
+
+        Freshness is scoped when the key's dependency sources are known
+        (from a previous load): the entry must be at least as new as the
+        max generation of *those sources only*, so writes tagged to other
+        sources leave it warm.  A first load (dependencies unknown)
+        validates against the global generation, and the loader runs
+        inside a capture frame so its dependencies are known from then
+        on.  Loads with an empty capture (a loader reading nothing
+        attributable) stay on global validation — always safe.
+        """
         generation = self.db.data_generation()
-        value, was_hit = self._lru.get_or_load(key, generation, loader)
+        deps = self._deps.get(key)
+        if deps:
+            required = self.db.generation_of(deps)
+            stamp = self._lru.peek_generation(key)
+            if stamp is not None and stamp < required:
+                # The imminent reload is caused by a dependency source
+                # moving past the stamp — a *scoped* invalidation (a
+                # floor-raising write would be indistinguishable from a
+                # global one, so only count when the floor alone would
+                # have kept the entry fresh).
+                if stamp >= self.db.generation_of(()):
+                    self._scoped_invalidations += 1
+                    self.registry.counter("cache.scoped_invalidations").inc()
+        else:
+            required = generation
+
+        def scoped_loader() -> object:
+            with capture_dependencies() as captured:
+                value = loader()
+            self._deps[key] = frozenset(captured)
+            return value
+
+        value, was_hit = self._lru.get_or_load(key, required, scoped_loader)
+        if was_hit:
+            # Propagate this entry's dependencies to any outer capture
+            # (a cached view composing over a cached mapping must inherit
+            # the mapping's sources even when the inner lookup hits).
+            stored = self._deps.get(key)
+            if stored:
+                record_dependency(*stored)
         incr_event("cache_hits" if was_hit else "cache_misses")
         self._publish_metrics()
         return value, was_hit
@@ -194,12 +249,21 @@ class MappingCache:
     def is_cached(self, key: tuple) -> bool:
         """True when ``key`` would hit right now (explain support; does
         not touch hit/miss counters or recency)."""
-        return self._lru.peek(key, self.db.data_generation())
+        generation = self.db.data_generation()
+        deps = self._deps.get(key)
+        required = self.db.generation_of(deps) if deps else generation
+        return self._lru.peek(key, required)
+
+    def dependencies(self, key: tuple) -> tuple[str, ...]:
+        """Sorted source names the key's loader last read (explain
+        support; empty when the key has never loaded)."""
+        return tuple(sorted(self._deps.get(key, ())))
 
     def invalidate_all(self) -> int:
         """Drop everything (admin/testing aid; normal invalidation is
         generation-driven and needs no manual flush)."""
         dropped = self._lru.clear()
+        self._deps.clear()
         self._publish_metrics()
         return dropped
 
@@ -229,6 +293,10 @@ class MappingCache:
         payload["max_entries"] = self._lru.max_entries
         payload["max_bytes"] = self._lru.max_bytes
         payload["generation"] = self.db.data_generation()
+        vector = self.db.generation_vector()
+        payload["generation_floor"] = vector["floor"]
+        payload["scoped_sources"] = len(vector["sources"])
+        payload["scoped_invalidations"] = self._scoped_invalidations
         return payload
 
     def __len__(self) -> int:

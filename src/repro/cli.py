@@ -79,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--genes", type=int, default=200)
     cmd.add_argument("--go-terms", type=int, default=120)
     cmd.add_argument("--seed", type=int, default=7)
+    cmd.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiply --genes/--go-terms by this factor"
+        " (the paper-scale benchmark uses repro.datagen.scale directly)",
+    )
 
     cmd = commands.add_parser("import", help="import a source file or directory")
     cmd.add_argument("path", help="native source file, .eav file, or directory")
@@ -145,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("path", nargs="+", help="source names of the mapping path")
     cmd.add_argument("--materialize", action="store_true",
                      help="store the result as a Composed mapping")
+    cmd.add_argument("--engine", default="auto",
+                     choices=("auto", "sql", "memory"),
+                     help="execution engine (auto pushes named combiners"
+                          " down to SQL)")
 
     cmd = commands.add_parser("path", help="find mapping paths between sources")
     cmd.add_argument("source")
@@ -154,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmd = commands.add_parser("subsume", help="derive the Subsumed mapping")
     cmd.add_argument("source", help="a Network source with IS_A structure")
+    cmd.add_argument("--engine", default="auto",
+                     choices=("auto", "sql", "memory"),
+                     help="execution engine (auto computes the closure"
+                          " inside SQLite)")
 
     cmd = commands.add_parser("object", help="show all annotations of an object")
     cmd.add_argument("source")
@@ -370,7 +383,11 @@ def _cmd_demo(genmapper: GenMapper, args: argparse.Namespace) -> int:
     from repro.datagen.universe import UniverseConfig, generate_universe
 
     universe = generate_universe(
-        UniverseConfig(seed=args.seed, n_genes=args.genes, n_go_terms=args.go_terms)
+        UniverseConfig(
+            seed=args.seed,
+            n_genes=max(int(args.genes * args.scale), 1),
+            n_go_terms=max(int(args.go_terms * args.scale), 10),
+        )
     )
     with tempfile.TemporaryDirectory() as directory:
         write_universe(universe, directory)
@@ -481,7 +498,9 @@ def _cmd_map(genmapper: GenMapper, args: argparse.Namespace) -> int:
 
 
 def _cmd_compose(genmapper: GenMapper, args: argparse.Namespace) -> int:
-    mapping = genmapper.compose(args.path, materialize=args.materialize)
+    mapping = genmapper.compose(
+        args.path, materialize=args.materialize, engine=args.engine
+    )
     print(mapping.describe())
     if args.materialize:
         print(f"materialized as Composed: {mapping.source} ↔ {mapping.target}")
@@ -503,7 +522,7 @@ def _cmd_path(genmapper: GenMapper, args: argparse.Namespace) -> int:
 
 
 def _cmd_subsume(genmapper: GenMapper, args: argparse.Namespace) -> int:
-    inserted = genmapper.derive_subsumed(args.source)
+    inserted = genmapper.derive_subsumed(args.source, engine=args.engine)
     print(f"derived Subsumed({args.source}): {inserted} associations stored")
     return 0
 

@@ -32,6 +32,11 @@ from repro.cache import (
     spec_digest,
 )
 from repro.derived.composed import derive_composed, materialize_mapping
+from repro.derived.refresh import (
+    RefreshReport,
+    refresh_composed,
+    refresh_subsumed,
+)
 from repro.derived.subsumed import derive_subsumed, load_taxonomy, subsumed_mapping
 from repro.eav.store import EavDataset
 from repro.gam.database import GamDatabase
@@ -317,12 +322,16 @@ class GenMapper:
         path: Sequence[str],
         combiner: EvidenceCombiner = product_evidence,
         materialize: bool = False,
+        engine: str = "auto",
     ) -> Mapping:
         """``Compose`` along an explicit mapping path.
 
         Non-materializing composes with a named combiner are cached by
         path; ``materialize=True`` always executes (it must write) and its
-        write invalidates every cached result via the data generation.
+        write invalidates cached results for the path's endpoint sources
+        (scoped by the generation vector).  ``engine`` selects the
+        execution strategy (``auto``/``sql``/``memory``, see
+        :func:`repro.derived.composed.derive_composed`).
         """
         label = _combiner_label(combiner)
         if self.cache is not None and label is not None and not materialize:
@@ -331,13 +340,17 @@ class GenMapper:
                 lambda: self.cache.get_or_load(
                     key,
                     lambda: derive_composed(
-                        self.repository, path, combiner, materialize=False
+                        self.repository,
+                        path,
+                        combiner,
+                        materialize=False,
+                        engine=engine,
                     ),
                 ),
                 key,
             )
         mapping = derive_composed(
-            self.repository, path, combiner, materialize=materialize
+            self.repository, path, combiner, materialize=materialize, engine=engine
         )
         if materialize:
             self._invalidate_graph()
@@ -474,13 +487,57 @@ class GenMapper:
 
     # -- derived relationships -------------------------------------------------------
 
-    def derive_subsumed(self, source: str) -> int:
+    def derive_subsumed(self, source: str, engine: str = "auto") -> int:
         """Materialize the Subsumed mapping of a taxonomy source."""
         with event_scope("derivation", operation="derive_subsumed", source=source):
-            __, inserted = derive_subsumed(self.repository, source)
+            __, inserted = derive_subsumed(self.repository, source, engine=engine)
             annotate_event(rows=inserted)
         self._invalidate_graph()
         return inserted
+
+    def refresh_composed(
+        self,
+        path: Sequence[str],
+        combiner: EvidenceCombiner = product_evidence,
+        watermark: "int | dict[str, int]" = 0,
+        engine: str = "auto",
+    ) -> RefreshReport:
+        """Incrementally maintain a materialized Composed mapping.
+
+        Applies only the base rows imported since ``watermark`` (a max
+        ``obj_rel_id``, or the watermarks dict the import journal records
+        per source file) instead of re-deriving the whole mapping — see
+        :mod:`repro.derived.refresh`.
+        """
+        with event_scope(
+            "derivation",
+            operation="refresh_composed",
+            path=" -> ".join(str(step) for step in path),
+        ):
+            report = refresh_composed(
+                self.repository, path, combiner, watermark=watermark, engine=engine
+            )
+            annotate_event(rows=report.changed, delta_edges=report.delta_edges)
+        self._invalidate_graph()
+        return report
+
+    def refresh_subsumed(
+        self,
+        source: str,
+        watermark: "int | dict[str, int]" = 0,
+        engine: str = "auto",
+    ) -> RefreshReport:
+        """Incrementally maintain a materialized Subsumed mapping from
+        the IS_A edges imported since ``watermark``."""
+        with event_scope(
+            "derivation", operation="refresh_subsumed", source=source
+        ):
+            report = refresh_subsumed(
+                self.repository, source, watermark=watermark, engine=engine
+            )
+            annotate_event(rows=report.changed, delta_edges=report.delta_edges)
+        self._invalidate_graph()
+        return report
 
     def subsumed(self, source: str) -> Mapping:
         """The term → subsumed-term mapping, computed on the fly.

@@ -1,0 +1,316 @@
+"""Paper-scale synthetic GAM instance (paper Section 8).
+
+The production GenMapper instance manages "more than 60 sources, 2
+million objects with 5 million associations in 500 mappings".  The demo
+universe (:mod:`repro.datagen.universe`) stays deliberately small so
+tests run in milliseconds; this module builds a database of the paper's
+*shape* — a hub source holding ~25% of all objects (LocusLink-like), a
+taxonomy source with an IS_A forest (GO-like), a long tail of flat
+sources, and a mapping graph mixing a backbone chain with random
+cross-links — scaled by a single ``--scale`` knob so CI can smoke-test
+at 5% while the committed benchmark runs the full shape.
+
+Unlike the demo path (flat files → parsers → importer), the builder
+writes straight through the repository's bulk interfaces: accessions are
+generated unique up front, so object rows can be inserted without
+duplicate-elimination bookkeeping, and association rows reference object
+ids directly.  Object ids are assigned contiguously per source (single
+writer, one batch insert per source), which lets association sampling
+draw ids uniformly from ``[lo, hi]`` ranges instead of materializing
+2M-row accession maps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.gam.enums import RelType
+from repro.gam.records import Source
+from repro.gam.repository import GamRepository
+
+#: The deployment figures from paper Section 8 (scale = 1.0).
+PAPER_OBJECTS = 2_000_000
+PAPER_ASSOCIATIONS = 5_000_000
+PAPER_MAPPINGS = 500
+PAPER_SOURCES = 60
+
+_INSERT_ASSOC = (
+    "INSERT OR IGNORE INTO object_rel"
+    " (src_rel_id, object1_id, object2_id, evidence) VALUES (?, ?, ?, ?)"
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PaperScaleSpec:
+    """Shape of a paper-scale instance, derived from one scale factor."""
+
+    scale: float = 1.0
+    seed: int = 42
+    #: Fraction of all objects held by the hub source ("Gene").
+    hub_fraction: float = 0.25
+    #: Fraction of all objects in the taxonomy source ("Term").
+    taxonomy_fraction: float = 0.025
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def objects(self) -> int:
+        return max(int(PAPER_OBJECTS * self.scale), 1_000)
+
+    @property
+    def associations(self) -> int:
+        return max(int(PAPER_ASSOCIATIONS * self.scale), 2_000)
+
+    @property
+    def mappings(self) -> int:
+        return max(int(PAPER_MAPPINGS * self.scale), 8)
+
+    @property
+    def sources(self) -> int:
+        # Enough sources that `mappings` distinct unordered pairs exist
+        # (n*(n-1)/2 >= mappings), never more than the paper's 60+ scaled
+        # down, never fewer than the backbone needs.
+        for_pairs = math.ceil((1 + math.sqrt(1 + 8 * self.mappings)) / 2) + 2
+        return max(int(PAPER_SOURCES * self.scale), for_pairs, 6)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class _SourceBlock:
+    """One source and its contiguous object-id range."""
+
+    source: Source
+    lo: int
+    hi: int
+
+    @property
+    def count(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperScaleReport:
+    """What :func:`build_paper_database` actually wrote."""
+
+    spec: PaperScaleSpec
+    sources: int
+    objects: int
+    associations: int
+    mappings: int
+    is_a_edges: int
+
+    def summary(self) -> str:
+        return (
+            f"paper-scale(scale={self.spec.scale:g}): {self.sources} sources,"
+            f" {self.objects} objects, {self.associations} associations"
+            f" in {self.mappings} mappings, {self.is_a_edges} IS_A edges"
+        )
+
+
+def _insert_objects(
+    repository: GamRepository, source: Source, prefix: str, count: int
+) -> _SourceBlock:
+    """Batch-insert ``count`` objects and return their contiguous id range.
+
+    Accessions ``{prefix}:{i}`` are unique by construction, so the insert
+    needs no duplicate elimination; ids are contiguous because the batch
+    runs in one transaction with no sibling writers (enforced by SQLite's
+    single-writer lock held for the whole batch).
+    """
+    db = repository.db
+    with db.write_scope(source.name), db.transaction():
+        db.executemany_counted(
+            "INSERT INTO object (source_id, accession) VALUES (?, ?)",
+            ((source.source_id, f"{prefix}:{i}") for i in range(count)),
+        )
+        row = db.execute(
+            "SELECT min(object_id), max(object_id) FROM object"
+            " WHERE source_id = ?",
+            (source.source_id,),
+        ).fetchone()
+    return _SourceBlock(source=source, lo=int(row[0]), hi=int(row[1]))
+
+
+def _insert_mapping(
+    repository: GamRepository,
+    rng: np.random.Generator,
+    block1: _SourceBlock,
+    block2: _SourceBlock,
+    rows: int,
+) -> int:
+    """One FACT mapping with ``rows`` sampled associations."""
+    rel = repository.ensure_source_rel(
+        block1.source, block2.source, RelType.FACT
+    )
+    ids1 = rng.integers(block1.lo, block1.hi + 1, size=rows)
+    ids2 = rng.integers(block2.lo, block2.hi + 1, size=rows)
+    evidence = np.round(rng.uniform(0.5, 1.0, size=rows), 3)
+    db = repository.db
+    with db.write_scope(block1.source.name, block2.source.name), db.transaction():
+        inserted = db.executemany_counted(
+            _INSERT_ASSOC,
+            (
+                (rel.src_rel_id, int(a), int(b), float(e))
+                for a, b, e in zip(ids1, ids2, evidence)
+            ),
+        )
+    return inserted
+
+
+def _insert_taxonomy(
+    repository: GamRepository, rng: np.random.Generator, block: _SourceBlock
+) -> int:
+    """A random-parent forest over the taxonomy block (child → parent).
+
+    Every node i > 0 gets one parent drawn from [0, i) — parents always
+    precede children in id order, so the forest is acyclic by
+    construction (the property the Subsumed closure relies on).
+    """
+    rel = repository.ensure_source_rel(
+        block.source, block.source, RelType.IS_A
+    )
+    count = block.count
+    parents = (rng.random(count - 1) * np.arange(count - 1)).astype(np.int64)
+    db = repository.db
+    with db.write_scope(block.source.name), db.transaction():
+        inserted = db.executemany_counted(
+            _INSERT_ASSOC,
+            (
+                (rel.src_rel_id, block.lo + child, block.lo + int(parent), 1.0)
+                for child, parent in enumerate(parents, start=1)
+            ),
+        )
+    return inserted
+
+
+def build_paper_database(
+    repository: GamRepository, spec: PaperScaleSpec = PaperScaleSpec()
+) -> PaperScaleReport:
+    """Populate a GAM database with the paper's deployment shape."""
+    rng = np.random.default_rng(spec.seed)
+    n_sources = spec.sources
+    tail_count = n_sources - 2
+
+    hub_objects = int(spec.objects * spec.hub_fraction)
+    term_objects = max(int(spec.objects * spec.taxonomy_fraction), 50)
+    tail_objects = spec.objects - hub_objects - term_objects
+    per_tail = max(tail_objects // tail_count, 10)
+
+    hub = repository.add_source("Gene", "Gene", "flat", release="paper-scale")
+    term = repository.add_source("Term", "Other", "network", release="paper-scale")
+    blocks = [
+        _insert_objects(repository, hub, "G", hub_objects),
+        _insert_objects(repository, term, "T", term_objects),
+    ]
+    for i in range(tail_count):
+        src = repository.add_source(
+            f"S{i:02d}", "Other", "flat", release="paper-scale"
+        )
+        blocks.append(_insert_objects(repository, src, f"s{i}", per_tail))
+
+    is_a_edges = _insert_taxonomy(repository, rng, blocks[1])
+
+    # Mapping graph: a backbone chain visiting every source keeps the
+    # instance connected (Compose paths exist between any two sources);
+    # random extra pairs bring the count up to the paper's 500.
+    pairs: list[tuple[int, int]] = [
+        (i, i + 1) for i in range(len(blocks) - 1)
+    ]
+    seen = {tuple(sorted(p)) for p in pairs}
+    while len(pairs) < spec.mappings:
+        a, b = (int(x) for x in rng.integers(0, len(blocks), size=2))
+        if a == b or tuple(sorted((a, b))) in seen:
+            continue
+        seen.add(tuple(sorted((a, b))))
+        pairs.append((a, b))
+
+    per_mapping = max(spec.associations // len(pairs), 100)
+    associations = 0
+    for a, b in pairs:
+        associations += _insert_mapping(
+            repository, rng, blocks[a], blocks[b], per_mapping
+        )
+
+    return PaperScaleReport(
+        spec=spec,
+        sources=len(blocks),
+        objects=sum(block.count for block in blocks),
+        associations=associations,
+        mappings=len(pairs),
+        is_a_edges=is_a_edges,
+    )
+
+
+def append_delta(
+    repository: GamRepository,
+    source1: str,
+    source2: str,
+    rows: int,
+    seed: int = 7,
+) -> int:
+    """Append new association rows to one existing mapping (an import
+    delta), for incremental-refresh benchmarks."""
+    rng = np.random.default_rng(seed)
+    src1 = repository.get_source(source1)
+    src2 = repository.get_source(source2)
+
+    def _block(source: Source) -> _SourceBlock:
+        row = repository.db.execute(
+            "SELECT min(object_id), max(object_id) FROM object"
+            " WHERE source_id = ?",
+            (source.source_id,),
+        ).fetchone()
+        return _SourceBlock(source=source, lo=int(row[0]), hi=int(row[1]))
+
+    return _insert_mapping(repository, rng, _block(src1), _block(src2), rows)
+
+
+def append_taxonomy_delta(
+    repository: GamRepository,
+    source: str,
+    rows: int,
+    seed: int = 11,
+) -> int:
+    """Append new leaf terms (with IS_A edges to existing terms) to a
+    taxonomy source — an ontology-release delta for refresh benchmarks.
+
+    New nodes only ever point *at* existing nodes, so the forest stays
+    acyclic no matter what the base looks like.
+    """
+    rng = np.random.default_rng(seed)
+    src = repository.get_source(source)
+    db = repository.db
+    row = db.execute(
+        "SELECT min(object_id), max(object_id), count(*) FROM object"
+        " WHERE source_id = ?",
+        (src.source_id,),
+    ).fetchone()
+    lo, hi, existing = int(row[0]), int(row[1]), int(row[2])
+    rel = repository.ensure_source_rel(src, src, RelType.IS_A)
+    with db.write_scope(src.name), db.transaction():
+        db.executemany_counted(
+            "INSERT INTO object (source_id, accession) VALUES (?, ?)",
+            (
+                (src.source_id, f"{src.name}:delta{existing + i}")
+                for i in range(rows)
+            ),
+        )
+        new_lo = int(
+            db.execute(
+                "SELECT max(object_id) FROM object WHERE source_id = ?",
+                (src.source_id,),
+            ).fetchone()[0]
+        ) - rows + 1
+        parents = rng.integers(lo, hi + 1, size=rows)
+        inserted = db.executemany_counted(
+            _INSERT_ASSOC,
+            (
+                (rel.src_rel_id, new_lo + i, int(parent), 1.0)
+                for i, parent in enumerate(parents)
+            ),
+        )
+    return inserted

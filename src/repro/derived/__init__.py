@@ -1,6 +1,11 @@
 """Derived relationships: Composed and Subsumed (paper Section 3)."""
 
 from repro.derived.composed import derive_composed, materialize_mapping
+from repro.derived.refresh import (
+    RefreshReport,
+    refresh_composed,
+    refresh_subsumed,
+)
 from repro.derived.subsumed import (
     derive_subsumed,
     load_taxonomy,
@@ -10,11 +15,14 @@ from repro.derived.subsumed import (
 )
 
 __all__ = [
+    "RefreshReport",
     "derive_composed",
     "derive_subsumed",
     "load_taxonomy",
     "materialize_mapping",
     "query_with_subsumption",
+    "refresh_composed",
+    "refresh_subsumed",
     "rollup_mapping",
     "subsumed_mapping",
 ]

@@ -83,7 +83,9 @@ def derive_composed(
                 step.name if isinstance(step, Source) else str(step)
                 for step in path
             ]
-            with repository.db.transaction():
+            with repository.db.write_scope(
+                names[0], names[-1]
+            ), repository.db.transaction():
                 rel = repository.ensure_source_rel(
                     names[0], names[-1], RelType.COMPOSED
                 )

@@ -17,6 +17,7 @@ Two operations are provided:
 
 from __future__ import annotations
 
+from repro.cache.deps import record_dependency
 from repro.gam.enums import RelType
 from repro.gam.errors import GamIntegrityError, UnknownMappingError
 from repro.gam.records import Source, SourceRel
@@ -29,6 +30,9 @@ from repro.taxonomy.dag import Taxonomy
 def load_taxonomy(repository: GamRepository, source: "str | Source") -> Taxonomy:
     """Build the IS_A taxonomy of a Network source from the database."""
     src = repository.get_source(source)
+    # Scoped cache invalidation: a cached taxonomy (and anything built on
+    # it) depends on its source alone.
+    record_dependency(src.name)
     rels = repository.find_source_rels(src, src, RelType.IS_A)
     if not rels:
         raise UnknownMappingError(src.name, src.name, "no IS_A structure stored")
@@ -119,7 +123,7 @@ def _derive_subsumed_sql(
         " )"
         " SELECT ?, ancestor, descendant, 1.0 FROM closure"
     )
-    with repository.db.transaction():
+    with repository.db.write_scope(src.name), repository.db.transaction():
         rel = repository.ensure_source_rel(src, src, RelType.SUBSUMED)
         cursor = repository.db.execute(
             sql, (*rel_ids, *rel_ids, rel.src_rel_id)

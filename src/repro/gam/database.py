@@ -29,6 +29,16 @@ SQLite's ``PRAGMA data_version``.  The read-through
 :class:`repro.cache.MappingCache` stamps every entry with the generation
 it was loaded under, so a bumped generation transparently invalidates
 stale cached mappings without any explicit flush call.
+
+On top of the global counter sits a **per-source generation vector**:
+write paths that know which sources they touch run inside
+:meth:`write_scope`, and every bump made in scope advances only the
+named sources' generations (:meth:`source_generation`).  Cache entries
+whose dependencies name only untouched sources stay warm across a
+re-import of an unrelated source.  Untagged writes (raw SQL issued with
+no active scope) and commits detected from *external* processes raise a
+global floor instead, which conservatively invalidates everything —
+correctness never depends on a write being tagged.
 """
 
 from __future__ import annotations
@@ -98,6 +108,15 @@ class GamDatabase:
         self._savepoint_serial = 0
         self._generation_lock = threading.Lock()
         self._generation = 0
+        #: Per-source generation vector: source *name* -> generation of the
+        #: last tagged write touching it.  ``_source_floor`` is the floor
+        #: every source is implicitly at — raised by untagged writes and by
+        #: external commits, which cannot be attributed to specific sources.
+        self._source_generations: dict[str, int] = {}
+        self._source_floor = 0
+        #: Thread-local stack of active write scopes (frozensets of source
+        #: names) plus the per-transaction tag accumulator.
+        self._scope_local = threading.local()
         #: Public and swappable: chaos tests install their own injector /
         #: policy after construction (``db.fault_injector = ...``).
         self.fault_injector = (
@@ -107,8 +126,12 @@ class GamDatabase:
             retry_policy if retry_policy is not None else policy_from_env()
         )
         #: Last ``PRAGMA data_version`` seen per pooled connection, used to
-        #: notice commits made by *other* connections (external writers).
+        #: notice commits made by *other* connections (external writers),
+        #: and the internal generation at each connection's last check —
+        #: movement with an unchanged internal generation means the commit
+        #: came from outside this process.
         self._data_versions: dict[int, int] = {}
+        self._commit_marks: dict[int, int] = {}
         self.pool = ConnectionPool(
             self.path,
             max_size=pool_size if pool_size is not None else DEFAULT_POOL_SIZE,
@@ -345,6 +368,14 @@ class GamDatabase:
                 else:
                     connection.execute(f"RELEASE SAVEPOINT {name}")
             else:
+                # Accumulate the scope tags of every bump made inside the
+                # block: the commit-time bump must cover exactly the
+                # sources written, or a reader that cached mid-transaction
+                # (stamped with a post-statement-bump generation, loaded
+                # from the pre-commit snapshot) would survive the commit.
+                self._scope_local.txn_tags = set()
+                self._scope_local.txn_untagged = False
+                self._scope_local.txn_wrote = False
                 self._run(
                     "BEGIN IMMEDIATE",
                     lambda: connection.execute("BEGIN IMMEDIATE"),
@@ -358,10 +389,22 @@ class GamDatabase:
                 except BaseException:
                     # Never guard ROLLBACK: it must always run, even with
                     # the fault plane raising on every other statement.
+                    self._clear_txn_tags()
                     connection.rollback()
                     raise
                 else:
-                    self.bump_generation()
+                    tags = frozenset(self._scope_local.txn_tags)
+                    untagged = self._scope_local.txn_untagged
+                    wrote = self._scope_local.txn_wrote
+                    self._clear_txn_tags()
+                    if untagged:
+                        self.bump_generation(None)
+                    elif wrote:
+                        self.bump_generation(tags)
+                    else:
+                        # No writes happened inside the block; bump like a
+                        # plain write under whatever scope is active.
+                        self.bump_generation()
 
     def commit(self) -> None:
         """Commit this thread's current transaction (no-op outside one)."""
@@ -370,16 +413,108 @@ class GamDatabase:
 
     # -- data generation (cache invalidation protocol) --------------------
 
-    def bump_generation(self) -> int:
+    _UNSET_SCOPE = object()
+
+    @contextlib.contextmanager
+    def write_scope(self, *source_names: str) -> Iterator[None]:
+        """Tag every write made in the block with the named sources.
+
+        Bumps made while a scope is active advance only the named sources'
+        generations (the per-source generation vector) instead of raising
+        the global floor, so cache entries depending on *other* sources
+        stay warm.  Scopes nest: the effective tag set is the union of
+        every active frame on the thread.  ``write_scope()`` with no names
+        marks a *neutral* write — bookkeeping that changes no mapping data
+        (import-journal checkpoints, saved-path registry) — which advances
+        the clock but invalidates nothing scoped.
+        """
+        frames = getattr(self._scope_local, "frames", None)
+        if frames is None:
+            frames = self._scope_local.frames = []
+        frames.append(frozenset(source_names))
+        try:
+            yield
+        finally:
+            frames.pop()
+
+    def _active_scope(self) -> frozenset[str] | None:
+        """Union of the thread's scope frames, or None when unscoped."""
+        frames = getattr(self._scope_local, "frames", None)
+        if not frames:
+            return None
+        union: frozenset[str] = frozenset()
+        for frame in frames:
+            union |= frame
+        return union
+
+    def _record_txn_bump(self, tags: frozenset[str] | None) -> None:
+        if not hasattr(self._scope_local, "txn_tags"):
+            return
+        self._scope_local.txn_wrote = True
+        if tags is None:
+            self._scope_local.txn_untagged = True
+        else:
+            self._scope_local.txn_tags |= tags
+
+    def _clear_txn_tags(self) -> None:
+        del self._scope_local.txn_tags
+        del self._scope_local.txn_untagged
+        del self._scope_local.txn_wrote
+
+    def bump_generation(self, sources: object = _UNSET_SCOPE) -> int:
         """Advance the data generation; returns the new value.
 
-        Called automatically on every write path.  Cached values stamped
-        with an older generation become stale the moment this returns —
-        see :class:`repro.cache.MappingCache`.
+        Called automatically on every write path.  With no argument the
+        bump is attributed to the thread's active :meth:`write_scope` (or,
+        lacking one, raises the global floor — invalidating everything).
+        Passing an iterable of source names attributes it explicitly;
+        passing ``None`` forces an untagged (floor-raising) bump.
         """
+        if sources is GamDatabase._UNSET_SCOPE:
+            sources = self._active_scope()
+        tags = None if sources is None else frozenset(sources)  # type: ignore[arg-type]
+        self._record_txn_bump(tags)
         with self._generation_lock:
             self._generation += 1
+            if tags is None:
+                self._source_floor = self._generation
+            else:
+                for name in tags:
+                    self._source_generations[name] = self._generation
             return self._generation
+
+    def source_generation(self, name: str) -> int:
+        """Generation of the last write touching source ``name``.
+
+        Never below the global floor: untagged writes and external
+        commits move every source forward together.
+        """
+        with self._generation_lock:
+            return max(self._source_floor, self._source_generations.get(name, 0))
+
+    def generation_of(self, sources: Iterable[str]) -> int:
+        """Max generation across ``sources`` (the scoped freshness bound).
+
+        A cache entry stamped at generation ``g`` whose loader touched
+        exactly these sources is fresh iff ``g >= generation_of(sources)``.
+        An empty iterable yields the floor alone.
+        """
+        with self._generation_lock:
+            generation = self._source_floor
+            for name in sources:
+                tagged = self._source_generations.get(name, 0)
+                if tagged > generation:
+                    generation = tagged
+            return generation
+
+    def generation_vector(self) -> dict[str, object]:
+        """Snapshot of the per-source generation vector (introspection)."""
+        with self._generation_lock:
+            return {
+                "generation": self._generation,
+                "floor": self._source_floor,
+                "sources": dict(self._source_generations),
+            }
 
     def data_generation(self) -> int:
         """The current data generation of this database (monotonic).
@@ -389,13 +524,19 @@ class GamDatabase:
         * the internal write counter, bumped by every mutating statement,
           batch and committed transaction issued through this object;
         * SQLite's per-connection ``PRAGMA data_version``, which moves
-          when a *different* connection commits — catching writes by pool
-          siblings and by external processes sharing an on-disk database.
+          when a *different* connection commits.
 
-        Detection through ``data_version`` is conservative: a write this
-        object already counted is seen again by sibling connections and
-        bumps once more per connection.  Extra bumps only cost a cache
-        reload; they can never serve stale data.
+        A moved ``data_version`` is attributed before it invalidates
+        anything: when this object's own counter also advanced since the
+        connection's last check, the movement is explained by pool-sibling
+        writes that the generation vector already carries, and nothing
+        extra happens.  Only an *unexplained* movement — an external
+        process committed to the shared file — raises the global floor,
+        invalidating every scoped cache entry.  The attribution is
+        conservative in the safe direction for single-process use; a
+        window containing both an internal and an external commit is
+        attributed internally (see ``docs/performance.md`` for the
+        multi-process caveat).
         """
         connection = self.pool.acquire()
         row = connection.execute("PRAGMA data_version").fetchone()
@@ -403,11 +544,14 @@ class GamDatabase:
         key = id(connection)
         with self._generation_lock:
             last = self._data_versions.get(key)
-            if last is None:
-                self._data_versions[key] = seen
-            elif seen != last:
-                self._data_versions[key] = seen
+            mark = self._commit_marks.get(key)
+            if last is not None and seen != last and mark == self._generation:
+                # data_version moved with no intervening writes through
+                # this object: an external process committed.
                 self._generation += 1
+                self._source_floor = self._generation
+            self._data_versions[key] = seen
+            self._commit_marks[key] = self._generation
             return self._generation
 
     def analyze(self) -> None:

@@ -53,7 +53,10 @@ def delete_source(
     """
     src = repository.get_source(source)
     db = repository.db
-    with db.transaction():
+    # Scoped to the deleted source: cache entries that read any mapping
+    # touching it recorded it as a dependency and invalidate; entries for
+    # unrelated source pairs stay warm.
+    with db.write_scope(src.name), db.transaction():
         rel_rows = db.execute(
             "SELECT src_rel_id FROM source_rel"
             " WHERE source1_id = ? OR source2_id = ?",

@@ -22,6 +22,7 @@ import dataclasses
 import threading
 from collections.abc import Iterable, Iterator, Sequence
 
+from repro.cache.deps import record_dependency
 from repro.gam.database import GamDatabase
 from repro.gam.enums import MAPPING_TYPES, RelType, SourceContent, SourceStructure
 from repro.gam.errors import (
@@ -132,11 +133,12 @@ class GamRepository:
         existing = self.find_source(name)
         if existing is not None:
             return self._refresh_source(existing, structure, release, imported_at)
-        cursor = self.db.execute(
-            "INSERT INTO source (name, content, structure, release, imported_at)"
-            " VALUES (?, ?, ?, ?, ?)",
-            (name, content.value, structure.value, release, imported_at),
-        )
+        with self.db.write_scope(name):
+            cursor = self.db.execute(
+                "INSERT INTO source (name, content, structure, release, imported_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (name, content.value, structure.value, release, imported_at),
+            )
         return Source(
             source_id=int(cursor.lastrowid),
             name=name,
@@ -171,10 +173,11 @@ class GamRepository:
         if not updates:
             return existing
         assignments = ", ".join(f"{column} = ?" for column in updates)
-        self.db.execute(
-            f"UPDATE source SET {assignments} WHERE source_id = ?",
-            (*updates.values(), existing.source_id),
-        )
+        with self.db.write_scope(existing.name):
+            self.db.execute(
+                f"UPDATE source SET {assignments} WHERE source_id = ?",
+                (*updates.values(), existing.source_id),
+            )
         replacements = {
             key: (SourceStructure.parse(value) if key == "structure" else value)
             for key, value in updates.items()
@@ -262,7 +265,7 @@ class GamRepository:
             else:
                 fresh.add(accession)
                 inserts.append((src.source_id, accession, text, number))
-        with self.db.transaction():
+        with self.db.write_scope(src.name), self.db.transaction():
             inserted = self.db.executemany_counted(
                 "INSERT OR IGNORE INTO object (source_id, accession, text, number)"
                 " VALUES (?, ?, ?, ?)",
@@ -444,10 +447,12 @@ class GamRepository:
         ).fetchone()
         if row is not None:
             return self._source_rel_from_row(row)
-        cursor = self.db.execute(
-            "INSERT INTO source_rel (source1_id, source2_id, type) VALUES (?, ?, ?)",
-            (src1.source_id, src2.source_id, rel_type.value),
-        )
+        with self.db.write_scope(src1.name, src2.name):
+            cursor = self.db.execute(
+                "INSERT INTO source_rel (source1_id, source2_id, type)"
+                " VALUES (?, ?, ?)",
+                (src1.source_id, src2.source_id, rel_type.value),
+            )
         return SourceRel(
             src_rel_id=int(cursor.lastrowid),
             source1_id=src1.source_id,
@@ -575,8 +580,16 @@ class GamRepository:
 
         # The transaction (a savepoint when nested) keeps the seed's
         # all-or-nothing contract: a strict resolution error mid-stream
-        # rolls back any chunks already written.
-        with self.db.transaction():
+        # rolls back any chunks already written.  The write is scoped to
+        # the relationship's endpoint sources so only cache entries
+        # depending on them are invalidated.
+        name1 = self.get_source(rel.source1_id).name
+        name2 = (
+            name1
+            if rel.source2_id == rel.source1_id
+            else self.get_source(rel.source2_id).name
+        )
+        with self.db.write_scope(name1, name2), self.db.transaction():
             return self.db.executemany_counted(
                 "INSERT OR IGNORE INTO object_rel"
                 " (src_rel_id, object1_id, object2_id, evidence)"
@@ -689,6 +702,9 @@ class GamRepository:
         """
         src = self.get_source(source)
         tgt = self.get_source(target)
+        # Scoped cache invalidation: any cached value built from this
+        # mapping depends on both endpoint sources.
+        record_dependency(src.name, tgt.name)
         rels = self.mappings_between(src, tgt)
         if not rels:
             raise UnknownMappingError(src.name, tgt.name)

@@ -12,8 +12,13 @@ Index choice follows the access paths of the operators:
   ``(source_id, accession)``.
 * Mapping lookup between two sources → unique index on
   ``(source1_id, source2_id, type)``.
-* ``Compose`` joins associations on shared object ids → indices on
-  ``(src_rel_id, object1_id)`` and ``(src_rel_id, object2_id)``.
+* ``Compose`` and the Subsumed closure join associations on shared
+  object ids in both directions → the unique index serves
+  ``(src_rel_id, object1_id)`` probes and ``idx_object_rel_obj2``
+  serves ``(src_rel_id, object2_id)``.  The latter *covers*
+  ``object1_id`` on purpose: the recursive-CTE closure reads it per
+  matched edge, and SQLite's cost model only picks the two-column probe
+  when it needs no table lookup.
 """
 
 from __future__ import annotations
@@ -76,12 +81,31 @@ CREATE TABLE IF NOT EXISTS object_rel (
 CREATE UNIQUE INDEX IF NOT EXISTS idx_object_rel_unique
     ON object_rel (src_rel_id, object1_id, object2_id);
 CREATE INDEX IF NOT EXISTS idx_object_rel_obj2
-    ON object_rel (src_rel_id, object2_id);
+    ON object_rel (src_rel_id, object2_id, object1_id);
 """
+
+
+def _upgrade_indices(connection: sqlite3.Connection) -> None:
+    """Rebuild indices whose definition changed since the database was
+    created (``CREATE INDEX IF NOT EXISTS`` keeps the old shape).
+
+    ``idx_object_rel_obj2`` must *cover* ``object1_id``: without it the
+    planner refuses the index for the recursive-CTE closure join (the
+    non-covering two-column probe loses to a covering one-column scan in
+    its cost model) and every recursion step scans all edges of the
+    relationship — quadratic on paper-scale taxonomies.
+    """
+    row = connection.execute(
+        "SELECT sql FROM sqlite_master"
+        " WHERE type = 'index' AND name = 'idx_object_rel_obj2'"
+    ).fetchone()
+    if row is not None and "object1_id" not in (row[0] or ""):
+        connection.execute("DROP INDEX idx_object_rel_obj2")
 
 
 def create_schema(connection: sqlite3.Connection) -> None:
     """Create the GAM tables and indices if they do not exist yet."""
+    _upgrade_indices(connection)
     connection.executescript(_DDL)
     connection.execute(
         "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",

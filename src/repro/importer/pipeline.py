@@ -242,12 +242,21 @@ class IntegrationPipeline:
 
         The checkpoint is written *after* the import transaction commits;
         a crash between the two re-imports just that source on resume,
-        which the GAM duplicate elimination makes a no-op.
+        which the GAM duplicate elimination makes a no-op.  The row-id
+        watermarks snapshotted *before* the import delimit its delta for
+        incremental view maintenance (:mod:`repro.derived.refresh`).
         """
+        watermarks = journal.table_watermarks()
         report = self.integrate_file(
             file_path, source_name=entry.source, release=entry.release
         )
-        journal.record(entry.source, entry.file, fingerprint, entry.release)
+        journal.record(
+            entry.source,
+            entry.file,
+            fingerprint,
+            entry.release,
+            watermarks=watermarks,
+        )
         return report
 
     def _integrate_entries_threaded(

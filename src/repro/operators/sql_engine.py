@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.cache.deps import record_dependency
 from repro.gam.enums import CombineMethod, RelType
 from repro.gam.errors import UnknownMappingError, ViewGenerationError
 from repro.gam.records import SourceRel
@@ -44,6 +45,9 @@ def resolve_hop_rel(
     Prefers imported annotation mappings over derived ones, matching
     :meth:`GamRepository.fetch_mapping_associations`.
     """
+    # Scoped cache invalidation: the compiled plan (and anything cached
+    # from it) depends on both hop endpoints.
+    record_dependency(step_source, step_target)
     rels = repository.mappings_between(step_source, step_target)
     if not rels:
         raise UnknownMappingError(step_source, step_target)
@@ -218,9 +222,13 @@ def materialize_composed_sql(
         + "\n  WHERE r1.src_rel_id = ?"
         + f"\n  GROUP BY {plan.start_expr}, {plan.end_expr}"
     )
-    cursor = repository.db.execute(
-        sql, (rel.src_rel_id, *plan.join_parameters, plan.first_rel.src_rel_id)
-    )
+    # Scoped write: the materialized rows belong to the path's endpoint
+    # sources — cache entries for unrelated pairs stay warm.
+    with repository.db.write_scope(steps[0], steps[-1]):
+        cursor = repository.db.execute(
+            sql,
+            (rel.src_rel_id, *plan.join_parameters, plan.first_rel.src_rel_id),
+        )
     return max(cursor.rowcount, 0)
 
 
@@ -252,6 +260,7 @@ class SqlViewEngine:
         or must have a stored direct mapping.
         """
         tracer = get_tracer()
+        record_dependency(source)
         with tracer.span(
             "operator.sql_view", source=source, targets=len(targets)
         ) as view_span:

@@ -35,7 +35,9 @@ class PathRegistry:
             path = validate_path(graph, path)
         if len(path) < 2:
             raise QuerySpecError("a saved path needs at least two sources")
-        with self.db.transaction():
+        # Neutral write scope: a saved path is bookkeeping, not mapping
+        # data — warm cache entries must survive it.
+        with self.db.write_scope(), self.db.transaction():
             self.db.execute(
                 "INSERT INTO meta (key, value) VALUES (?, ?)"
                 " ON CONFLICT (key) DO UPDATE SET value = excluded.value",
@@ -53,7 +55,7 @@ class PathRegistry:
 
     def delete(self, name: str) -> bool:
         """Remove a saved path; returns False when it did not exist."""
-        with self.db.transaction():
+        with self.db.write_scope(), self.db.transaction():
             cursor = self.db.execute(
                 "DELETE FROM meta WHERE key = ?", (_KEY_PREFIX + name,)
             )

@@ -23,6 +23,16 @@ Why this is correct without two-phase anything:
 Checkpoints are keyed by (source name, manifest file name) under
 ``import_ckpt:`` keys, living in the same ``meta`` table that holds
 saved paths — no schema change, and they travel with the database.
+
+Each checkpoint also stores the **per-table row-id watermarks** observed
+*before* the source was imported (``max(object_id)``,
+``max(obj_rel_id)``, ``max(src_rel_id)``): rows above a watermark are
+exactly the import's delta, which the incremental maintenance engines
+(:mod:`repro.derived.refresh`) feed into delta chain joins and
+delta closures instead of recomputing materialized mappings from
+scratch (``docs/performance.md``).  Checkpoint writes themselves run in
+a *neutral* write scope — they change no mapping data, so they must not
+invalidate warm cache entries.
 """
 
 from __future__ import annotations
@@ -36,6 +46,13 @@ if TYPE_CHECKING:  # circular at runtime: database.py imports this package
     from repro.gam.database import GamDatabase
 
 _KEY_PREFIX = "import_ckpt:"
+
+#: Tables whose max row-id is snapshotted before each source import.
+WATERMARK_TABLES = {
+    "object": "object_id",
+    "object_rel": "obj_rel_id",
+    "source_rel": "src_rel_id",
+}
 
 
 def file_fingerprint(path: str | Path) -> str:
@@ -75,17 +92,61 @@ class ImportJournal:
             and record.get("release") == release
         )
 
+    def table_watermarks(self) -> dict[str, int]:
+        """Current max row-id per delta-relevant table (0 when empty).
+
+        Taken *before* an import, rows with ids above these marks are
+        exactly the import's delta — the seed set for
+        :mod:`repro.derived.refresh`.
+        """
+        marks: dict[str, int] = {}
+        for table, id_column in WATERMARK_TABLES.items():
+            row = self.db.execute_read(
+                f"SELECT coalesce(max({id_column}), 0) FROM {table}"
+            ).fetchone()
+            marks[table] = int(row[0])
+        return marks
+
     def record(
-        self, source: str, file: str, fingerprint: str, release: str | None = None
+        self,
+        source: str,
+        file: str,
+        fingerprint: str,
+        release: str | None = None,
+        watermarks: dict[str, int] | None = None,
     ) -> None:
-        """Checkpoint one source as fully imported."""
-        payload = json.dumps({"fingerprint": fingerprint, "release": release})
-        with self.db.transaction():
+        """Checkpoint one source as fully imported.
+
+        ``watermarks`` is the :meth:`table_watermarks` snapshot taken
+        before the import started.  Neutral write scope: the checkpoint
+        is bookkeeping, not mapping data — warm cache entries survive it.
+        """
+        record: dict[str, object] = {"fingerprint": fingerprint, "release": release}
+        if watermarks is not None:
+            record["watermarks"] = dict(watermarks)
+        payload = json.dumps(record)
+        with self.db.write_scope(), self.db.transaction():
             self.db.execute(
                 "INSERT INTO meta (key, value) VALUES (?, ?)"
                 " ON CONFLICT (key) DO UPDATE SET value = excluded.value",
                 (self._key(source, file), payload),
             )
+
+    def watermarks(self, source: str, file: str) -> dict[str, int] | None:
+        """The pre-import watermarks of one checkpoint, or None."""
+        row = self.db.execute_read(
+            "SELECT value FROM meta WHERE key = ?", (self._key(source, file),)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            record = json.loads(row[0])
+        except ValueError:
+            return None
+        marks = record.get("watermarks")
+        if not isinstance(marks, dict):
+            return None
+        return {str(table): int(value) for table, value in marks.items()}
 
     def entries(self) -> dict[str, dict]:
         """All checkpoints, keyed ``source/file`` (inspection, tests)."""
@@ -100,7 +161,7 @@ class ImportJournal:
 
     def clear(self) -> int:
         """Drop every checkpoint; returns how many were removed."""
-        with self.db.transaction():
+        with self.db.write_scope(), self.db.transaction():
             cursor = self.db.execute(
                 "DELETE FROM meta WHERE key LIKE ?", (_KEY_PREFIX + "%",)
             )

@@ -849,8 +849,18 @@ def _explain_cache(genmapper: GenMapper, spec: QuerySpec) -> dict:
             key = MappingCache.mapping_key(
                 spec.source, target.name, f"auto#{label}"
             )
+        deps = cache.dependencies(key)
         targets.append(
-            {"target": target.name, "cached": cache.is_cached(key)}
+            {
+                "target": target.name,
+                "cached": cache.is_cached(key),
+                # Scoped invalidation status: which sources this entry
+                # validates against, and the generation it must reach.
+                "dependencies": list(deps) if deps else None,
+                "required_generation": (
+                    genmapper.db.generation_of(deps) if deps else None
+                ),
+            }
         )
     view_key = GenMapper.view_cache_key(
         spec.source,
@@ -860,11 +870,19 @@ def _explain_cache(genmapper: GenMapper, spec: QuerySpec) -> dict:
         "memory",
         label,
     )
+    vector = genmapper.db.generation_vector()
     return {
         "enabled": True,
         "targets": targets,
         "view_cached": cache.is_cached(view_key),
         "stats": cache.stats(),
+        # Per-source generations behind scoped invalidation: writes to a
+        # source invalidate only entries depending on it; the floor is
+        # the last untagged (external/admin) write.
+        "generation_vector": {
+            "floor": vector["floor"],
+            "sources": vector["sources"],
+        },
     }
 
 

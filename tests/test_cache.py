@@ -361,6 +361,39 @@ class TestCrossConnectionInvalidation:
             assert after is not before
             assert ("353", "GO:0008150") in after.pair_set()
 
+    def test_sibling_write_invalidates_only_touched_sources(self, tmp_path):
+        """Scoped invalidation across pool siblings: a write through one
+        connection invalidates only the touched sources' entries in the
+        shared cache — warm entries for disjoint source pairs survive
+        because the generation vector is shared by the whole pool."""
+        path = tmp_path / "gam.db"
+        with GenMapper(path, pool_size=4, enable_cache=True) as gm:
+            repo = gm.repository
+            for name in ("W", "X", "Y", "Z"):
+                repo.add_source(name, "Other")
+                repo.add_objects(
+                    name, [(f"{name.lower()}{i}", None, None) for i in range(3)]
+                )
+            wx = repo.ensure_source_rel("W", "X", "FACT")
+            yz = repo.ensure_source_rel("Y", "Z", "FACT")
+            repo.add_associations(wx, [("w0", "x0", 1.0)])
+            repo.add_associations(yz, [("y0", "z0", 1.0)])
+            touched_before = gm.map("W", "X")
+            untouched_before = gm.map("Y", "Z")
+
+            def write():
+                repo.add_associations(wx, [("w1", "x1", 0.9)])
+
+            thread = threading.Thread(target=write)
+            thread.start()
+            thread.join(10)
+            # Touched pair reloads; the disjoint pair's entry is served
+            # warm (identity-preserved) despite the sibling's commit
+            # having moved PRAGMA data_version.
+            assert gm.map("W", "X") is not touched_before
+            assert gm.map("Y", "Z") is untouched_before
+            assert gm.cache_stats()["scoped_invalidations"] >= 1
+
 
 class TestComposeEngines:
     @pytest.fixture()

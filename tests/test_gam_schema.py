@@ -97,6 +97,51 @@ class TestCreateSchema:
         )
 
 
+class TestIndexUpgrade:
+    def _index_sql(self, connection) -> str:
+        return connection.execute(
+            "SELECT sql FROM sqlite_master"
+            " WHERE type = 'index' AND name = 'idx_object_rel_obj2'"
+        ).fetchone()[0]
+
+    def test_fresh_obj2_index_covers_object1(self, connection):
+        schema.create_schema(connection)
+        assert "object1_id" in self._index_sql(connection)
+
+    def test_legacy_narrow_obj2_index_is_rebuilt(self, connection):
+        """Databases created before the index covered ``object1_id``
+        (their recursive-closure joins degraded to per-step full scans)
+        are upgraded in place on the next open."""
+        schema.create_schema(connection)
+        connection.execute("DROP INDEX idx_object_rel_obj2")
+        connection.execute(
+            "CREATE INDEX idx_object_rel_obj2"
+            " ON object_rel (src_rel_id, object2_id)"
+        )
+        connection.commit()
+        schema.create_schema(connection)
+        assert "object1_id" in self._index_sql(connection)
+
+    def test_closure_join_uses_covering_index(self, connection):
+        schema.create_schema(connection)
+        plan = " ".join(
+            row[3]
+            for row in connection.execute(
+                "EXPLAIN QUERY PLAN"
+                " WITH RECURSIVE closure(ancestor, descendant) AS ("
+                "   SELECT object2_id, object1_id FROM object_rel"
+                "    WHERE src_rel_id IN (1)"
+                "   UNION"
+                "   SELECT closure.ancestor, edge.object1_id"
+                "     FROM closure JOIN object_rel edge"
+                "       ON edge.object2_id = closure.descendant"
+                "      AND edge.src_rel_id IN (1)"
+                " ) SELECT count(*) FROM closure"
+            )
+        )
+        assert "idx_object_rel_obj2 (src_rel_id=? AND object2_id=?)" in plan
+
+
 class TestValidateSchema:
     def test_accepts_fresh_schema(self, connection):
         schema.create_schema(connection)

@@ -48,6 +48,47 @@ class TestDeleteSource:
         report = delete_source(paper_genmapper.repository, "OMIM")
         assert "OMIM" in report.summary()
 
+    def test_no_dangling_derived_rows_after_delete(self, paper_genmapper):
+        """Materialized Composed/Subsumed mappings whose endpoint is the
+        deleted source must cascade with it — no association may survive
+        referencing a deleted object or relationship."""
+        paper_genmapper.compose(
+            ["Unigene", "LocusLink", "GO"], materialize=True
+        )
+        paper_genmapper.derive_subsumed("GO")
+        repo = paper_genmapper.repository
+        delete_source(repo, "GO")
+        # Both derived mappings had GO as an endpoint: gone entirely.
+        assert not repo.find_source_rels(rel_type=RelType.COMPOSED)
+        assert not repo.find_source_rels(rel_type=RelType.SUBSUMED)
+        db = repo.db
+        orphans = db.execute(
+            "SELECT count(*) FROM object_rel r"
+            " LEFT JOIN object o1 ON o1.object_id = r.object1_id"
+            " LEFT JOIN object o2 ON o2.object_id = r.object2_id"
+            " LEFT JOIN source_rel sr ON sr.src_rel_id = r.src_rel_id"
+            " WHERE o1.object_id IS NULL OR o2.object_id IS NULL"
+            " OR sr.src_rel_id IS NULL"
+        ).fetchone()[0]
+        assert orphans == 0
+        assert paper_genmapper.check_integrity().ok
+
+    def test_deleting_intermediate_keeps_derived_endpoints_valid(
+        self, paper_genmapper
+    ):
+        """Deleting the *intermediate* source of a composed path leaves
+        the materialized endpoint mapping intact and referentially
+        sound (its associations only reference endpoint objects)."""
+        paper_genmapper.compose(
+            ["Unigene", "LocusLink", "GO"], materialize=True
+        )
+        repo = paper_genmapper.repository
+        delete_source(repo, "LocusLink")
+        composed = repo.find_source_rels(rel_type=RelType.COMPOSED)
+        assert len(composed) == 1
+        assert repo.associations_of(composed[0])
+        assert paper_genmapper.check_integrity().ok
+
 
 class TestDropDerived:
     def test_removes_composed_and_subsumed(self, paper_genmapper):

@@ -231,14 +231,28 @@ class TestCacheSurface:
         assert status == 200
         cache = payload["cache"]
         assert cache["enabled"] is True
-        assert cache["targets"] == [{"target": "GO", "cached": False}]
+        assert cache["targets"] == [{
+            "target": "GO",
+            "cached": False,
+            "dependencies": None,
+            "required_generation": None,
+        }]
         assert cache["view_cached"] is False
-        # Running the query warms both the mapping and the rendered view.
+        assert cache["generation_vector"]["floor"] >= 0
+        # Running the query warms both the mapping and the rendered view;
+        # the loader's capture makes the entry's dependencies known.
         status, __ = call(cached_app, "POST", "/query", body=body)
         assert status == 200
         __, payload = call(cached_app, "POST", "/query/explain", body=body)
         cache = payload["cache"]
-        assert cache["targets"] == [{"target": "GO", "cached": True}]
+        (target,) = cache["targets"]
+        assert target["target"] == "GO"
+        assert target["cached"] is True
+        assert target["dependencies"] == ["GO", "LocusLink"]
+        assert target["required_generation"] == max(
+            cache["generation_vector"]["sources"].get(name, 0)
+            for name in ("GO", "LocusLink")
+        )
         assert cache["view_cached"] is True
         assert cache["stats"]["entries"] >= 2
 
@@ -263,14 +277,15 @@ class TestCacheSurface:
             "combine": "OR",
         }
         __, payload = call(cached_app, "POST", "/query/explain", body=body)
-        assert payload["cache"]["targets"] == [
-            {"target": "GO", "cached": False}
-        ]
+        (target,) = payload["cache"]["targets"]
+        assert (target["target"], target["cached"]) == ("GO", False)
         call(cached_app, "POST", "/query", body=body)
         __, payload = call(cached_app, "POST", "/query/explain", body=body)
-        assert payload["cache"]["targets"] == [
-            {"target": "GO", "cached": True}
-        ]
+        (target,) = payload["cache"]["targets"]
+        assert (target["target"], target["cached"]) == ("GO", True)
+        # The composed path records every source the chain touched,
+        # including the via intermediate.
+        assert target["dependencies"] == ["GO", "LocusLink", "Unigene"]
 
 
 class TestStatsAndErrors:
