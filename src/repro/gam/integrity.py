@@ -116,6 +116,12 @@ def check(db: GamDatabase, max_violations: int = 100) -> IntegrityReport:
 
     # 4. Dangling foreign keys (defence in depth: FK enforcement is a
     #    connection pragma and may have been off during a bulk load).
+    #    On the sharded engine these checks carry the whole referential
+    #    burden: SQLite cannot enforce a foreign key across attached
+    #    databases, so a cross-shard edge (an ``object_rel`` in source A's
+    #    shard pointing at source B's objects, or any row referencing the
+    #    coordinator's ``source`` table) is declared without REFERENCES
+    #    and verified here instead.
     dangling_checks = (
         (
             "object-source-fk",
@@ -123,6 +129,21 @@ def check(db: GamDatabase, max_violations: int = 100) -> IntegrityReport:
             " LEFT JOIN source s ON s.source_id = o.source_id"
             " WHERE s.source_id IS NULL LIMIT ?",
             "object {0} references a missing source",
+        ),
+        (
+            "source-rel-source-fk",
+            "SELECT sr.src_rel_id FROM source_rel sr"
+            " LEFT JOIN source s1 ON s1.source_id = sr.source1_id"
+            " LEFT JOIN source s2 ON s2.source_id = sr.source2_id"
+            " WHERE s1.source_id IS NULL OR s2.source_id IS NULL LIMIT ?",
+            "source_rel {0} references a missing source",
+        ),
+        (
+            "object-rel-source-rel-fk",
+            "SELECT r.obj_rel_id FROM object_rel r"
+            " LEFT JOIN source_rel sr ON sr.src_rel_id = r.src_rel_id"
+            " WHERE sr.src_rel_id IS NULL LIMIT ?",
+            "object_rel {0} references a missing source_rel",
         ),
         (
             "object-rel-object-fk",

@@ -101,6 +101,8 @@ class ConnectionPool:
         self._share_cursor = 0
         self._closed = False
         self._all: list[sqlite3.Connection] = []
+        #: Pool-managed per-connection metadata (see :meth:`meta`).
+        self._meta: dict[int, dict] = {}
         if self.memory:
             # One connection IS the database; open it eagerly so the pool
             # never races schema creation.
@@ -133,12 +135,40 @@ class ConnectionPool:
             uri=self.path.startswith("file:"),
         )
         connection.row_factory = sqlite3.Row
+        # A fresh connection may reuse a discarded connection's id();
+        # drop any stale metadata so state never leaks across lifetimes.
+        self._meta.pop(id(connection), None)
         if self._configure is not None:
             self._configure(connection)
         self._created += 1
         self._all.append(connection)
         self.registry.counter("db.pool.connections_created").inc()
         return connection
+
+    def meta(self, connection: sqlite3.Connection) -> dict:
+        """Pool-managed scratch metadata attached to ``connection``.
+
+        ``sqlite3.Connection`` has no ``__dict__``, so layers above the
+        pool (generation tracking, shard attach state) cannot hang state
+        off the connection object directly — and a bare ``id()``-keyed
+        dict of their own would go stale when a discarded connection's id
+        is reused by a new one.  The pool owns the lifetime, so it clears
+        the entry whenever a connection is discarded or the pool closes.
+        Connections not opened by this pool (e.g. a shard image-flip's
+        private connection) may use the facility too; their entries are
+        dropped by the caller via :meth:`forget`.
+        """
+        key = id(connection)
+        with self._lock:
+            entry = self._meta.get(key)
+            if entry is None:
+                entry = self._meta[key] = {}
+            return entry
+
+    def forget(self, connection: sqlite3.Connection) -> None:
+        """Drop the metadata entry for a connection closed by the caller."""
+        with self._lock:
+            self._meta.pop(id(connection), None)
 
     def acquire(self) -> sqlite3.Connection:
         """The calling thread's connection (leased on first use).
@@ -213,6 +243,7 @@ class ConnectionPool:
                 pass
             if connection in self._all:
                 self._all.remove(connection)
+            self._meta.pop(id(connection), None)
             self._created -= 1
             self.registry.counter("db.pool.discarded").inc()
             return None
@@ -258,6 +289,7 @@ class ConnectionPool:
             connections, self._all = self._all, []
             self._idle.clear()
             self._leases.clear()
+            self._meta.clear()
             self._created = 0
             self._update_gauges()
         for connection in connections:

@@ -1,0 +1,1311 @@
+"""Source-sharded storage: per-source SQLite shards behind the GAM API.
+
+The GAM groups every object, mapping and association by its *source*
+(paper §4), which makes source the natural partition key.  This module
+splits the monolithic GAM file into per-source shard files composed via
+``ATTACH``, so imports, derivations and refreshes of *disjoint* sources
+proceed truly in parallel instead of serializing behind the monolithic
+engine's single writer lock.
+
+Layout
+------
+
+The coordinator file (``genmapper.db``) keeps the full GAM schema — its
+``source`` and ``meta`` tables stay authoritative, while its partitioned
+tables (``object``, ``source_rel``, ``object_rel``) stay empty — plus the
+shard catalog (``shard_catalog`` / ``shard_source`` tables and the
+``layout`` / ``shard_catalog_version`` meta keys).  Each shard slot is
+one SQLite file beside it (``genmapper.db.shard00.g3.db``: slot 0, image
+generation 3) holding the partitioned rows of the sources placed there.
+Hot sources get dedicated slots; once ``max_shards`` slots exist, tail
+sources group into the least-populated slot, respecting SQLite's
+10-database ``ATTACH`` ceiling with headroom for one staging attach.
+
+Reads
+-----
+
+Every pooled connection attaches all live shards and shadows the three
+partitioned tables with per-connection ``TEMP`` views
+(``object = main.object UNION ALL sh0.object UNION ALL ...``), so every
+existing SELECT — joins, recursive CTEs, keyset pagination — works
+unchanged and lock-free.  Temp views cannot be written, so an unrouted
+write fails loudly instead of landing in the wrong place.
+
+Writes
+------
+
+Mutating statements are planned from their *statement head* only:
+``INSERT INTO object_rel ...`` becomes ``INSERT INTO sh3.object_rel ...``
+for the shard owning the innermost :meth:`~GamDatabase.write_scope`
+frame's first source (callers already pass the owning source first — a
+mapping's ``source1``).  Bodies are never rewritten: an
+``INSERT ... SELECT`` pushdown derivation writes one shard while its
+SELECT reads the global views.  ``UPDATE``/``DELETE`` on ``object``
+route by a single-source scope; on the relationship tables they fan out
+across every shard (rows pointing *at* a source live in other sources'
+shards).  Each slot has one writer lock; multi-lock sets are acquired
+all-or-nothing with backoff, so two transactions scoped to overlapping
+source pairs in opposite orders cannot deadlock.  Transactions open with
+a deferred ``BEGIN`` so each shard file is write-locked lazily on first
+write — the property that lets disjoint-source transactions commit in
+parallel.
+
+Ids stay globally unique without coordination: each slot's tables are
+``AUTOINCREMENT`` with ``sqlite_sequence`` seeded to a disjoint
+:data:`~repro.gam.schema.ID_STRIDE` range (and any row migrated from a
+monolithic file keeps its original id, far below every stride).
+
+Copy-on-write image flip
+------------------------
+
+Re-importing a live source never mutates the live shard: ``image_flip``
+snapshots the slot's file (SQLite backup API) to a staging image, gives
+the flipping thread a private connection whose attachments substitute
+the staging file, and — only after the re-import commits — swaps the
+catalog row in one atomic coordinator transaction and bumps *only that
+source's* generation slot.  Readers on other threads keep the old image
+attached until their next statement boundary (POSIX keeps the unlinked
+file alive for them), so a concurrent reader observes either the old
+complete source or the new complete source, never a mix.
+
+Single-process caveat: external writers to *shard* files are not
+detected by the ``PRAGMA data_version`` watchdog (it watches the
+coordinator file only); the sharded engine assumes one process owns the
+store, which is the deployment the web tier and job plane already run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+import re
+import sqlite3
+import threading
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.gam import schema as gam_schema
+from repro.gam.database import GamDatabase
+from repro.gam.errors import GamSchemaError, GenMapperError
+from repro.gam.pool import is_memory_path
+
+#: Default number of shard slots.  SQLite allows 10 attached databases;
+#: 8 slots leave headroom for a migration/staging attach and one spare.
+DEFAULT_MAX_SHARDS = 8
+
+#: Total seconds a writer spends trying to assemble a multi-lock set
+#: before giving up (surfaced as :class:`ShardLockTimeout` instead of a
+#: silent deadlock).
+LOCK_TIMEOUT = 60.0
+
+
+class ShardRoutingError(GenMapperError):
+    """A write could not be attributed to a shard (or lacks its lock)."""
+
+
+class ShardLockTimeout(GenMapperError):
+    """A writer could not assemble its shard lock set in time."""
+
+
+class _OwnedLock:
+    """Reentrant lock that knows whether the calling thread holds it."""
+
+    __slots__ = ("_lock", "_owner", "_depth")
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._owner: int | None = None
+        self._depth = 0
+
+    def acquire(self, timeout: float = -1) -> bool:
+        ok = self._lock.acquire(timeout=timeout)
+        if ok:
+            self._owner = threading.get_ident()
+            self._depth += 1
+        return ok
+
+    def release(self) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            self._owner = None
+        self._lock.release()
+
+    def owned_by_me(self) -> bool:
+        return self._owner == threading.get_ident()
+
+
+class _FanoutResult:
+    """Cursor-like result of a statement fanned out across shards.
+
+    Only the attributes write paths actually consume are provided:
+    ``rowcount`` sums the per-shard counts; a fanned-out statement has no
+    single insert row, so ``lastrowid`` is None.
+    """
+
+    __slots__ = ("rowcount", "lastrowid")
+
+    def __init__(self, rowcount: int) -> None:
+        self.rowcount = rowcount
+        self.lastrowid = None
+
+    def fetchone(self) -> None:
+        return None
+
+    def fetchall(self) -> list:
+        return []
+
+
+@dataclass(frozen=True)
+class _Slot:
+    slot: int
+    file: str  # file name relative to the coordinator's directory
+    image: int
+
+
+@dataclass(frozen=True)
+class _CatalogState:
+    """Immutable snapshot of the shard catalog.
+
+    Published atomically on ``ShardedGamDatabase._state``; readers (the
+    statement planner, connection resync) never take a lock, so holders
+    of shard locks can never deadlock against catalog mutators.
+    """
+
+    version: int
+    slots: tuple[_Slot, ...]
+    sources: dict[str, int]  # never mutated after publication
+
+    def slot_of(self, name: str) -> int | None:
+        return self.sources.get(name)
+
+    def slot_ids(self) -> tuple[int, ...]:
+        return tuple(entry.slot for entry in self.slots)
+
+    def entry(self, slot: int) -> _Slot:
+        for candidate in self.slots:
+            if candidate.slot == slot:
+                return candidate
+        raise KeyError(slot)
+
+
+#: Statement-head matcher: mutation verb + first table token.  Only the
+#: head is rewritten; SELECT bodies keep reading the unioned temp views.
+_HEAD_RE = re.compile(
+    r"^\s*(?P<verb>INSERT(?:\s+OR\s+(?:IGNORE|REPLACE|ABORT|FAIL|ROLLBACK))?"
+    r"\s+INTO|REPLACE\s+INTO|DELETE\s+FROM|UPDATE(?:\s+OR\s+\w+)?)"
+    r"\s+(?P<table>[A-Za-z_][A-Za-z0-9_]*)",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class _Plan:
+    """How one mutating statement maps onto the shard layout.
+
+    kind:
+      ``main``    — coordinator-only table (``source``, ``meta``, ...)
+      ``route``   — shard table, owned by one slot (``sql`` is rewritten)
+      ``fanout``  — shard table, runs once per slot (``prefix``/``suffix``
+                    re-assemble the statement around a qualified name)
+      ``global``  — unparseable / DDL / ``ANALYZE``: all locks, verbatim
+      ``vacuum``  — ``VACUUM`` each attached database in turn
+    """
+
+    kind: str
+    table: str = ""
+    slot: int = -1
+    sql: str = ""
+    prefix: str = ""
+    suffix: str = ""
+
+    def for_schema(self, schema: str) -> str:
+        return f"{self.prefix}{schema}.{self.table}{self.suffix}"
+
+
+def _shard_file_name(base_name: str, slot: int, image: int) -> str:
+    return f"{base_name}.shard{slot:02d}.g{image}.db"
+
+
+class ShardCatalog:
+    """Placement policy + persistence for the source→shard mapping.
+
+    The catalog itself is the pair of coordinator tables
+    (``shard_catalog``, ``shard_source``) plus the
+    ``shard_catalog_version`` meta key; this class loads them into an
+    immutable :class:`_CatalogState` and computes placements.  All
+    mutation goes through :class:`ShardedGamDatabase`, which persists a
+    new state before publishing it.
+    """
+
+    def __init__(self, directory: Path, base_name: str, max_shards: int) -> None:
+        self.directory = directory
+        self.base_name = base_name
+        self.max_shards = max(1, int(max_shards))
+
+    def resolve(self, file_name: str) -> str:
+        return str(self.directory / file_name)
+
+    @staticmethod
+    def load(connection: sqlite3.Connection) -> _CatalogState:
+        slots = tuple(
+            _Slot(slot=int(row[0]), file=str(row[1]), image=int(row[2]))
+            for row in connection.execute(
+                "SELECT slot, file, image FROM shard_catalog ORDER BY slot"
+            )
+        )
+        sources = {
+            str(row[0]): int(row[1])
+            for row in connection.execute("SELECT name, slot FROM shard_source")
+        }
+        row = connection.execute(
+            "SELECT value FROM meta WHERE key = 'shard_catalog_version'"
+        ).fetchone()
+        version = int(row[0]) if row is not None else 0
+        return _CatalogState(version=version, slots=slots, sources=sources)
+
+    def place(self, state: _CatalogState, name: str) -> tuple[int, bool]:
+        """(slot, is_new_slot) for a source not yet in the catalog.
+
+        First-come sources get dedicated slots; past ``max_shards`` the
+        least-populated slot becomes a grouped bucket — the graceful
+        degradation that keeps >10 live sources inside the ``ATTACH``
+        limit with identical query results.
+        """
+        if len(state.slots) < self.max_shards:
+            used = set(state.slot_ids())
+            slot = next(i for i in range(self.max_shards) if i not in used)
+            return slot, True
+        population = {slot: 0 for slot in state.slot_ids()}
+        for assigned in state.sources.values():
+            population[assigned] = population.get(assigned, 0) + 1
+        slot = min(sorted(population), key=lambda s: population[s])
+        return slot, False
+
+
+class ShardedGamDatabase(GamDatabase):
+    """The :class:`GamDatabase` API over per-source shard files.
+
+    Construction accepts the same arguments plus ``max_shards``.  Use
+    :meth:`GamDatabase.open` to auto-detect the layout of an existing
+    file; constructing this class directly on a *populated* monolithic
+    file raises (run ``repro migrate-shards`` first).
+    """
+
+    sharded = True
+    _begin_sql = "BEGIN"
+
+    def __init__(
+        self,
+        path: str | Path = "",
+        create: bool = True,
+        pool_size: int | None = None,
+        fault_injector: object = None,
+        retry_policy: object = None,
+        max_shards: int = DEFAULT_MAX_SHARDS,
+    ) -> None:
+        path_str = str(path)
+        if is_memory_path(path_str):
+            raise GamSchemaError(
+                "sharded storage needs an on-disk database: an in-memory"
+                " shard would be private to a single connection"
+            )
+        target = Path(path_str).resolve()
+        self.catalog = ShardCatalog(target.parent, target.name, max_shards)
+        self._state = _CatalogState(version=0, slots=(), sources={})
+        self._slot_locks: dict[int, _OwnedLock] = {}
+        self._main_lock = _OwnedLock()
+        self._assign_lock = threading.Lock()
+        self._flip_local = threading.local()
+        self._plan_local = threading.local()
+        super().__init__(
+            path_str,
+            create=create,
+            pool_size=pool_size,
+            fault_injector=fault_injector,  # type: ignore[arg-type]
+            retry_policy=retry_policy,  # type: ignore[arg-type]
+        )
+        try:
+            self._bootstrap_catalog(create)
+        except BaseException:
+            self.pool.close()
+            raise
+
+    def _bootstrap_catalog(self, create: bool) -> None:
+        connection = self.pool.acquire()
+        layout = gam_schema.read_layout(connection)
+        if layout != gam_schema.LAYOUT_SHARDED:
+            for table in gam_schema.SHARD_TABLES:
+                row = connection.execute(
+                    f"SELECT 1 FROM {table} LIMIT 1"
+                ).fetchone()
+                if row is not None:
+                    raise GamSchemaError(
+                        f"{self.path!r} is a populated monolithic database;"
+                        " run `repro migrate-shards` to convert it before"
+                        " opening it sharded"
+                    )
+            if not create:
+                raise GamSchemaError(
+                    f"{self.path!r} does not contain a sharded GAM layout"
+                )
+            gam_schema.create_catalog_schema(connection)
+            gam_schema.write_layout(connection, gam_schema.LAYOUT_SHARDED)
+            connection.commit()
+        else:
+            gam_schema.create_catalog_schema(connection)
+        state = ShardCatalog.load(connection)
+        missing = [
+            entry.file
+            for entry in state.slots
+            if not Path(self.catalog.resolve(entry.file)).exists()
+        ]
+        if missing:
+            raise GamSchemaError(
+                f"shard files missing beside {self.path!r}: {missing!r}"
+            )
+        self._slot_locks = {entry.slot: _OwnedLock() for entry in state.slots}
+        self._state = state
+
+    def _apply_pragmas(self, connection: sqlite3.Connection) -> None:
+        super()._apply_pragmas(connection)
+        # SQLite cannot enforce a foreign key across attached databases,
+        # so shard tables carry no REFERENCES clauses and integrity is
+        # checked at the application level (repro.gam.integrity).
+        connection.execute("PRAGMA foreign_keys = OFF")
+
+    # -- connection attachment ---------------------------------------------
+
+    def _lease(self) -> sqlite3.Connection:
+        private = getattr(self._flip_local, "connection", None)
+        if private is not None:
+            self._resync_connection(private)
+            return private
+        connection = self.pool.acquire()
+        self._resync_connection(connection)
+        return connection
+
+    def _flip_overrides_for(
+        self, connection: sqlite3.Connection
+    ) -> dict[int, str]:
+        if connection is getattr(self._flip_local, "connection", None):
+            return getattr(self._flip_local, "overrides", {})
+        return {}
+
+    def _resync_connection(
+        self,
+        connection: sqlite3.Connection,
+        overrides: dict[int, str] | None = None,
+    ) -> None:
+        """Match a connection's attachments to the current catalog.
+
+        Cheap in the common case (one stamp comparison).  Never touches
+        attachments mid-transaction — ``ATTACH``/``DETACH`` are illegal
+        there — and a ``DETACH`` blocked by an active cursor is simply
+        deferred to the next statement boundary: the reader finishes on
+        the old image, which is the zero-downtime contract.
+        """
+        if overrides is None:
+            overrides = self._flip_overrides_for(connection)
+        meta = self.pool.meta(connection)
+        # Another engine instance on the same file (a second pool in this
+        # or another thread's GenMapper) grows the catalog through *its*
+        # coordinator connections; ours only notice via SQLite's
+        # ``data_version``.  The probe is a no-I/O pragma, the meta read
+        # behind it runs only when some other connection committed.
+        dv_row = connection.execute("PRAGMA data_version").fetchone()
+        if meta.get("catalog_probe_dv") != dv_row[0]:
+            meta["catalog_probe_dv"] = dv_row[0]
+            self._reload_catalog_if_changed(connection)
+        state = self._state
+        files = {
+            entry.slot: self.catalog.resolve(entry.file)
+            for entry in state.slots
+        }
+        files.update(overrides)
+        stamp = (state.version, tuple(sorted(overrides.items())))
+        if meta.get("shard_stamp") == stamp:
+            return
+        if connection.in_transaction:
+            return
+        attached: dict[int, str] = meta.get("shard_attached", {})
+        deferred = False
+        for slot, current in list(attached.items()):
+            if files.get(slot) != current:
+                try:
+                    connection.execute(f"DETACH DATABASE sh{slot}")
+                except sqlite3.OperationalError:
+                    deferred = True
+                    continue
+                del attached[slot]
+        if not deferred:
+            for slot, wanted in files.items():
+                if slot not in attached:
+                    connection.execute(
+                        f"ATTACH DATABASE ? AS sh{slot}", (wanted,)
+                    )
+                    attached[slot] = wanted
+        arms = tuple(sorted(attached))
+        if meta.get("shard_views") != arms:
+            for table in gam_schema.SHARD_TABLES:
+                connection.execute(f"DROP VIEW IF EXISTS temp.{table}")
+                union = " UNION ALL ".join(
+                    [f"SELECT * FROM main.{table}"]
+                    + [f"SELECT * FROM sh{slot}.{table}" for slot in arms]
+                )
+                connection.execute(f"CREATE TEMP VIEW {table} AS {union}")
+            meta["shard_views"] = arms
+        meta["shard_attached"] = attached
+        if not deferred:
+            meta["shard_stamp"] = stamp
+
+    def _reload_catalog_if_changed(
+        self, connection: sqlite3.Connection
+    ) -> None:
+        """Adopt catalog changes persisted by another engine instance.
+
+        Compares the persisted ``shard_catalog_version`` against the
+        published state and republishes from disk when they differ.  The
+        reload raises the global cache floor — an external catalog change
+        means sources were placed, migrated or image-flipped by a writer
+        whose per-source attribution we never saw.  Our *own* catalog
+        mutations never take this path: ``_persist_catalog`` publishes
+        the new state (under ``_assign_lock``) before releasing it, so
+        the version check sees them as already adopted.
+        """
+        try:
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'shard_catalog_version'"
+            ).fetchone()
+        except sqlite3.OperationalError:
+            return
+        persisted = int(row[0]) if row is not None else 0
+        if persisted == self._state.version:
+            return
+        with self._assign_lock:
+            state = ShardCatalog.load(connection)
+            if state.version == self._state.version:
+                return
+            locks = dict(self._slot_locks)
+            for entry in state.slots:
+                locks.setdefault(entry.slot, _OwnedLock())
+            self._slot_locks = locks
+            self._state = state
+        self.bump_generation(None)
+
+    def data_generation(self) -> int:
+        """The watchdog, extended to every attached shard file.
+
+        The coordinator's ``PRAGMA data_version`` cannot see commits to
+        shard files, so each attached schema is polled too; an
+        unexplained movement on *any* of them raises the global floor,
+        exactly like the base method's contract (see
+        :meth:`GamDatabase.data_generation`).  Newly attached slots only
+        record a baseline — the attachment itself came from a catalog
+        change that was already attributed.
+        """
+        connection = self._lease()
+        meta = self.pool.meta(connection)
+        seen = {"main": int(
+            connection.execute("PRAGMA data_version").fetchone()[0]
+        )}
+        for slot in sorted(meta.get("shard_attached", {})):
+            row = connection.execute(
+                f"PRAGMA sh{slot}.data_version"
+            ).fetchone()
+            if row is not None:
+                seen[f"sh{slot}"] = int(row[0])
+        with self._generation_lock:
+            last = meta.get("shard_dv_vector")
+            mark = meta.get("commit_mark")
+            moved = last is not None and any(
+                schema in last and value != last[schema]
+                for schema, value in seen.items()
+            )
+            if moved and mark == self._generation:
+                self._generation += 1
+                self._source_floor = self._generation
+            meta["shard_dv_vector"] = seen
+            meta["commit_mark"] = self._generation
+            return self._generation
+
+    # -- catalog mutation --------------------------------------------------
+
+    def _persist_catalog(
+        self,
+        statements: list[tuple[str, tuple]],
+        bump_sources: Iterable[str],
+    ) -> None:
+        """Write catalog rows in one coordinator transaction.
+
+        Runs on the thread's *pooled* connection (never the flip's
+        private one) under the coordinator lock.  The generation bump
+        lands before the commit so pool siblings attribute the
+        ``data_version`` movement internally instead of raising the
+        global cache floor.
+        """
+        connection = self.pool.acquire()
+        self._acquire_set([self._main_lock])
+        try:
+            if connection.in_transaction:
+                raise ShardRoutingError(
+                    "shard catalog cannot change inside an open transaction;"
+                    " scope the transaction to its sources up front"
+                )
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                for sql, params in statements:
+                    connection.execute(sql, params)
+                self.bump_generation(tuple(bump_sources))
+                connection.commit()
+            except BaseException:
+                connection.rollback()
+                raise
+        finally:
+            self._main_lock.release()
+
+    def _create_slot_file(self, slot: int, image: int) -> str:
+        file_name = _shard_file_name(self.catalog.base_name, slot, image)
+        shard = sqlite3.connect(self.catalog.resolve(file_name))
+        try:
+            gam_schema.create_shard_schema(shard, slot)
+            shard.execute("PRAGMA journal_mode = WAL")
+        finally:
+            shard.close()
+        return file_name
+
+    def ensure_placement(self, names: Iterable[str]) -> None:
+        for name in names:
+            self._slot_for(name, create=True)
+
+    def _slot_for(self, name: str, create: bool) -> int:
+        slot = self._state.slot_of(name)
+        if slot is not None:
+            return slot
+        if not create:
+            raise ShardRoutingError(
+                f"source {name!r} has no shard assignment inside an open"
+                " transaction; name it in the transaction's write_scope"
+            )
+        with self._assign_lock:
+            state = self._state
+            slot = state.slot_of(name)
+            if slot is not None:
+                return slot
+            slot, is_new = self.catalog.place(state, name)
+            statements = [
+                (
+                    "INSERT INTO shard_source (name, slot) VALUES (?, ?)",
+                    (name, slot),
+                ),
+            ]
+            if is_new:
+                file_name = self._create_slot_file(slot, 0)
+                statements.append(
+                    (
+                        "INSERT INTO shard_catalog (slot, file, image)"
+                        " VALUES (?, ?, 0)",
+                        (slot, file_name),
+                    )
+                )
+                new_slots = tuple(
+                    sorted(
+                        state.slots + (_Slot(slot, file_name, 0),),
+                        key=lambda entry: entry.slot,
+                    )
+                )
+                new_version = state.version + 1
+                statements.append(
+                    (
+                        "INSERT INTO meta (key, value)"
+                        " VALUES ('shard_catalog_version', ?)"
+                        " ON CONFLICT (key) DO UPDATE SET value ="
+                        " excluded.value",
+                        (str(new_version),),
+                    )
+                )
+            else:
+                new_slots = state.slots
+                new_version = state.version
+            self._persist_catalog(statements, (name,))
+            new_sources = dict(state.sources)
+            new_sources[name] = slot
+            if is_new:
+                self._slot_locks = {**self._slot_locks, slot: _OwnedLock()}
+            self._state = _CatalogState(
+                version=new_version, slots=new_slots, sources=new_sources
+            )
+            return slot
+
+    # -- locking -----------------------------------------------------------
+
+    def _all_locks(self) -> list[_OwnedLock]:
+        locks = self._slot_locks
+        return [self._main_lock] + [locks[slot] for slot in sorted(locks)]
+
+    def _acquire_set(self, locks: list[_OwnedLock]) -> None:
+        """Acquire ``locks`` all-or-nothing (deadlock-free by backoff).
+
+        Canonical order (coordinator first, slots ascending) minimizes
+        contention, but correctness does not depend on it: a partial
+        acquisition is fully released before backing off, so two writers
+        wanting overlapping sets in opposite orders cannot hold-and-wait
+        each other.  Locks already held by the thread re-enter instantly.
+        """
+        deadline = time.monotonic() + LOCK_TIMEOUT
+        delay = 0.0005
+        while True:
+            taken: list[_OwnedLock] = []
+            for lock in locks:
+                if lock.acquire(timeout=0.02):
+                    taken.append(lock)
+                else:
+                    break
+            if len(taken) == len(locks):
+                return
+            for lock in reversed(taken):
+                lock.release()
+            if time.monotonic() >= deadline:
+                raise ShardLockTimeout(
+                    f"could not assemble {len(locks)} shard locks within"
+                    f" {LOCK_TIMEOUT:.0f}s (a writer is holding a shard for"
+                    " too long — likely a stuck image flip)"
+                )
+            time.sleep(delay + random.uniform(0, delay))
+            delay = min(delay * 2, 0.05)
+
+    def _release_set(self, locks: list[_OwnedLock]) -> None:
+        for lock in reversed(locks):
+            lock.release()
+
+    def _verify_owned(self, locks: list[_OwnedLock], context: str) -> None:
+        if all(lock.owned_by_me() for lock in locks):
+            return
+        raise ShardRoutingError(
+            f"statement needs shard locks the open transaction does not"
+            f" hold ({context!r}); widen the transaction's write_scope or"
+            " pass all_shards=True"
+        )
+
+    # -- statement planning ------------------------------------------------
+
+    def _innermost_scope(self) -> tuple[str, ...] | None:
+        for frame in reversed(self._scope_frames()):
+            if frame:
+                return frame
+        return None
+
+    def _plan_statement(self, sql: str, create_slots: bool) -> _Plan:
+        match = _HEAD_RE.match(sql)
+        if match is None:
+            head = sql.split(None, 1)
+            word = head[0].upper() if head else ""
+            if word == "VACUUM":
+                return _Plan(kind="vacuum")
+            return _Plan(kind="global")
+        table = match.group("table").lower()
+        if table not in gam_schema.SHARD_TABLES:
+            return _Plan(kind="main")
+        verb = match.group("verb").upper().split()[0]
+        start, end = match.span("table")
+        prefix, suffix = sql[:start], sql[end:]
+        scope = self._innermost_scope()
+        if verb in ("INSERT", "REPLACE"):
+            if scope is None:
+                raise ShardRoutingError(
+                    f"INSERT into sharded table {table!r} outside any"
+                    " write_scope: the owning source cannot be inferred"
+                )
+            slot = self._slot_for(scope[0], create=create_slots)
+            return _Plan(
+                kind="route",
+                table=table,
+                slot=slot,
+                sql=f"{prefix}sh{slot}.{table}{suffix}",
+                prefix=prefix,
+                suffix=suffix,
+            )
+        # UPDATE / DELETE.  ``object`` rows live in their source's shard,
+        # so a single-source scope pins the statement to one slot (the
+        # importer's coalesce UPDATE, delete_source's object sweep).  The
+        # relationship tables fan out regardless: rows *pointing at* a
+        # source live in the shards of every source1 that maps to it.
+        if table == "object" and scope is not None and len(set(scope)) == 1:
+            slot = self._slot_for(scope[0], create=create_slots)
+            return _Plan(
+                kind="route",
+                table=table,
+                slot=slot,
+                sql=f"{prefix}sh{slot}.{table}{suffix}",
+                prefix=prefix,
+                suffix=suffix,
+            )
+        return _Plan(kind="fanout", table=table, prefix=prefix, suffix=suffix)
+
+    def _locks_for_plan(self, plan: _Plan) -> list[_OwnedLock]:
+        if plan.kind == "main":
+            return [self._main_lock]
+        if plan.kind == "route":
+            return [self._slot_locks[plan.slot]]
+        return self._all_locks()
+
+    def _push_plan(self, sql: str, plan: _Plan) -> None:
+        stack = getattr(self._plan_local, "stack", None)
+        if stack is None:
+            stack = self._plan_local.stack = []
+        stack.append((sql, plan))
+
+    def _pop_plan(self) -> None:
+        self._plan_local.stack.pop()
+
+    def _current_plan(self, sql: str) -> _Plan:
+        stack = getattr(self._plan_local, "stack", None)
+        if stack:
+            for stashed_sql, plan in reversed(stack):
+                if stashed_sql == sql:
+                    return plan
+        return self._plan_statement(sql, create_slots=False)
+
+    # -- write guards ------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _write_guard(self, sql: str) -> Iterator[None]:
+        connection = self._lease()
+        if connection.in_transaction:
+            # Slot assignment (a catalog write) cannot happen mid-flight;
+            # plan with create=False so an unknown source raises instead.
+            plan = self._plan_statement(sql, create_slots=False)
+            self._verify_owned(self._locks_for_plan(plan), context=sql)
+            self._push_plan(sql, plan)
+            try:
+                yield
+            finally:
+                self._pop_plan()
+            return
+        plan = self._plan_statement(sql, create_slots=True)
+        while True:
+            locks = self._locks_for_plan(plan)
+            self._acquire_set(locks)
+            # A fanout's slot set may have grown between planning and
+            # acquisition (another thread registered a source); retake
+            # the now-larger set so the statement covers every shard.
+            if self._locks_for_plan(plan) == locks:
+                break
+            self._release_set(locks)
+        try:
+            self._resync_connection(connection)
+            self._push_plan(sql, plan)
+            try:
+                yield
+            finally:
+                self._pop_plan()
+        finally:
+            self._release_set(locks)
+
+    @contextlib.contextmanager
+    def _txn_guard(self, all_shards: bool = False) -> Iterator[None]:
+        connection = self._lease()
+        frames = self._scope_frames()
+        names = [name for frame in frames for name in frame]
+        if connection.in_transaction:
+            self._verify_owned(
+                self._txn_locks(all_shards, frames, names, create=False),
+                context="nested transaction",
+            )
+            yield
+            return
+        while True:
+            locks = self._txn_locks(all_shards, frames, names, create=True)
+            self._acquire_set(locks)
+            if self._txn_locks(all_shards, frames, names, create=False) == locks:
+                break
+            self._release_set(locks)
+        try:
+            self._resync_connection(connection)
+            yield
+        finally:
+            self._release_set(locks)
+
+    def _txn_locks(
+        self,
+        all_shards: bool,
+        frames: list[tuple[str, ...]],
+        names: list[str],
+        create: bool,
+    ) -> list[_OwnedLock]:
+        if all_shards or not frames:
+            # Unattributable writes lock everything — raw SQL issued with
+            # no scope stays correct, it just forfeits parallelism.
+            return self._all_locks()
+        if not names:
+            # A neutral scope (write_scope() with no names) marks pure
+            # coordinator bookkeeping — import-journal checkpoints, the
+            # saved-path registry — which must not wait behind long
+            # import transactions holding shard locks.
+            return [self._main_lock]
+        slots = sorted({self._slot_for(name, create=create) for name in names})
+        return [self._slot_locks[slot] for slot in slots]
+
+    # -- statement execution ----------------------------------------------
+
+    def _execute_write(
+        self,
+        connection: sqlite3.Connection,
+        sql: str,
+        parameters: tuple,
+    ):
+        plan = self._current_plan(sql)
+        if plan.kind == "vacuum":
+            return self._vacuum_all(connection)
+        if plan.kind in ("main", "global"):
+            return connection.execute(sql, parameters)
+        if plan.kind == "route":
+            return connection.execute(plan.sql, parameters)
+        changed = 0
+        for schema in self._fanout_schemas():
+            cursor = connection.execute(plan.for_schema(schema), parameters)
+            changed += max(cursor.rowcount, 0)
+        return _FanoutResult(changed)
+
+    def _executemany_write(
+        self,
+        connection: sqlite3.Connection,
+        sql: str,
+        rows: list,
+    ):
+        plan = self._current_plan(sql)
+        if plan.kind in ("main", "global"):
+            return connection.executemany(sql, rows)
+        if plan.kind == "route":
+            return connection.executemany(plan.sql, rows)
+        if plan.kind == "vacuum":  # pragma: no cover - nonsensical batch
+            raise ShardRoutingError("VACUUM cannot run as a batch statement")
+        changed = 0
+        for schema in self._fanout_schemas():
+            cursor = connection.executemany(plan.for_schema(schema), rows)
+            changed += max(cursor.rowcount, 0)
+        return _FanoutResult(changed)
+
+    def _fanout_schemas(self) -> list[str]:
+        # main's partitioned tables are empty by construction, but a
+        # fanned-out DELETE sweeps them too: correctness never depends on
+        # that invariant holding.
+        return ["main"] + [f"sh{slot}" for slot in sorted(self._slot_locks)]
+
+    def _vacuum_all(self, connection: sqlite3.Connection):
+        for schema in self._fanout_schemas():
+            connection.execute(f"VACUUM {schema}")
+        return _FanoutResult(0)
+
+    # -- copy-on-write image flip -----------------------------------------
+
+    @contextlib.contextmanager
+    def image_flip(self, source_name: str) -> Iterator[None]:
+        """Re-import ``source_name`` against a staged copy of its shard.
+
+        Inside the block, the calling thread's statements run on a
+        private connection whose attachment for the source's slot points
+        at a staging copy of the live image; every other thread keeps
+        reading the live image.  On success the catalog row flips in one
+        atomic coordinator commit and only this source's generation slot
+        bumps; on error the staging file is discarded and the live image
+        was never touched.
+        """
+        if getattr(self._flip_local, "connection", None) is not None:
+            raise ShardRoutingError("image flips do not nest")
+        slot = self._slot_for(source_name, create=True)
+        lock = self._slot_locks[slot]
+        self._acquire_set([lock])
+        staging_path: Path | None = None
+        private: sqlite3.Connection | None = None
+        try:
+            entry = self._state.entry(slot)
+            live_path = Path(self.catalog.resolve(entry.file))
+            next_image = entry.image + 1
+            staging_name = _shard_file_name(
+                self.catalog.base_name, slot, next_image
+            )
+            staging_path = Path(self.catalog.resolve(staging_name))
+            source_conn = sqlite3.connect(str(live_path))
+            staging_conn = sqlite3.connect(str(staging_path))
+            try:
+                source_conn.backup(staging_conn)
+                staging_conn.execute("PRAGMA journal_mode = WAL")
+            finally:
+                staging_conn.close()
+                source_conn.close()
+            self._flip_local.overrides = {slot: str(staging_path)}
+            private = sqlite3.connect(
+                self.path, check_same_thread=False, isolation_level=None
+            )
+            private.row_factory = sqlite3.Row
+            self._apply_pragmas(private)
+            self._resync_connection(
+                private, overrides=self._flip_local.overrides
+            )
+            self._flip_local.connection = private
+            yield
+            self._flip_local.connection = None
+            self._flip_local.overrides = {}
+            self.pool.forget(private)
+            private.close()
+            private = None
+            with self._assign_lock:
+                state = self._state
+                current = state.entry(slot)
+                new_version = state.version + 1
+                self._persist_catalog(
+                    [
+                        (
+                            "UPDATE shard_catalog SET file = ?, image = ?"
+                            " WHERE slot = ?",
+                            (staging_name, next_image, slot),
+                        ),
+                        (
+                            "INSERT INTO meta (key, value)"
+                            " VALUES ('shard_catalog_version', ?)"
+                            " ON CONFLICT (key) DO UPDATE SET value ="
+                            " excluded.value",
+                            (str(new_version),),
+                        ),
+                    ],
+                    (source_name,),
+                )
+                new_slots = tuple(
+                    replace(e, file=staging_name, image=next_image)
+                    if e.slot == slot
+                    else e
+                    for e in state.slots
+                )
+                self._state = _CatalogState(
+                    version=new_version,
+                    slots=new_slots,
+                    sources=state.sources,
+                )
+            # Readers still on the old image hold it open (POSIX unlink
+            # semantics); remove the directory entries best-effort.
+            for suffix in ("", "-wal", "-shm"):
+                with contextlib.suppress(OSError):
+                    os.unlink(str(live_path) + suffix)
+        except BaseException:
+            self._flip_local.connection = None
+            self._flip_local.overrides = {}
+            if private is not None:
+                self.pool.forget(private)
+                with contextlib.suppress(sqlite3.Error):
+                    private.close()
+            if staging_path is not None:
+                for suffix in ("", "-wal", "-shm"):
+                    with contextlib.suppress(OSError):
+                        os.unlink(str(staging_path) + suffix)
+            raise
+        finally:
+            lock.release()
+
+    # -- introspection -----------------------------------------------------
+
+    def storage_info(self) -> dict[str, object]:
+        state = self._state
+        population: dict[int, int] = {slot: 0 for slot in state.slot_ids()}
+        for slot in state.sources.values():
+            population[slot] = population.get(slot, 0) + 1
+        return {
+            "layout": gam_schema.LAYOUT_SHARDED,
+            "path": self.path,
+            "shards": {
+                "slots": len(state.slots),
+                "max_shards": self.catalog.max_shards,
+                "catalog_version": state.version,
+                "sources": len(state.sources),
+                "images": {
+                    str(entry.slot): {
+                        "file": entry.file,
+                        "image": entry.image,
+                        "sources": population.get(entry.slot, 0),
+                    }
+                    for entry in state.slots
+                },
+            },
+        }
+
+    def shard_placement(
+        self, names: Iterable[str]
+    ) -> dict[str, int] | None:
+        state = self._state
+        return {
+            name: state.sources[name]
+            for name in names
+            if name in state.sources
+        }
+
+    def table_watermarks(self, spec: dict[str, str]) -> dict[str, object]:
+        """Per-slot high-watermarks (see the base method's contract).
+
+        Keys are stringified slot ids so the dicts survive the import
+        journal's JSON round-trip unchanged.  A slot created after the
+        snapshot resolves to mark 0 downstream — a full (conservative)
+        delta for rels placed there, never a skipped one.
+        """
+        marks: dict[str, object] = {}
+        slots = sorted(self._slot_locks)
+        for table, id_column in spec.items():
+            per_slot: dict[str, int] = {}
+            for slot in slots:
+                row = self.execute_read(
+                    f"SELECT coalesce(max({id_column}), 0)"
+                    f" FROM sh{slot}.{table}"
+                ).fetchone()
+                per_slot[str(slot)] = int(row[0])
+            marks[table] = per_slot
+        return marks
+
+
+# -- migration ---------------------------------------------------------------
+
+_MIGRATE_KEY_PREFIX = "migrate_ckpt:"
+
+#: Per-source row selectors used when copying a monolithic database into
+#: shard files (``{schema}`` is the database holding the rows).  A
+#: relationship — and its associations — lives in the shard of its
+#: *source1*, the same placement rule the sharded write planner applies.
+_MIGRATE_SELECTS = {
+    "object": (
+        "SELECT object_id, source_id, accession, text, number"
+        " FROM {schema}.object WHERE source_id = ?"
+    ),
+    "source_rel": (
+        "SELECT src_rel_id, source1_id, source2_id, type"
+        " FROM {schema}.source_rel WHERE source1_id = ?"
+    ),
+    "object_rel": (
+        "SELECT obj_rel_id, src_rel_id, object1_id, object2_id, evidence"
+        " FROM {schema}.object_rel WHERE src_rel_id IN"
+        " (SELECT src_rel_id FROM {schema}.source_rel WHERE source1_id = ?)"
+    ),
+}
+
+
+def _source_signature(
+    connection: sqlite3.Connection, schema: str, source_id: int
+) -> dict[str, int]:
+    """Row counts of one source's partitioned rows in ``schema``."""
+    return {
+        table: int(
+            connection.execute(
+                f"SELECT count(*) FROM ({select.format(schema=schema)})",
+                (source_id,),
+            ).fetchone()[0]
+        )
+        for table, select in _MIGRATE_SELECTS.items()
+    }
+
+
+def _plan_migration(
+    catalog: ShardCatalog, sources: list
+) -> tuple[_CatalogState, dict[str, int]]:
+    """Deterministic placement for a full migration.
+
+    Sources walk through the live engine's placement policy in
+    ``source_id`` order, so a resumed migration recomputes the identical
+    layout without reading any partial state.
+    """
+    state = _CatalogState(version=0, slots=(), sources={})
+    placements: dict[str, int] = {}
+    for source in sources:
+        slot, is_new = catalog.place(state, source.name)
+        placements[source.name] = slot
+        slots = state.slots
+        if is_new:
+            file_name = _shard_file_name(catalog.base_name, slot, 0)
+            slots = tuple(
+                sorted(
+                    slots + (_Slot(slot, file_name, 0),),
+                    key=lambda entry: entry.slot,
+                )
+            )
+        sources_map = dict(state.sources)
+        sources_map[source.name] = slot
+        state = _CatalogState(
+            version=state.version + (1 if is_new else 0),
+            slots=slots,
+            sources=sources_map,
+        )
+    return state, placements
+
+
+def migrate_to_shards(
+    db: GamDatabase,
+    max_shards: int = DEFAULT_MAX_SHARDS,
+    resume: bool = True,
+) -> dict[str, object]:
+    """Convert a populated monolithic database to the sharded layout.
+
+    Copies each source's partitioned rows (original ids preserved) into
+    its shard file, checkpointing per source in the coordinator's
+    ``meta`` table so a mid-migration crash resumes with the finished
+    sources skipped (``resume=True``, the default; ``resume=False``
+    recopies everything).  The monolithic rows stay in place until the
+    single **finalize transaction**, which records the catalog, marks
+    the layout sharded, and deletes the now shard-resident rows — a
+    crash anywhere before that commit leaves a valid, complete
+    monolithic database, and every source's copy is verified against
+    the monolithic rows immediately before the flip.
+
+    The caller must be the only writer for the duration and must reopen
+    the database afterwards (:meth:`GamDatabase.open` then detects the
+    sharded layout).  Returns a summary dict.
+    """
+    import json
+
+    if db.sharded:
+        raise GamSchemaError("database already uses the sharded layout")
+    if is_memory_path(db.path):
+        raise GamSchemaError("an in-memory database cannot be sharded")
+    target = Path(db.path).resolve()
+    catalog = ShardCatalog(target.parent, target.name, max_shards)
+
+    from repro.gam.repository import GamRepository
+
+    sources = GamRepository(db).list_sources()
+    state, placements = _plan_migration(catalog, sources)
+    for entry in state.slots:
+        shard = sqlite3.connect(catalog.resolve(entry.file))
+        try:
+            gam_schema.create_shard_schema(shard, entry.slot)
+            shard.execute("PRAGMA journal_mode = WAL")
+        finally:
+            shard.close()
+
+    def _checkpoint(name: str) -> dict | None:
+        row = db.execute_read(
+            "SELECT value FROM meta WHERE key = ?",
+            (_MIGRATE_KEY_PREFIX + name,),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except ValueError:
+            return None
+
+    def _shard_connection(slot: int) -> sqlite3.Connection:
+        """The shard file with the monolithic database attached read-side."""
+        entry = state.entry(slot)
+        shard = sqlite3.connect(catalog.resolve(entry.file))
+        shard.execute("ATTACH DATABASE ? AS mono", (str(target),))
+        return shard
+
+    migrated = 0
+    skipped = 0
+    rows_moved = 0
+    for source in sources:
+        shard = _shard_connection(placements[source.name])
+        try:
+            mono_sig = _source_signature(shard, "mono", source.source_id)
+            shard_sig = _source_signature(shard, "main", source.source_id)
+            if (
+                resume
+                and shard_sig == mono_sig
+                and _checkpoint(source.name) == mono_sig
+            ):
+                skipped += 1
+                continue
+            # All three tables copy in one shard-file transaction, so a
+            # crash mid-copy rolls the whole source back: per-source
+            # shard state is always none-or-all (the delete pass clears
+            # a partial copy from an unclean earlier run).
+            shard.execute("BEGIN IMMEDIATE")
+            try:
+                shard.execute(
+                    "DELETE FROM main.object_rel WHERE src_rel_id IN"
+                    " (SELECT src_rel_id FROM mono.source_rel"
+                    "   WHERE source1_id = ?)",
+                    (source.source_id,),
+                )
+                shard.execute(
+                    "DELETE FROM main.source_rel WHERE source1_id = ?",
+                    (source.source_id,),
+                )
+                shard.execute(
+                    "DELETE FROM main.object WHERE source_id = ?",
+                    (source.source_id,),
+                )
+                for table, select in _MIGRATE_SELECTS.items():
+                    cursor = shard.execute(
+                        f"INSERT INTO main.{table} "
+                        + select.format(schema="mono"),
+                        (source.source_id,),
+                    )
+                    rows_moved += max(cursor.rowcount, 0)
+                shard.commit()
+            except BaseException:
+                shard.rollback()
+                raise
+            with db.write_scope(), db.transaction():
+                db.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)"
+                    " ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+                    (_MIGRATE_KEY_PREFIX + source.name, json.dumps(mono_sig)),
+                )
+            migrated += 1
+        finally:
+            shard.close()
+
+    # Verify every copy against the monolithic rows before the flip
+    # (outside the finalize transaction: ATTACH is illegal inside one).
+    for source in sources:
+        shard = _shard_connection(placements[source.name])
+        try:
+            mono_sig = _source_signature(shard, "mono", source.source_id)
+            shard_sig = _source_signature(shard, "main", source.source_id)
+            if shard_sig != mono_sig:
+                raise GamSchemaError(
+                    f"shard copy of source {source.name!r} does not match"
+                    f" the monolithic rows ({shard_sig} != {mono_sig});"
+                    " re-run migrate-shards"
+                )
+        finally:
+            shard.close()
+
+    # Catalog tables are created before the finalize transaction —
+    # executescript would auto-commit an open one.  Harmless if the
+    # flip then fails: empty catalog tables beside a monolithic layout.
+    gam_schema.create_catalog_schema(db.pool.acquire())
+    # Finalize: one atomic coordinator transaction records the catalog,
+    # flips the layout and drops the shard-resident rows.  A crash before
+    # the commit leaves the complete monolithic database in place.
+    with db.transaction():
+        for entry in state.slots:
+            db.execute(
+                "INSERT OR REPLACE INTO shard_catalog (slot, file, image)"
+                " VALUES (?, ?, ?)",
+                (entry.slot, entry.file, entry.image),
+            )
+        for name, slot in state.sources.items():
+            db.execute(
+                "INSERT OR REPLACE INTO shard_source (name, slot)"
+                " VALUES (?, ?)",
+                (name, slot),
+            )
+        db.execute(
+            "INSERT INTO meta (key, value)"
+            " VALUES ('shard_catalog_version', ?)"
+            " ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+            (str(state.version),),
+        )
+        gam_schema.write_layout(db.pool.acquire(), gam_schema.LAYOUT_SHARDED)
+        for table in ("object_rel", "source_rel", "object"):
+            db.execute(f"DELETE FROM {table}")
+        db.execute(
+            "DELETE FROM meta WHERE key LIKE ?", (_MIGRATE_KEY_PREFIX + "%",)
+        )
+    return {
+        "sources": len(sources),
+        "slots": len(state.slots),
+        "migrated": migrated,
+        "skipped": skipped,
+        "rows_moved": rows_moved,
+        "layout": gam_schema.LAYOUT_SHARDED,
+    }

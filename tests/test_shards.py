@@ -1,0 +1,599 @@
+"""Tests for the source-sharded storage engine (repro.gam.shards).
+
+Covers the engine contract end to end: routing and id striding, the
+ATTACH-limit bucket fallback, deadlock freedom for opposite-order
+cross-shard writers, zero-downtime image flips with scoped generation
+bumps, in-place migration with crash/resume, layout auto-detection, the
+application-level referential sweep that replaces SQLite foreign keys
+across shard files, and the CLI/HTTP surfaces that report placement.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.genmapper import GenMapper
+from repro.gam.database import GamDatabase
+from repro.gam.dump import canonical_snapshot
+from repro.gam.errors import GamSchemaError
+from repro.gam.integrity import check as integrity_check
+from repro.gam.maintenance import delete_source
+from repro.gam.repository import GamRepository
+from repro.gam.schema import ID_STRIDE
+from repro.gam.shards import (
+    ShardCatalog,
+    ShardedGamDatabase,
+    ShardRoutingError,
+    migrate_to_shards,
+)
+from repro.gam import shards as shards_module
+
+
+def _populate(repo: GamRepository, names, objects=12, links=6) -> None:
+    """A small deterministic multi-source dataset with cross-source rels."""
+    for name in names:
+        repo.add_source(name)
+        repo.add_objects(
+            repo.get_source(name),
+            [(f"{name.lower()}-{i}", f"text{i}", float(i)) for i in range(objects)],
+        )
+    for left, right in zip(names, names[1:]):
+        rel = repo.ensure_source_rel(left, right, "Fact")
+        repo.add_associations(
+            rel,
+            [
+                (f"{left.lower()}-{i}", f"{right.lower()}-{i}", 0.9)
+                for i in range(links)
+            ],
+        )
+
+
+@pytest.fixture()
+def sharded_db(tmp_path):
+    db = ShardedGamDatabase(str(tmp_path / "g.db"))
+    yield db
+    db.close()
+
+
+class TestShardedEngine:
+    def test_memory_path_rejected(self):
+        with pytest.raises(GamSchemaError):
+            ShardedGamDatabase(":memory:")
+
+    def test_snapshot_matches_monolithic(self, tmp_path, sharded_db):
+        mono = GamDatabase(str(tmp_path / "mono.db"))
+        names = ["Alpha", "Beta", "Gamma"]
+        _populate(GamRepository(mono), names)
+        _populate(GamRepository(sharded_db), names)
+        assert canonical_snapshot(GamRepository(sharded_db)) == (
+            canonical_snapshot(GamRepository(mono))
+        )
+        mono.close()
+
+    def test_ids_allocate_from_per_slot_strides(self, sharded_db):
+        repo = GamRepository(sharded_db)
+        _populate(repo, ["Alpha", "Beta"], objects=3, links=0)
+        placement = sharded_db.shard_placement(["Alpha", "Beta"])
+        assert placement == {"Alpha": 0, "Beta": 1}
+        for name, slot in placement.items():
+            src = repo.get_source(name)
+            rows = sharded_db.execute_read(
+                "SELECT object_id FROM object WHERE source_id = ?",
+                (src.source_id,),
+            ).fetchall()
+            base = (slot + 1) * ID_STRIDE
+            assert all(base < row[0] <= base + ID_STRIDE for row in rows)
+
+    def test_unscoped_shard_write_raises(self, sharded_db):
+        repo = GamRepository(sharded_db)
+        repo.add_source("Alpha")
+        src = repo.get_source("Alpha")
+        with pytest.raises(ShardRoutingError):
+            with sharded_db.write_scope(), sharded_db.transaction():
+                sharded_db.execute(
+                    "INSERT INTO object (source_id, accession) VALUES (?, ?)",
+                    (src.source_id, "a-1"),
+                )
+
+    def test_mid_transaction_escalation_raises(self, sharded_db):
+        repo = GamRepository(sharded_db)
+        repo.add_source("Alpha")
+        repo.add_source("Beta")
+        alpha = repo.get_source("Alpha")
+        beta = repo.get_source("Beta")
+        with pytest.raises(ShardRoutingError):
+            with sharded_db.write_scope("Alpha"), sharded_db.transaction():
+                sharded_db.execute(
+                    "INSERT INTO object (source_id, accession) VALUES (?, ?)",
+                    (alpha.source_id, "a-1"),
+                )
+                # Beta's shard lock was never acquired by this scope.
+                with sharded_db.write_scope("Beta"):
+                    sharded_db.execute(
+                        "INSERT INTO object (source_id, accession)"
+                        " VALUES (?, ?)",
+                        (beta.source_id, "b-1"),
+                    )
+
+    def test_storage_info_and_placement_report(self, sharded_db):
+        repo = GamRepository(sharded_db)
+        _populate(repo, ["Alpha", "Beta"], objects=2, links=1)
+        report = repo.placement_report()
+        assert report["layout"] == "sharded"
+        assert report["placement"] == {"Alpha": 0, "Beta": 1}
+        images = report["shards"]["images"]
+        assert images["0"]["image"] == 0
+        assert images["0"]["sources"] == 1
+
+
+class TestBucketFallback:
+    def test_attach_limit_groups_sources_into_buckets(self, tmp_path):
+        """More sources than shard slots share buckets, same results."""
+        mono = GamDatabase(str(tmp_path / "mono.db"))
+        db = ShardedGamDatabase(str(tmp_path / "g.db"), max_shards=3)
+        names = [f"Src{c}" for c in "ABCDEFGHIJK"]  # 11 > 3 slots
+        _populate(GamRepository(mono), names, objects=4, links=2)
+        _populate(GamRepository(db), names, objects=4, links=2)
+        placement = db.shard_placement(names)
+        assert set(placement.values()) == {0, 1, 2}
+        # Least-populated placement keeps buckets balanced.
+        population = {}
+        for slot in placement.values():
+            population[slot] = population.get(slot, 0) + 1
+        assert max(population.values()) - min(population.values()) <= 1
+        assert canonical_snapshot(GamRepository(db)) == (
+            canonical_snapshot(GamRepository(mono))
+        )
+        mono.close()
+        db.close()
+
+    def test_catalog_placement_is_sticky(self, tmp_path):
+        db = ShardedGamDatabase(str(tmp_path / "g.db"), max_shards=2)
+        repo = GamRepository(db)
+        for name in ["A", "B", "C"]:
+            repo.add_source(name)
+        before = db.shard_placement(["A", "B", "C"])
+        db.close()
+        reopened = GamDatabase.open(str(tmp_path / "g.db"))
+        assert reopened.sharded
+        assert reopened.shard_placement(["A", "B", "C"]) == before
+        reopened.close()
+
+
+class TestConcurrency:
+    def test_opposite_order_cross_shard_writers_do_not_deadlock(
+        self, sharded_db
+    ):
+        repo = GamRepository(sharded_db)
+        repo.add_source("Alpha")
+        repo.add_source("Beta")
+        alpha = repo.get_source("Alpha")
+        beta = repo.get_source("Beta")
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def writer(order, accession_prefix, source):
+            try:
+                barrier.wait(timeout=10)
+                for i in range(20):
+                    with sharded_db.write_scope(*order), (
+                        sharded_db.transaction()
+                    ):
+                        sharded_db.execute(
+                            "INSERT OR IGNORE INTO object"
+                            " (source_id, accession) VALUES (?, ?)",
+                            (source.source_id, f"{accession_prefix}{i}"),
+                        )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=writer, args=(("Alpha", "Beta"), "a", alpha)
+            ),
+            threading.Thread(
+                target=writer, args=(("Beta", "Alpha"), "b", beta)
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert not any(thread.is_alive() for thread in threads)
+        count = sharded_db.execute_read(
+            "SELECT count(*) FROM object"
+        ).fetchone()[0]
+        assert count == 40
+
+    def test_disjoint_source_writers_commit_in_parallel(self, sharded_db):
+        """Writers on different shards overlap inside their transactions."""
+        repo = GamRepository(sharded_db)
+        names = ["Alpha", "Beta", "Gamma", "Delta"]
+        sources = {}
+        for name in names:
+            repo.add_source(name)
+            sources[name] = repo.get_source(name)
+        in_txn = threading.Semaphore(0)
+        release = threading.Event()
+        overlap = {"seen": False}
+        errors = []
+
+        def writer(name):
+            try:
+                with sharded_db.write_scope(name), sharded_db.transaction():
+                    sharded_db.execute(
+                        "INSERT INTO object (source_id, accession)"
+                        " VALUES (?, ?)",
+                        (sources[name].source_id, f"{name.lower()}-x"),
+                    )
+                    in_txn.release()
+                    # Hold the shard transaction open until all four
+                    # writers are inside one simultaneously.
+                    if not release.wait(timeout=30):
+                        raise TimeoutError("writers never overlapped")
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(name,)) for name in names
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in names:
+            assert in_txn.acquire(timeout=30)
+        overlap["seen"] = True
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert overlap["seen"]
+
+
+class TestImageFlip:
+    def test_flip_replaces_image_and_bumps_only_that_source(
+        self, tmp_path, sharded_db
+    ):
+        repo = GamRepository(sharded_db)
+        _populate(repo, ["Alpha", "Beta"], objects=4, links=2)
+        gen_alpha = sharded_db.generation_of(["Alpha"])
+        gen_beta = sharded_db.generation_of(["Beta"])
+        alpha = repo.get_source("Alpha")
+        with sharded_db.image_flip("Alpha"):
+            with sharded_db.write_scope("Alpha"), sharded_db.transaction():
+                sharded_db.execute(
+                    "INSERT INTO object (source_id, accession)"
+                    " VALUES (?, ?)",
+                    (alpha.source_id, "alpha-new"),
+                )
+        info = sharded_db.storage_info()
+        assert info["shards"]["images"]["0"]["image"] == 1
+        assert not (tmp_path / "g.db.shard00.g0.db").exists()
+        assert (tmp_path / "g.db.shard00.g1.db").exists()
+        assert sharded_db.generation_of(["Alpha"]) > gen_alpha
+        assert sharded_db.generation_of(["Beta"]) == gen_beta
+        row = sharded_db.execute_read(
+            "SELECT count(*) FROM object WHERE accession = 'alpha-new'"
+        ).fetchone()
+        assert row[0] == 1
+
+    def test_flip_rolls_back_on_error(self, tmp_path, sharded_db):
+        repo = GamRepository(sharded_db)
+        _populate(repo, ["Alpha"], objects=3, links=0)
+        alpha = repo.get_source("Alpha")
+        with pytest.raises(RuntimeError):
+            with sharded_db.image_flip("Alpha"):
+                with sharded_db.write_scope("Alpha"), (
+                    sharded_db.transaction()
+                ):
+                    sharded_db.execute(
+                        "INSERT INTO object (source_id, accession)"
+                        " VALUES (?, ?)",
+                        (alpha.source_id, "doomed"),
+                    )
+                raise RuntimeError("import failed")
+        assert sharded_db.storage_info()["shards"]["images"]["0"]["image"] == 0
+        assert not list(tmp_path.glob("*.g1.db"))
+        count = sharded_db.execute_read(
+            "SELECT count(*) FROM object WHERE accession = 'doomed'"
+        ).fetchone()[0]
+        assert count == 0
+
+    def test_readers_see_old_complete_or_new_complete(self, sharded_db):
+        """Zero-downtime contract: a concurrent reader never observes a
+        partially re-imported source."""
+        repo = GamRepository(sharded_db)
+        repo.add_source("Alpha")
+        alpha = repo.get_source("Alpha")
+        with sharded_db.write_scope("Alpha"), sharded_db.transaction():
+            for i in range(10):
+                sharded_db.execute(
+                    "INSERT INTO object (source_id, accession)"
+                    " VALUES (?, ?)",
+                    (alpha.source_id, f"old-{i}"),
+                )
+        stop = threading.Event()
+        observed = set()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    rows = sharded_db.execute_read(
+                        "SELECT accession FROM object WHERE source_id = ?"
+                        " ORDER BY accession",
+                        (alpha.source_id,),
+                    ).fetchall()
+                    observed.add(
+                        tuple(sorted(row[0] for row in rows))
+                    )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            with sharded_db.image_flip("Alpha"):
+                with sharded_db.write_scope("Alpha"), (
+                    sharded_db.transaction()
+                ):
+                    sharded_db.execute(
+                        "DELETE FROM object WHERE source_id = ?",
+                        (alpha.source_id,),
+                    )
+                    for i in range(10):
+                        sharded_db.execute(
+                            "INSERT INTO object (source_id, accession)"
+                            " VALUES (?, ?)",
+                            (alpha.source_id, f"new-{i}"),
+                        )
+            # Give the reader a chance to sample the flipped image
+            # before stopping it (it loops continuously, so one extra
+            # scheduling quantum is enough).
+            deadline = threading.Event()
+            old = tuple(sorted(f"old-{i}" for i in range(10)))
+            new = tuple(sorted(f"new-{i}" for i in range(10)))
+            for _ in range(200):
+                if new in observed:
+                    break
+                deadline.wait(0.01)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors
+        assert observed <= {old, new}
+        assert new in observed
+
+@pytest.fixture()
+def sharded_genmapper(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SHARDS", "on")
+    with GenMapper(str(tmp_path / "g.db")) as gm:
+        assert gm.db.sharded
+        yield gm
+
+
+class TestPipelineFlip:
+    def test_reimport_flips_image_and_preserves_reads(
+        self, sharded_genmapper, tmp_path
+    ):
+        """A changed manifest source re-imports through an image flip."""
+        gm = sharded_genmapper
+        record = ">>353\nOFFICIAL_SYMBOL: APRT\nGO: GO:0000001|one\n"
+        data_dir = tmp_path / "data"
+        data_dir.mkdir()
+        (data_dir / "locus.txt").write_text(record)
+        (data_dir / "manifest.tsv").write_text(
+            "# file\tsource\trelease\nlocus.txt\tLocusLink\tr1\n"
+        )
+        gm.integrate_directory(data_dir)
+        placement = gm.db.shard_placement(["LocusLink"])
+        slot = str(placement["LocusLink"])
+        image_before = gm.db.storage_info()["shards"]["images"][slot]["image"]
+        (data_dir / "locus.txt").write_text(record + "OMIM: 102600\n")
+        (data_dir / "manifest.tsv").write_text(
+            "# file\tsource\trelease\nlocus.txt\tLocusLink\tr2\n"
+        )
+        gm.integrate_directory(data_dir)
+        image_after = gm.db.storage_info()["shards"]["images"][slot]["image"]
+        assert image_after == image_before + 1
+        objects = gm.objects("LocusLink")
+        assert any(obj.accession == "353" for obj in objects)
+
+
+class TestMigration:
+    def _build_monolithic(self, path, names=("A", "B", "C")):
+        db = GamDatabase(str(path))
+        _populate(GamRepository(db), list(names), objects=8, links=4)
+        return db
+
+    def test_migrate_then_reopen_detects_sharded(self, tmp_path):
+        db = self._build_monolithic(tmp_path / "mono.db")
+        snapshot = canonical_snapshot(GamRepository(db))
+        summary = migrate_to_shards(db)
+        db.close()
+        assert summary["migrated"] == 3
+        assert summary["layout"] == "sharded"
+        reopened = GamDatabase.open(str(tmp_path / "mono.db"))
+        assert isinstance(reopened, ShardedGamDatabase)
+        assert canonical_snapshot(GamRepository(reopened)) == snapshot
+        # Shard-resident rows are gone from the coordinator file.
+        import sqlite3
+
+        raw = sqlite3.connect(str(tmp_path / "mono.db"))
+        assert raw.execute("SELECT count(*) FROM object").fetchone()[0] == 0
+        raw.close()
+        reopened.close()
+
+    def test_crash_before_finalize_leaves_monolithic_intact(self, tmp_path):
+        db = self._build_monolithic(tmp_path / "mono.db")
+        snapshot = canonical_snapshot(GamRepository(db))
+
+        def boom(connection):
+            raise RuntimeError("simulated crash before finalize")
+
+        original = shards_module.gam_schema.create_catalog_schema
+        shards_module.gam_schema.create_catalog_schema = boom
+        try:
+            with pytest.raises(RuntimeError):
+                migrate_to_shards(db)
+        finally:
+            shards_module.gam_schema.create_catalog_schema = original
+        db.close()
+        reopened = GamDatabase.open(str(tmp_path / "mono.db"))
+        assert not reopened.sharded
+        assert canonical_snapshot(GamRepository(reopened)) == snapshot
+        # Resume skips the already-copied (checkpointed + verified) sources.
+        summary = migrate_to_shards(reopened)
+        assert summary["skipped"] == 3
+        assert summary["migrated"] == 0
+        reopened.close()
+        final = GamDatabase.open(str(tmp_path / "mono.db"))
+        assert final.sharded
+        assert canonical_snapshot(GamRepository(final)) == snapshot
+        final.close()
+
+    def test_no_resume_recopies_everything(self, tmp_path):
+        db = self._build_monolithic(tmp_path / "mono.db")
+        # Pre-seed checkpoints as a finished-copy run would have.
+        for name in ("A", "B", "C"):
+            with db.write_scope(), db.transaction():
+                db.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    (f"migrate_ckpt:{name}", json.dumps({"object": 0})),
+                )
+        summary = migrate_to_shards(db, resume=False)
+        assert summary["migrated"] == 3
+        assert summary["skipped"] == 0
+        db.close()
+
+    def test_migrate_rejects_sharded_and_memory(self, tmp_path):
+        sharded = ShardedGamDatabase(str(tmp_path / "g.db"))
+        with pytest.raises(GamSchemaError):
+            migrate_to_shards(sharded)
+        sharded.close()
+        memory = GamDatabase(":memory:")
+        with pytest.raises(GamSchemaError):
+            migrate_to_shards(memory)
+        memory.close()
+
+    def test_migrated_ids_survive_watermark_placement(self, tmp_path):
+        """Migrated rows keep pre-stride ids; watermarks still resolve
+        through catalog placement, not id arithmetic."""
+        db = self._build_monolithic(tmp_path / "mono.db", names=("A", "B"))
+        migrate_to_shards(db)
+        db.close()
+        reopened = GamDatabase.open(str(tmp_path / "mono.db"))
+        marks = reopened.table_watermarks({"object": "object_id"})
+        assert set(marks["object"]) == {"0", "1"}
+        assert all(mark > 0 for mark in marks["object"].values())
+        reopened.close()
+
+
+class TestOpenLayoutSelection:
+    def test_env_var_creates_sharded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "on")
+        db = GamDatabase.open(str(tmp_path / "new.db"))
+        assert db.sharded
+        db.close()
+
+    def test_env_var_off_creates_monolithic(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "off")
+        db = GamDatabase.open(str(tmp_path / "new.db"))
+        assert not db.sharded
+        db.close()
+
+    def test_detection_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "on")
+        mono = GamDatabase(str(tmp_path / "mono.db"))
+        GamRepository(mono).add_source("A")
+        mono.close()
+        reopened = GamDatabase.open(str(tmp_path / "mono.db"))
+        assert not reopened.sharded
+        reopened.close()
+
+    def test_memory_always_monolithic(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "on")
+        db = GamDatabase.open(":memory:")
+        assert not db.sharded
+        db.close()
+
+
+class TestShardedIntegrity:
+    def test_delete_source_leaves_no_dangling_rows(self, sharded_db):
+        repo = GamRepository(sharded_db)
+        _populate(repo, ["Alpha", "Beta", "Gamma"], objects=6, links=3)
+        delete_source(repo, "Beta")
+        report = integrity_check(sharded_db)
+        assert report.ok, str(report)
+        # Relationships from either side of Beta are gone even though
+        # they lived in different shard files.
+        count = sharded_db.execute_read(
+            "SELECT count(*) FROM source_rel"
+        ).fetchone()[0]
+        assert count == 0
+
+    def test_integrity_detects_cross_shard_dangles(self, sharded_db):
+        """The app-level sweep catches what SQLite FKs cannot see."""
+        repo = GamRepository(sharded_db)
+        _populate(repo, ["Alpha", "Beta"], objects=3, links=2)
+        # Surgically delete Beta's source row only (bypassing the
+        # cascade): Alpha's shard still holds rels pointing at Beta.
+        beta = repo.get_source("Beta")
+        with sharded_db.write_scope(), sharded_db.transaction():
+            sharded_db.execute(
+                "DELETE FROM source WHERE source_id = ?", (beta.source_id,)
+            )
+        report = integrity_check(sharded_db)
+        assert not report.ok
+        rules = {violation.rule for violation in report.violations}
+        assert "source-rel-source-fk" in rules
+
+
+class TestWebSurface:
+    def test_health_reports_storage_layout(self, tmp_path, monkeypatch):
+        from tests.test_web_api import call
+        from repro.web.app import create_app
+
+        monkeypatch.setenv("REPRO_SHARDS", "on")
+        with GenMapper(str(tmp_path / "g.db")) as gm:
+            _populate(GamRepository(gm.db), ["Alpha"], objects=1, links=0)
+            status, payload = call(create_app(gm), "GET", "/health")
+        assert status == 200
+        assert payload["storage"]["layout"] == "sharded"
+        assert payload["storage"]["shards"]["slots"] == 1
+
+    def test_explain_reports_shard_placement(self, tmp_path, monkeypatch):
+        from tests.test_web_api import call
+        from repro.web.app import create_app
+
+        monkeypatch.setenv("REPRO_SHARDS", "on")
+        record = ">>353\nOFFICIAL_SYMBOL: APRT\nGO: GO:0000001|one\n"
+        with GenMapper(str(tmp_path / "g.db")) as gm:
+            gm.integrate_text(record, "LocusLink")
+            status, payload = call(
+                create_app(gm),
+                "POST",
+                "/query/explain",
+                body={"query": "ANNOTATE LocusLink WITH GO"},
+            )
+        assert status == 200
+        assert "shards" in payload
+        assert "LocusLink" in payload["shards"]
+
+
+class TestShardCatalogUnit:
+    def test_place_prefers_dedicated_then_least_populated(self, tmp_path):
+        catalog = ShardCatalog(tmp_path, "g.db", max_shards=2)
+        __, placements = shards_module._plan_migration(
+            catalog,
+            [
+                type("S", (), {"name": name, "source_id": i})()
+                for i, name in enumerate(["A", "B", "C", "D"])
+            ],
+        )
+        assert placements["A"] == 0
+        assert placements["B"] == 1
+        assert sorted(placements.values()) == [0, 0, 1, 1]
